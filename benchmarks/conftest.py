@@ -1,0 +1,47 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper. The
+simulation horizon defaults to the paper's 0.5 s of silicon time; set
+``REPRO_BENCH_DURATION`` (seconds) to trade fidelity for speed. Results
+are cached across benchmarks within a session (the tables are views over
+one policy x workload grid), and each benchmark writes its rendered
+output under ``results/`` for side-by-side comparison with the paper —
+EXPERIMENTS.md is assembled from those files.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import default_config
+
+#: Where rendered tables/figures are written.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_duration() -> float:
+    """Simulation horizon for benchmark runs (seconds of silicon time)."""
+    return float(os.environ.get("REPRO_BENCH_DURATION", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The session's simulation configuration."""
+    return default_config(duration_s=bench_duration())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Output directory for rendered experiment artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one rendered experiment and echo it to the test log."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,49 @@
+"""Performance benchmark: engine throughput in simulated-steps/second.
+
+Unlike the table/figure benchmarks (which measure one full experiment,
+rounds=1), this one uses pytest-benchmark conventionally — repeated
+rounds over a fixed small run — so regressions in the hot loop (power
+assembly, thermal step, policy updates) show up as timing changes across
+revisions.
+"""
+
+import pytest
+
+from repro.core.taxonomy import spec_by_key
+from repro.sim.engine import SimulationConfig, ThermalTimingSimulator
+from repro.sim.workloads import get_workload
+
+W7 = get_workload("workload7")
+RUN_S = 0.02  # 720 engine steps
+
+
+def _run(spec_key):
+    sim = ThermalTimingSimulator(
+        W7.benchmarks,
+        spec_by_key(spec_key) if spec_key else None,
+        SimulationConfig(duration_s=RUN_S),
+    )
+    return sim.run()
+
+
+@pytest.mark.parametrize(
+    "spec_key",
+    [
+        None,
+        "distributed-stop-go-none",
+        "distributed-dvfs-none",
+        "distributed-dvfs-sensor",
+    ],
+    ids=["unthrottled", "stopgo", "dvfs", "dvfs+sensor-migration"],
+)
+def test_engine_steps_per_second(benchmark, spec_key):
+    result = benchmark.pedantic(
+        _run, args=(spec_key,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    # Sanity on the measured run itself.
+    assert result.bips > 0
+    n_steps = round(RUN_S / (100_000 / 3.6e9))
+    benchmark.extra_info["simulated_steps"] = n_steps
+    benchmark.extra_info["steps_per_second"] = (
+        n_steps / benchmark.stats.stats.mean
+    )

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 3 (per-workload normalised throughput).
+
+Paper reference: distributed DVFS wins on every workload (bars up to
+~2.8X); global stop-go sits far below 1.0 everywhere.
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, config, results_dir):
+    rows = benchmark.pedantic(
+        figure3.compute, args=(config,), rounds=1, iterations=1
+    )
+    save_result(results_dir, "figure3", figure3.render(rows))
+
+    assert len(rows) == 12
+    for r in rows:
+        # Distributed DVFS dominates global stop-go on every workload.
+        assert (
+            r.relative["distributed-dvfs-none"]
+            > r.relative["global-stop-go-none"]
+        ), r.workload
+        # Global stop-go never beats the distributed stop-go baseline.
+        assert r.relative["global-stop-go-none"] <= 1.05, r.workload
+    # Distributed DVFS wins on the large majority of workloads (the paper
+    # shows it winning everywhere; cool workloads can tie).
+    wins = sum(
+        r.relative["distributed-dvfs-none"]
+        >= r.relative["global-dvfs-none"] - 1e-9
+        for r in rows
+    )
+    assert wins >= 9

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 7 (per-workload migration deltas on
+distributed DVFS).
+
+Paper reference: bars between about -2% and +8% — migration is a small
+effect on the best base policy, positive for most workloads, negative for
+a few (both mechanisms are approximation algorithms).
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, config, results_dir):
+    rows = benchmark.pedantic(
+        figure7.compute, args=(config,), rounds=1, iterations=1
+    )
+    save_result(results_dir, "figure7", figure7.render(rows))
+
+    assert len(rows) == 12
+    for r in rows:
+        # Deltas are small-percentage effects, as in the paper.
+        assert -10.0 < r.counter_delta_pct < 15.0, r.workload
+        assert -10.0 < r.sensor_delta_pct < 15.0, r.workload
+    # Not all workloads benefit (the paper's figure includes negatives),
+    # and the average magnitude is small.
+    avg_counter = sum(r.counter_delta_pct for r in rows) / len(rows)
+    avg_sensor = sum(r.sensor_delta_pct for r in rows) / len(rows)
+    assert abs(avg_counter) < 5.0
+    assert abs(avg_sensor) < 5.0

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 1 (mobile per-benchmark temperatures).
+
+Paper reference (Pentium M Banias, ACPI diode): stable temps 59-71 C with
+mcf coolest and gzip/sixtrack hottest; bzip2/ammp/facerec/fma3d oscillate
+over ~5-6 degree ranges.
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import table1
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark.pedantic(table1.compute, rounds=1, iterations=1)
+    save_result(results_dir, "table1", table1.render(rows))
+
+    steady = {r.benchmark: r.steady_c for r in rows if r.stable}
+    ranges = {r.benchmark: r.range_c for r in rows if not r.stable}
+
+    # Table 1a shape: mcf coolest, gzip/sixtrack hottest, band ~59-75 C.
+    assert steady["mcf"] == min(steady.values())
+    top_two = sorted(steady, key=steady.get, reverse=True)[:2]
+    assert set(top_two) == {"gzip", "sixtrack"}
+    assert all(52 <= t <= 80 for t in steady.values())
+
+    # Table 1b shape: the four oscillators swing several degrees.
+    assert set(ranges) == {"bzip2", "ammp", "facerec", "fma3d"}
+    assert all(hi - lo >= 3 for lo, hi in ranges.values())

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table 2 (the DTM taxonomy itself).
+
+This is structural rather than simulated: the 12-policy product of the
+three axes, rendered the way the paper lays it out, plus a tiny build
+round-trip proving every cell is constructible.
+"""
+
+from benchmarks.conftest import save_result
+from repro.core.taxonomy import (
+    ALL_POLICY_SPECS,
+    MigrationKind,
+    PolicySpec,
+    Scope,
+    ThrottleKind,
+    build_policy,
+)
+from repro.util.tables import render_grid
+
+
+def _render_taxonomy() -> str:
+    cols = []
+    for migration in (MigrationKind.NONE, MigrationKind.COUNTER, MigrationKind.SENSOR):
+        for throttle in (ThrottleKind.STOP_GO, ThrottleKind.DVFS):
+            cols.append((migration, throttle))
+    rows = []
+    for scope in (Scope.GLOBAL, Scope.DISTRIBUTED):
+        rows.append(
+            [PolicySpec(t, scope, m).name for m, t in cols]
+        )
+    return render_grid(
+        ["Global", "Distributed"],
+        [f"{m.value}/{t.value}" for m, t in cols],
+        rows,
+        corner="scope",
+        title="Table 2: thermal control taxonomy (12 schemes)",
+    )
+
+
+def _build_all():
+    dt = 100_000 / 3.6e9
+    return [build_policy(s, n_cores=4, dt=dt) for s in ALL_POLICY_SPECS]
+
+
+def test_table2_taxonomy(benchmark, results_dir):
+    built = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+    save_result(results_dir, "table2_taxonomy", _render_taxonomy())
+
+    assert len(built) == 12
+    assert len(ALL_POLICY_SPECS) == 12
+    migrations = [m for _t, m in built if m is not None]
+    assert len(migrations) == 8  # two migration kinds x four base policies

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 5 (non-migration policy averages).
+
+Paper reference: global stop-go 2.79 BIPS / 19.77% / 0.62X; dist stop-go
+4.53 / 32.57% / 1.00X; global DVFS 9.36 / 66.49% / 2.07X; dist DVFS
+11.36 / 81.02% / 2.51X.
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import table5
+
+
+def test_table5(benchmark, config, results_dir):
+    rows = benchmark.pedantic(
+        table5.compute, args=(config,), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table5", table5.render(rows))
+
+    by_key = {r.spec_key: r for r in rows}
+    # Shape assertions: ordering and rough factors must match the paper.
+    assert by_key["global-stop-go-none"].relative_throughput < 0.85
+    assert by_key["distributed-stop-go-none"].relative_throughput == 1.0
+    assert 1.5 < by_key["global-dvfs-none"].relative_throughput < 3.2
+    assert 1.9 < by_key["distributed-dvfs-none"].relative_throughput < 3.4
+    assert (
+        by_key["distributed-dvfs-none"].relative_throughput
+        >= by_key["global-dvfs-none"].relative_throughput
+    )
+    assert by_key["distributed-dvfs-none"].duty_cycle > 0.65
+    assert by_key["distributed-stop-go-none"].duty_cycle < 0.5

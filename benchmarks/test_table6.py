@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 6 (counter-based migration).
+
+Paper reference: stop-go + migration 1.18X (1.91 over non-migration);
+dist stop-go 2.02X (2.02); global DVFS 2.18X (1.06); dist DVFS 2.57X
+(1.02).
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import table6
+
+
+def test_table6(benchmark, config, results_dir):
+    rows = benchmark.pedantic(
+        table6.compute, args=(config,), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table6", table6.render(rows))
+
+    by_key = {r.spec_key: r for r in rows}
+    # Migration is a large win on stop-go policies...
+    assert by_key["distributed-stop-go-counter"].speedup_over_base > 1.25
+    assert by_key["global-stop-go-counter"].speedup_over_base > 1.25
+    # ...and roughly neutral on DVFS (diminishing returns).
+    assert 0.93 < by_key["distributed-dvfs-counter"].speedup_over_base < 1.10
+    assert 0.93 < by_key["global-dvfs-counter"].speedup_over_base < 1.15
+    # Migrations actually happened.
+    assert by_key["distributed-stop-go-counter"].migrations > 0

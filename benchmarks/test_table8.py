@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 8 (the full 12-policy summary grid).
+
+Paper reference::
+
+                 no migration    counter-based    sensor-based
+                 stop-go  DVFS   stop-go  DVFS    stop-go  DVFS
+    Global        0.62X   2.1X    1.2X    2.2X     1.2X    2.1X
+    Distributed  baseline 2.5X    2X      2.6X     2.1X    2.6X
+"""
+
+from benchmarks.conftest import save_result
+from repro.core.taxonomy import MigrationKind, Scope, ThrottleKind
+from repro.experiments import table8
+
+
+def test_table8(benchmark, config, results_dir):
+    grid = benchmark.pedantic(
+        table8.compute, args=(config,), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table8", table8.render(grid))
+
+    rel = grid.relative
+    # Within-row orderings the paper's table exhibits.
+    assert rel["global-stop-go-none"] < rel["distributed-stop-go-none"]
+    assert rel["global-dvfs-none"] <= rel["distributed-dvfs-none"] + 0.02
+    assert rel["global-stop-go-counter"] > rel["global-stop-go-none"]
+    assert rel["distributed-stop-go-counter"] > 1.25
+    assert rel["distributed-stop-go-sensor"] > 1.2
+
+    # DVFS dominates stop-go within every migration column.
+    for scope in ("global", "distributed"):
+        for mig in ("none", "counter", "sensor"):
+            assert (
+                rel[f"{scope}-dvfs-{mig}"] > rel[f"{scope}-stop-go-{mig}"]
+            ), (scope, mig)
+
+    # The best combination is a distributed DVFS + migration policy family
+    # member (paper: dist DVFS + sensor migration at 2.6X).
+    assert "distributed-dvfs" in grid.best_key

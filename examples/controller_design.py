@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's formal control design workflow (Section 4).
+
+Walks the same path the authors took in MATLAB: start from the continuous
+PI controller G(s) = Kp + Ki/s, discretise it at the trace sample period
+(recovering the paper's published coefficients), check closed-loop
+stability against a thermal plant via pole locations and a root-locus
+sweep, and simulate the regulated step response.
+
+Run:
+    python examples/controller_design.py
+"""
+
+import numpy as np
+
+from repro.control import (
+    FirstOrderThermalPlant,
+    closed_loop_step_response,
+    design_paper_controller,
+    is_stable,
+    root_locus,
+    settling_time,
+)
+from repro.control.pi import PAPER_KI, PAPER_KP
+from repro.control.stability import stability_margin_gain
+from repro.control.transfer import first_order_plant, pi_transfer_function
+
+SAMPLE_PERIOD = 100_000 / 3.6e9  # 100k cycles at 3.6 GHz = 27.78 us
+
+
+def main() -> None:
+    print("=== 1. Discretising the paper's PI controller ===\n")
+    design = design_paper_controller(SAMPLE_PERIOD)
+    print(f"Continuous design: Kp = {PAPER_KP}, Ki = {PAPER_KI}")
+    print(f"Sample period:     {SAMPLE_PERIOD * 1e6:.2f} us (the paper's '28 us')")
+    print(
+        "Discrete law:      u[n] = u[n-1] "
+        f"- {design.b0:.4f} e[n] + {-design.b1:.6f} e[n-1]"
+    )
+    print("Paper's law:       u[n] = u[n-1] - 0.0107 e[n] + 0.003796 e[n-1]\n")
+
+    print("=== 2. Stability (the paper's root-locus check) ===\n")
+    controller = pi_transfer_function(PAPER_KP, PAPER_KI)
+    plant = first_order_plant(gain=50.0, tau=7e-3)  # ms-scale thermal pole
+    closed = (controller * plant).feedback()
+    poles = closed.poles()
+    print(f"Closed-loop poles: {np.array2string(poles, precision=2)}")
+    print(f"All in left half plane: {is_stable(closed)}")
+    margin = stability_margin_gain(
+        controller * plant, gains=np.logspace(-1, 3, 30)
+    )
+    print(f"Stable up to a sampled loop-gain factor of {margin:.0f}x")
+    locus = root_locus(controller * plant, gains=np.logspace(-1, 2, 12))
+    print("Root locus (max real part per sampled gain):")
+    for k, row in zip(np.logspace(-1, 2, 12), locus):
+        finite = row[~np.isnan(row)]
+        print(f"  gain x{k:7.2f}: max Re(pole) = {finite.real.max():9.2f}")
+    print()
+
+    print("=== 3. Regulated step response ===\n")
+    hot_plant = FirstOrderThermalPlant(gain=55.0, tau=7e-3, ambient=45.0)
+    setpoint = 82.2
+    resp = closed_loop_step_response(design, hot_plant, setpoint, horizon=0.4)
+    print(f"Plant: full-speed equilibrium {hot_plant.equilibrium(1.0):.1f} C "
+          f"(above the limit); setpoint {setpoint} C")
+    print(f"Final temperature: {resp.final_temperature:.2f} C")
+    print(f"Peak temperature:  {resp.max_temperature:.2f} C "
+          f"(emergency threshold 84.2 C)")
+    print(f"Settling time:     {settling_time(resp) * 1000:.1f} ms")
+    print(f"Equilibrium scale: {resp.outputs[-1]:.3f}")
+    print("\nTemperature trajectory:")
+    idx = np.linspace(0, len(resp.times) - 1, 12).astype(int)
+    for i in idx:
+        t = resp.times[i] * 1000
+        bar = "#" * int((resp.temperatures[i] - 45) / 2)
+        print(f"  t={t:6.1f} ms  {resp.temperatures[i]:6.2f} C  "
+              f"scale={resp.outputs[i]:.2f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

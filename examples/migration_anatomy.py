@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Anatomy of the two-loop design: watch migrations interact with DVFS.
+
+Reproduces the paper's Figure 5 view on live data: runs workload7
+(gzip-twolf-ammp-lucas) under distributed DVFS + counter-based migration
+with full series recording, then prints, for the busiest core, the
+residence timeline, both register-file temperatures, and the PI
+controller's frequency output — the inner loop regulating while the outer
+loop rotates threads.
+
+Run:
+    python examples/migration_anatomy.py [duration_seconds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SimulationConfig, get_workload, run_workload, spec_by_key
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+    workload = get_workload("workload7")
+    config = SimulationConfig(duration_s=duration, record_series=True)
+    spec = spec_by_key("distributed-dvfs-counter")
+
+    print(f"Running {workload.label} under '{spec.name}' for {duration:.2f} s...\n")
+    result = run_workload(workload, spec, config)
+    series = result.series
+
+    print(
+        f"BIPS={result.bips:.2f}  duty={result.duty_cycle:.1%}  "
+        f"migrations={result.migrations}  max T={result.max_temp_c:.1f} C\n"
+    )
+
+    changes = (np.diff(series.assignments, axis=0) != 0).sum(axis=0)
+    core = int(np.argmax(changes))
+    pid_names = dict(enumerate(workload.benchmarks))
+    view = series.core_series(core)
+
+    print(f"=== Core {core}: residence timeline ===\n")
+    boundaries = [0] + list(np.flatnonzero(np.diff(view["pid"]) != 0) + 1)
+    for start, end in zip(boundaries, boundaries[1:] + [len(view["pid"])]):
+        name = pid_names[int(view["pid"][start])]
+        t0, t1 = view["times"][start] * 1000, view["times"][end - 1] * 1000
+        mean_scale = view["scale"][start:end].mean()
+        print(
+            f"  {t0:7.1f} - {t1:7.1f} ms  {name:8s} "
+            f"avg scale {mean_scale:.2f}  "
+            f"intreg {view['intreg'][start:end].mean():.1f} C  "
+            f"fpreg {view['fpreg'][start:end].mean():.1f} C"
+        )
+
+    print(f"\n=== Core {core}: sampled trace (Figure 5 style) ===\n")
+    idx = np.linspace(0, len(view["times"]) - 1, 20).astype(int)
+    print("   t (ms)   intreg   fpreg   scale  resident")
+    for i in idx:
+        name = pid_names[int(view["pid"][i])]
+        scale_bar = "*" * int(view["scale"][i] * 20)
+        print(
+            f"  {view['times'][i] * 1000:7.2f}  {view['intreg'][i]:6.1f}  "
+            f"{view['fpreg'][i]:6.1f}   {view['scale'][i]:.2f}   "
+            f"{name:8s} {scale_bar}"
+        )
+
+    print(
+        "\nNote how the critical hotspot sticks near the setpoint while the "
+        "other register\nfile 'drifts' with whichever thread is resident — "
+        "the behaviour Figure 5 of the\npaper illustrates, and the signal "
+        "the sensor-based policy mines."
+    )
+
+
+if __name__ == "__main__":
+    main()

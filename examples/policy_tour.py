@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Tour of the full DTM taxonomy (the paper's Table 2 / Table 8).
+
+Runs all 12 policy combinations on one workload and prints the resulting
+grid of relative throughputs, reproducing in miniature the paper's
+summary table. Useful for exploring how the three axes interact on a
+specific program mix.
+
+Run:
+    python examples/policy_tour.py [workload_name] [duration_seconds]
+"""
+
+import sys
+
+from repro import (
+    ALL_POLICY_SPECS,
+    MigrationKind,
+    PolicySpec,
+    Scope,
+    SimulationConfig,
+    ThrottleKind,
+    get_workload,
+    run_workload,
+)
+from repro.util.tables import render_grid
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "workload8"
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+    workload = get_workload(workload_name)
+    config = SimulationConfig(duration_s=duration)
+
+    print(f"Workload: {workload.label}, {duration:.3f} s per policy")
+    print(f"Running all {len(ALL_POLICY_SPECS)} policy combinations...\n")
+
+    results = {}
+    for spec in ALL_POLICY_SPECS:
+        results[spec.key] = run_workload(workload, spec, config)
+        r = results[spec.key]
+        print(
+            f"  {spec.name:42s} BIPS={r.bips:6.2f} duty={r.duty_cycle:6.1%} "
+            f"migrations={r.migrations}"
+        )
+
+    baseline = results["distributed-stop-go-none"].bips
+    cells = []
+    for scope in (Scope.GLOBAL, Scope.DISTRIBUTED):
+        row = []
+        for migration in (
+            MigrationKind.NONE, MigrationKind.COUNTER, MigrationKind.SENSOR
+        ):
+            for throttle in (ThrottleKind.STOP_GO, ThrottleKind.DVFS):
+                key = PolicySpec(throttle, scope, migration).key
+                row.append(f"{results[key].bips / baseline:.2f}X")
+        cells.append(row)
+
+    print()
+    print(
+        render_grid(
+            ["Global", "Distributed"],
+            [
+                "stop-go", "DVFS",
+                "sg+counter", "DVFS+counter",
+                "sg+sensor", "DVFS+sensor",
+            ],
+            cells,
+            corner="scope",
+            title=f"Relative throughput on {workload.name} "
+                  "(vs. distributed stop-go)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Explore the thermal substrate: floorplan, hotspots, and time constants.
+
+Uses the HotSpot-style model directly (no DTM policy) to show why the
+paper watches the two register files: run each benchmark's power profile
+to steady state on one core of the 4-core chip and report the hottest
+blocks, then demonstrate the millisecond-scale transient the stop-go and
+DVFS policies operate against.
+
+Run:
+    python examples/thermal_hotspots.py
+"""
+
+import numpy as np
+
+from repro.thermal import ThermalModel, build_cmp_floorplan
+from repro.thermal.layouts import CORE_UNITS, core_block_name
+from repro.thermal.leakage import LeakageModel
+from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
+from repro.uarch import PowerModel, generate_trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.interval_model import UNIT_ORDER
+from repro.util.tables import render_table
+
+
+def steady_hotspots(model, leakage, unit_idx, trace, n_blocks):
+    """Steady temperatures with benchmark power on core 0 only."""
+    from repro.thermal.coupling import coupled_steady_state
+
+    p = np.zeros(n_blocks)
+    p[unit_idx] = trace.unit_power.mean(axis=0)
+    temps, _ = coupled_steady_state(model, leakage, p, tolerance_c=1e-3)
+    return temps
+
+
+def main() -> None:
+    machine = MachineConfig()
+    floorplan = build_cmp_floorplan()
+    model = ThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, machine.sample_period_s)
+    leakage = LeakageModel(floorplan, PowerModel(machine).reference_leakage_w)
+    net = model.network
+    unit_idx = np.array([net.index(core_block_name(0, u)) for u in UNIT_ORDER])
+
+    print("=== Which unit limits each benchmark? ===\n")
+    rows = []
+    for name in ("gzip", "mcf", "sixtrack", "swim", "mesa", "ammp"):
+        trace = generate_trace(name, machine, duration_s=0.02)
+        temps = steady_hotspots(model, leakage, unit_idx, trace, net.n_blocks)
+        core0 = {
+            u: temps[net.index(core_block_name(0, u))] for u in CORE_UNITS
+        }
+        hottest = max(core0, key=core0.get)
+        second = max((u for u in core0 if u != hottest), key=core0.get)
+        rows.append(
+            [
+                name,
+                hottest,
+                f"{core0[hottest]:.1f}",
+                second,
+                f"{core0[second]:.1f}",
+                f"{core0[hottest] - core0[second]:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["benchmark", "critical hotspot", "T (C)",
+             "second hotspot", "T (C)", "imbalance"],
+            rows,
+        )
+    )
+    print(
+        "\nInteger programs pin the integer register file, FP programs the "
+        "FP register file\n— the imbalance column is what drives the "
+        "paper's migration decisions (Figure 4).\n"
+    )
+
+    print("=== Transient response: why milliseconds matter ===\n")
+    trace = generate_trace("gzip", machine, duration_s=0.02)
+    p = np.zeros(net.n_blocks)
+    p[unit_idx] = trace.unit_power.mean(axis=0)
+    model.initialize_steady(p * 0.3)
+    hot_block = core_block_name(0, "intreg")
+    start = model.temperature_of(hot_block)
+    samples = []
+    step_ms = 0.5
+    for k in range(20):  # 10 ms of full-power heating
+        model.step(p + leakage.power(model.temperatures[: net.n_blocks]),
+                   dt=step_ms * 1e-3)
+        samples.append((step_ms * (k + 1), model.temperature_of(hot_block)))
+    print(f"gzip steps from 30% power to full; {hot_block} heating curve:")
+    for t_ms, temp in samples[::4]:
+        bar = "#" * int((temp - start) * 3)
+        print(f"  t={t_ms:5.1f} ms  {temp:6.2f} C  {bar}")
+    tc = model.time_constants()
+    print(
+        f"\nFastest block time constants: {tc[0] * 1000:.1f} ms — the paper's "
+        "30 ms stop-go freeze\nand 10 ms migration cadence both sit on this "
+        "scale by design."
+    )
+
+    print("\n=== Die thermal map (grid-mode solver) ===\n")
+    from repro.thermal import GridThermalModel
+
+    grid = GridThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, nx=64, ny=24)
+    p_map = np.zeros(net.n_blocks)
+    for c, name in enumerate(("gzip", "mcf", "sixtrack", "swim")):
+        trace = generate_trace(name, machine, duration_s=0.02)
+        idx = np.array(
+            [net.index(core_block_name(c, u)) for u in UNIT_ORDER]
+        )
+        p_map[idx] = trace.unit_power.mean(axis=0) * 0.5
+    print("gzip | mcf | sixtrack | swim, each at 50% power:")
+    print(grid.temperature_map(p_map[: len(floorplan)]))
+
+
+if __name__ == "__main__":
+    main()

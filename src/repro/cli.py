@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro list                      # workloads, policies, benchmarks
+    python -m repro run -w workload7 -p distributed-dvfs-sensor -d 0.1
+    python -m repro compare -w workload7 -d 0.1 [-o results.json]
+    python -m repro experiment table5 [-d 0.2]
+    python -m repro trace gzip -o gzip.npz [-d 0.25]
+
+``run`` simulates one (workload, policy) pair; ``compare`` runs all 12
+taxonomy cells on one workload and prints the comparison; ``experiment``
+regenerates one of the paper's tables/figures; ``trace`` generates and
+saves a benchmark power trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.taxonomy import ALL_POLICY_SPECS, spec_by_key
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.report import comparison_report, save_results
+from repro.sim.workloads import ALL_WORKLOADS, get_workload
+from repro.uarch.benchmarks import ALL_BENCHMARKS
+from repro.uarch.tracegen import generate_trace
+from repro.uarch.trace_io import save_trace
+
+#: Experiment modules addressable from the CLI.
+EXPERIMENTS = (
+    "table1", "table5", "table6", "table7", "table8",
+    "figure3", "figure5", "figure7", "ablations", "extensions",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Techniques for Multicore Thermal Management' "
+            "(Donald & Martonosi, ISCA 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, policies and benchmarks")
+
+    run = sub.add_parser("run", help="simulate one workload under one policy")
+    run.add_argument("-w", "--workload", default="workload7")
+    run.add_argument(
+        "-p", "--policy", default="distributed-dvfs-sensor",
+        help="policy key (see 'repro list'), or 'none' for unthrottled",
+    )
+    run.add_argument("-d", "--duration", type=float, default=0.1,
+                     help="silicon seconds to simulate")
+    run.add_argument("--seed", type=int, default=None)
+
+    compare = sub.add_parser(
+        "compare", help="run all 12 policies on one workload"
+    )
+    compare.add_argument("-w", "--workload", default="workload7")
+    compare.add_argument("-d", "--duration", type=float, default=0.1)
+    compare.add_argument("-o", "--output", default=None,
+                         help="save per-run results as JSON")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("-d", "--duration", type=float, default=None,
+                            help="override the simulation horizon")
+
+    trace = sub.add_parser("trace", help="generate and save a power trace")
+    trace.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    trace.add_argument("-o", "--output", required=True)
+    trace.add_argument("-d", "--duration", type=float, default=0.25)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Workloads (paper Table 4):")
+    for w in ALL_WORKLOADS:
+        print(f"  {w.name:12s} {w.label}")
+    print("\nPolicies (paper Table 2) — use the key with 'repro run -p':")
+    for spec in ALL_POLICY_SPECS:
+        marker = "  <- baseline" if spec.is_baseline else ""
+        print(f"  {spec.key:35s} {spec.name}{marker}")
+    print("\nBenchmarks (synthetic SPEC CPU2000 profiles):")
+    print("  " + ", ".join(sorted(ALL_BENCHMARKS)))
+    return 0
+
+
+def _config(duration: float, seed: Optional[int] = None) -> SimulationConfig:
+    kwargs = {"duration_s": duration}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return SimulationConfig(**kwargs)
+
+
+def _cmd_run(args) -> int:
+    workload = get_workload(args.workload)
+    spec = None if args.policy == "none" else spec_by_key(args.policy)
+    result = run_workload(workload, spec, _config(args.duration, args.seed))
+    print(result.summary())
+    print(
+        f"  instructions={result.instructions:.3e}  "
+        f"emergencies={result.emergency_s * 1000:.2f} ms  "
+        f"transitions={result.dvfs_transitions}  trips={result.stopgo_trips}"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    workload = get_workload(args.workload)
+    config = _config(args.duration)
+    results = []
+    for spec in ALL_POLICY_SPECS:
+        result = run_workload(workload, spec, config)
+        results.append(result)
+        print(result.summary())
+    print()
+    print(
+        comparison_report(
+            results, title=f"All 12 policies on {workload.label}"
+        )
+    )
+    if args.output:
+        path = save_results(results, args.output)
+        print(f"\nresults saved to {path}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    if args.duration is not None:
+        from repro.experiments.common import default_config
+
+        config = default_config(duration_s=args.duration)
+        if args.name in ("ablations", "extensions"):
+            # These expose multiple studies; main() handles its own config,
+            # so fall through with a note.
+            print(f"(duration override ignored for {args.name}; using module default)")
+            module.main()
+        elif args.name == "table1":
+            print(module.render(module.compute()))
+        else:
+            print(module.render(module.compute(config)))
+        return 0
+    module.main()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    trace = generate_trace(args.benchmark, duration_s=args.duration)
+    path = save_trace(trace, args.output)
+    print(
+        f"{args.benchmark}: {trace.n_samples} samples, "
+        f"{trace.duration_s * 1000:.1f} ms, mean core power "
+        f"{trace.mean_core_power_w:.1f} W -> {path}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

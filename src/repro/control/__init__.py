@@ -1,0 +1,53 @@
+"""Formal control-theory substrate.
+
+The paper designs its DVFS controller with classical tools (MATLAB's
+``c2d``, root-locus stability checks). This package provides the same
+capabilities in Python:
+
+* :mod:`repro.control.transfer` — rational transfer functions in the
+  Laplace (``s``) or z domain;
+* :mod:`repro.control.c2d` — continuous-to-discrete conversion (forward
+  Euler, Tustin, zero-order hold);
+* :mod:`repro.control.stability` — pole extraction, stability criteria,
+  and root-locus sampling;
+* :mod:`repro.control.pi` — the PI design used in the paper
+  (``Kp = 0.0107``, ``Ki = 248.5``) and the discrete runtime controller
+  with output clipping and inherent anti-windup;
+* :mod:`repro.control.analysis` — step-response simulation against a
+  first-order thermal plant, settling time and overshoot metrics.
+"""
+
+from repro.control.analysis import (
+    FirstOrderThermalPlant,
+    StepResponse,
+    closed_loop_step_response,
+    settling_time,
+)
+from repro.control.c2d import c2d, discretize_pi_increments
+from repro.control.pi import (
+    PAPER_KI,
+    PAPER_KP,
+    DiscretePIController,
+    PIDesign,
+    design_paper_controller,
+)
+from repro.control.stability import is_stable, poles, root_locus
+from repro.control.transfer import TransferFunction
+
+__all__ = [
+    "PAPER_KI",
+    "PAPER_KP",
+    "DiscretePIController",
+    "FirstOrderThermalPlant",
+    "PIDesign",
+    "StepResponse",
+    "TransferFunction",
+    "c2d",
+    "closed_loop_step_response",
+    "design_paper_controller",
+    "discretize_pi_increments",
+    "is_stable",
+    "poles",
+    "root_locus",
+    "settling_time",
+]

@@ -1,0 +1,122 @@
+"""Closed-loop step-response analysis against a first-order thermal plant.
+
+The paper reports MATLAB tests "similar to [Skadron et al. HPCA'02]" to
+determine settling time and stability for typical thermal fluctuations.
+This module provides the equivalent: a lumped first-order thermal plant
+(power step -> exponential temperature rise) simulated in closed loop with
+the discrete PI controller, plus settling-time and overshoot metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.pi import DiscretePIController, PIDesign
+
+
+@dataclass(frozen=True)
+class FirstOrderThermalPlant:
+    """Lumped thermal plant: one RC pole from actuator input to hotspot.
+
+    ``gain`` is the steady-state temperature rise above ambient at full
+    power (frequency scale 1.0 with cubic power scaling), ``tau`` the
+    thermal time constant in seconds, and ``ambient`` the baseline
+    temperature. The plant maps a frequency scale factor ``u`` to an
+    equilibrium temperature ``ambient + gain * u**3`` and relaxes toward
+    it exponentially.
+    """
+
+    gain: float
+    tau: float
+    ambient: float = 45.0
+    power_exponent: float = 3.0
+
+    def equilibrium(self, scale: float) -> float:
+        """Steady-state temperature at a constant frequency scale."""
+        return self.ambient + self.gain * scale ** self.power_exponent
+
+    def advance(self, temperature: float, scale: float, dt: float) -> float:
+        """One explicit step of the first-order relaxation."""
+        target = self.equilibrium(scale)
+        alpha = 1.0 - np.exp(-dt / self.tau)
+        return temperature + (target - temperature) * alpha
+
+
+@dataclass
+class StepResponse:
+    """Time series produced by :func:`closed_loop_step_response`."""
+
+    times: np.ndarray
+    temperatures: np.ndarray
+    outputs: np.ndarray
+    setpoint: float
+
+    @property
+    def final_temperature(self) -> float:
+        """Temperature at the end of the simulated horizon."""
+        return float(self.temperatures[-1])
+
+    @property
+    def max_temperature(self) -> float:
+        """Peak temperature over the horizon."""
+        return float(self.temperatures.max())
+
+    @property
+    def overshoot(self) -> float:
+        """Degrees by which the response exceeded the setpoint (>= 0)."""
+        return max(0.0, self.max_temperature - self.setpoint)
+
+
+def closed_loop_step_response(
+    design: PIDesign,
+    plant: FirstOrderThermalPlant,
+    setpoint: float,
+    horizon: float,
+    initial_temperature: float = None,
+) -> StepResponse:
+    """Simulate the PI controller regulating the plant from a cold start.
+
+    The scenario mirrors a thermal step: the plant starts at ambient (or
+    ``initial_temperature``), the controller starts at full output, and a
+    hot workload (equilibrium above the setpoint at full speed) begins
+    executing at t = 0.
+    """
+    if initial_temperature is None:
+        initial_temperature = plant.ambient
+    n = max(2, int(round(horizon / design.dt)))
+    controller = DiscretePIController(design, setpoint=setpoint)
+    times = np.arange(n) * design.dt
+    temperatures = np.empty(n)
+    outputs = np.empty(n)
+    temperature = float(initial_temperature)
+    for i in range(n):
+        scale = controller.step(temperature, time=float(times[i]))
+        temperature = plant.advance(temperature, scale, design.dt)
+        temperatures[i] = temperature
+        outputs[i] = scale
+    return StepResponse(
+        times=times, temperatures=temperatures, outputs=outputs, setpoint=setpoint
+    )
+
+
+def settling_time(
+    response: StepResponse, band: float = 0.5
+) -> float:
+    """Time after which the temperature stays within ``band`` degrees of
+    the setpoint (or of its final value if the setpoint is unreachable).
+
+    Returns ``inf`` if the response never settles within the horizon.
+    """
+    reference = response.setpoint
+    if abs(response.final_temperature - response.setpoint) > band:
+        reference = response.final_temperature
+    inside = np.abs(response.temperatures - reference) <= band
+    if not inside[-1]:
+        return float("inf")
+    # Index of the last sample outside the band.
+    outside = np.flatnonzero(~inside)
+    if outside.size == 0:
+        return 0.0
+    return float(response.times[outside[-1] + 1])

@@ -1,0 +1,156 @@
+"""Continuous-to-discrete conversion (the role MATLAB's ``c2d`` plays in
+the paper).
+
+Three methods are provided:
+
+* ``"euler"`` — forward Euler, the substitution ``s -> (z - 1) / Ts``.
+  Applied to the paper's PI controller at the trace sample period this
+  reproduces the published discrete control law exactly (coefficients
+  0.0107 and 0.003796/0.003797 — the paper quotes "28 us" but the actual
+  interval is 100,000 cycles at 3.6 GHz = 27.78 us).
+* ``"tustin"`` — the bilinear transform ``s -> (2/Ts) * (z-1)/(z+1)``.
+* ``"zoh"`` — exact zero-order-hold equivalence via the matrix
+  exponential of the controllable-canonical state-space realization.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.control.transfer import CONTINUOUS, DISCRETE, TransferFunction
+
+
+def _substitute(tf: TransferFunction, sub_num: np.ndarray, sub_den: np.ndarray,
+                dt: float) -> TransferFunction:
+    """Substitute ``s = sub_num(z)/sub_den(z)`` into a rational function.
+
+    For ``G(s) = sum(a_i s^i) / sum(b_i s^i)`` of degree ``n`` in the
+    denominator, multiply through by ``sub_den**n`` to clear fractions.
+    """
+    n = max(tf.num.size, tf.den.size) - 1
+
+    def transform(coeffs: np.ndarray) -> np.ndarray:
+        # coeffs are descending in s: coeffs[0] * s^(m) + ...
+        m = coeffs.size - 1
+        result = np.zeros(1)
+        for i, c in enumerate(coeffs):
+            power = m - i  # exponent of s for this coefficient
+            term = np.array([c])
+            for _ in range(power):
+                term = np.polymul(term, sub_num)
+            for _ in range(n - power):
+                term = np.polymul(term, sub_den)
+            result = np.polyadd(result, term)
+        return result
+
+    return TransferFunction(transform(tf.num), transform(tf.den), DISCRETE, dt)
+
+
+def _state_space(tf: TransferFunction) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Controllable-canonical state-space realization of a proper TF.
+
+    Returns ``(A, B, C, D)`` with ``G(s) = C (sI - A)^-1 B + D``.
+    """
+    num = tf.num
+    den = tf.den  # monic by construction
+    n = den.size - 1
+    if num.size > den.size:
+        raise ValueError("transfer function must be proper for ZOH conversion")
+    # Pad numerator to the same length as the denominator.
+    num_padded = np.concatenate([np.zeros(den.size - num.size), num])
+    d = num_padded[0]
+    # Residual numerator after removing the direct-feedthrough term.
+    num_res = num_padded[1:] - d * den[1:]
+    # Companion form: top row carries -den coefficients.
+    a = np.zeros((n, n))
+    a[0, :] = -den[1:]
+    if n > 1:
+        a[1:, :-1] = np.eye(n - 1)
+    b = np.zeros((n, 1))
+    b[0, 0] = 1.0
+    c = num_res.reshape(1, n)
+    return a, b, c, float(d)
+
+
+def c2d(tf: TransferFunction, dt: float, method: str = "euler") -> TransferFunction:
+    """Convert a continuous transfer function to discrete time.
+
+    Parameters
+    ----------
+    tf:
+        A continuous-domain :class:`TransferFunction`.
+    dt:
+        Sample period in seconds.
+    method:
+        ``"euler"``, ``"tustin"``, or ``"zoh"``.
+    """
+    if tf.domain != CONTINUOUS:
+        raise ValueError("c2d expects a continuous-domain transfer function")
+    if not dt > 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+
+    if method == "euler":
+        return _substitute(tf, np.array([1.0, -1.0]) / dt, np.array([1.0]), dt)
+    if method == "tustin":
+        return _substitute(
+            tf, np.array([2.0, -2.0]) / dt, np.array([1.0, 1.0]), dt
+        )
+    if method == "zoh":
+        return _zoh(tf, dt)
+    raise ValueError(f"unknown c2d method {method!r}")
+
+
+def _zoh(tf: TransferFunction, dt: float) -> TransferFunction:
+    """Exact ZOH discretization via the augmented matrix exponential."""
+    a, b, c, d = _state_space(tf)
+    n = a.shape[0]
+    if n == 0:
+        return TransferFunction(tf.num.copy(), tf.den.copy(), DISCRETE, dt)
+    # Van Loan's method: exp([[A, B], [0, 0]] * dt) packs Ad and Bd.
+    block = np.zeros((n + 1, n + 1))
+    block[:n, :n] = a * dt
+    block[:n, n:] = b * dt
+    exp_block = expm(block)
+    ad = exp_block[:n, :n]
+    bd = exp_block[:n, n:]
+    # Convert (Ad, Bd, C, D) back to a transfer function:
+    # G(z) = C adj(zI - Ad) Bd / det(zI - Ad) + D
+    den = np.poly(ad)
+    # Numerator via the identity num(z) = det(zI - Ad + Bd C) - det(zI - Ad)
+    # (valid for single-input single-output systems), plus D * den.
+    num = np.poly(ad - bd @ c) - den
+    num = np.polyadd(num, d * den)
+    return TransferFunction(num, den, DISCRETE, dt)
+
+
+def discretize_pi_increments(
+    kp: float, ki: float, dt: float, method: str = "euler"
+) -> Tuple[float, float]:
+    """Discrete incremental-form coefficients of the PI controller.
+
+    Returns ``(b0, b1)`` such that the update law is::
+
+        u[n] = u[n-1] + b0 * e[n] + b1 * e[n-1]
+
+    For forward Euler: ``b0 = Kp`` and ``b1 = Ki*dt - Kp``. With the
+    paper's sign convention (error = measured - target, output = frequency
+    scale), the applied law negates both terms; see
+    :class:`repro.control.pi.DiscretePIController`.
+    """
+    tf = c2d(
+        TransferFunction([kp, ki], [1.0, 0.0]),
+        dt,
+        method,
+    )
+    num = tf.num
+    den = tf.den
+    # Expect a first-order system with den = [1, -1] (the integrator pole
+    # maps to z = 1 under all three methods).
+    if den.size != 2 or not np.isclose(den[1], -1.0, atol=1e-9):
+        raise ValueError(f"unexpected discrete PI denominator: {den}")
+    if num.size == 1:
+        return float(num[0]), 0.0
+    return float(num[0]), float(num[1])

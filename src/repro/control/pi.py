@@ -1,0 +1,181 @@
+"""The paper's PI controller: continuous design and discrete runtime.
+
+Design side
+-----------
+The paper uses ``G(s) = Kp + Ki/s`` with ``Kp = 0.0107`` and
+``Ki = 248.5``, chosen (via MATLAB experiments in the style of Skadron et
+al., HPCA'02) for smooth transitions — the proportional constant is two
+orders of magnitude below that earlier work.
+
+Runtime side
+------------
+Discretized at the trace sample period (100,000 cycles at 3.6 GHz =
+27.78 us, quoted as "28 us" in the paper) with forward Euler, the law is::
+
+    u[n] = u[n-1] - 0.0107 * e[n] + 0.003797 * e[n-1]
+
+where ``e[n] = measured_temperature - target`` and ``u`` is the frequency
+scale factor, clipped to ``[0.2, 1.0]``. Because ``u[n]`` depends only on
+the *clipped* previous output, clipping doubles as anti-windup: no hidden
+integral state can accumulate while the actuator is saturated (Section 4.2
+of the paper makes exactly this observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.control.c2d import discretize_pi_increments
+from repro.control.transfer import TransferFunction, pi_transfer_function
+
+#: Proportional gain used in all of the paper's experiments.
+PAPER_KP = 0.0107
+
+#: Integral gain used in all of the paper's experiments.
+PAPER_KI = 248.5
+
+#: Lower clip of the frequency scale factor (20% of nominal = 720 MHz).
+MIN_FREQUENCY_SCALE = 0.2
+
+#: Upper clip of the frequency scale factor (nominal frequency).
+MAX_FREQUENCY_SCALE = 1.0
+
+
+@dataclass(frozen=True)
+class PIDesign:
+    """A continuous PI design plus its discretization.
+
+    Attributes
+    ----------
+    kp, ki:
+        Continuous-time proportional and integral gains.
+    dt:
+        Sample period of the discrete implementation.
+    b0, b1:
+        Incremental-form coefficients: ``u[n] = u[n-1] + b0*e[n] + b1*e[n-1]``
+        for the standard sign convention (``e = target - measured``).
+    """
+
+    kp: float
+    ki: float
+    dt: float
+    b0: float
+    b1: float
+
+    def transfer_function(self) -> TransferFunction:
+        """The continuous ``Kp + Ki/s`` transfer function."""
+        return pi_transfer_function(self.kp, self.ki)
+
+
+def design_pi(kp: float, ki: float, dt: float, method: str = "euler") -> PIDesign:
+    """Build a :class:`PIDesign` by discretizing ``Kp + Ki/s`` at ``dt``."""
+    if not dt > 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    b0, b1 = discretize_pi_increments(kp, ki, dt, method)
+    return PIDesign(kp=kp, ki=ki, dt=dt, b0=b0, b1=b1)
+
+
+def design_paper_controller(dt: float) -> PIDesign:
+    """The paper's controller (``Kp = 0.0107``, ``Ki = 248.5``) at ``dt``."""
+    return design_pi(PAPER_KP, PAPER_KI, dt)
+
+
+@dataclass
+class ControllerTrace:
+    """Optional per-step history recorded by a controller.
+
+    The outer migration loop consumes this feedback: the average output
+    (frequency scale) over an observation window is used to time-scale
+    measured thermal trends (Section 6.3).
+    """
+
+    times: List[float] = field(default_factory=list)
+    errors: List[float] = field(default_factory=list)
+    outputs: List[float] = field(default_factory=list)
+
+
+class DiscretePIController:
+    """Discrete incremental-form PI controller with output clipping.
+
+    The controller follows the paper's sign convention: the *error* passed
+    to :meth:`step` is ``measured - target`` (positive when too hot), and
+    the output is a frequency scale factor that decreases as the error
+    grows. Output clipping to ``[output_min, output_max]`` provides
+    anti-windup for free because the recurrence stores only the clipped
+    output.
+    """
+
+    def __init__(
+        self,
+        design: PIDesign,
+        setpoint: float,
+        output_min: float = MIN_FREQUENCY_SCALE,
+        output_max: float = MAX_FREQUENCY_SCALE,
+        initial_output: Optional[float] = None,
+        record: bool = False,
+    ):
+        if not output_min < output_max:
+            raise ValueError(
+                f"output_min ({output_min}) must be < output_max ({output_max})"
+            )
+        self.design = design
+        self.setpoint = float(setpoint)
+        self.output_min = float(output_min)
+        self.output_max = float(output_max)
+        self.output = float(output_max if initial_output is None else initial_output)
+        self._previous_error = 0.0
+        self._steps = 0
+        self._output_sum = 0.0
+        self.trace: Optional[ControllerTrace] = ControllerTrace() if record else None
+
+    def step(self, measured: float, time: float = 0.0) -> float:
+        """Advance one sample period and return the new (clipped) output.
+
+        Parameters
+        ----------
+        measured:
+            The temperature seen by this controller (for a per-core
+            controller, the hotter of the core's two sensors; for a global
+            controller, the hottest sensor on the chip).
+        time:
+            Simulation time, recorded in the optional trace.
+        """
+        error = measured - self.setpoint
+        # Incremental form with the paper's negated sign convention:
+        # u[n] = u[n-1] - b0*e[n] - b1*e[n-1].
+        raw = self.output - self.design.b0 * error - self.design.b1 * self._previous_error
+        self.output = min(self.output_max, max(self.output_min, raw))
+        self._previous_error = error
+        self._steps += 1
+        self._output_sum += self.output
+        if self.trace is not None:
+            self.trace.times.append(time)
+            self.trace.errors.append(error)
+            self.trace.outputs.append(self.output)
+        return self.output
+
+    def reset(self, initial_output: Optional[float] = None) -> None:
+        """Reset controller state (used when a core's thread is swapped)."""
+        self.output = float(
+            self.output_max if initial_output is None else initial_output
+        )
+        self._previous_error = 0.0
+        self._steps = 0
+        self._output_sum = 0.0
+
+    @property
+    def average_output(self) -> float:
+        """Mean output since construction or the last window reset.
+
+        This is the quantity the OS reads back when time-scaling thermal
+        trends for sensor-based migration.
+        """
+        if self._steps == 0:
+            return self.output
+        return self._output_sum / self._steps
+
+    def reset_window(self) -> None:
+        """Clear the averaging window without disturbing control state."""
+        self._steps = 0
+        self._output_sum = 0.0

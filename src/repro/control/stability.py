@@ -1,0 +1,109 @@
+"""Pole extraction, stability criteria, and root-locus sampling.
+
+The paper verifies its PI design with "a root locus plot with the
+stability criterion that all the poles ... must lie to the left of the
+y-axis in the Laplace space". These functions reproduce that check.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.control.transfer import CONTINUOUS, DISCRETE, TransferFunction
+
+
+def poles(tf: TransferFunction) -> np.ndarray:
+    """The poles of a transfer function (roots of its denominator)."""
+    return tf.poles()
+
+
+def is_stable(tf: TransferFunction, tolerance: float = 0.0) -> bool:
+    """Whether all poles satisfy the domain's stability criterion.
+
+    Continuous systems require every pole strictly in the left half plane
+    (``Re < -tolerance``); discrete systems require every pole strictly
+    inside the unit circle (``|z| < 1 - tolerance``). Systems with no
+    poles (pure gains) are trivially stable.
+    """
+    p = tf.poles()
+    if p.size == 0:
+        return True
+    if tf.domain == CONTINUOUS:
+        return bool(np.all(p.real < -tolerance))
+    if tf.domain == DISCRETE:
+        return bool(np.all(np.abs(p) < 1.0 - tolerance))
+    raise ValueError(f"unknown domain {tf.domain!r}")
+
+
+def is_marginally_stable(tf: TransferFunction, atol: float = 1e-9) -> bool:
+    """Whether the system is stable apart from simple poles on the boundary.
+
+    A PI controller in open loop has a pole at the origin (continuous) or
+    at ``z = 1`` (discrete); such systems are marginally stable rather
+    than unstable.
+    """
+    p = tf.poles()
+    if p.size == 0:
+        return True
+    if tf.domain == CONTINUOUS:
+        boundary = np.isclose(p.real, 0.0, atol=atol)
+        interior = p.real < 0
+    else:
+        mag = np.abs(p)
+        boundary = np.isclose(mag, 1.0, atol=atol)
+        interior = mag < 1.0
+    if not np.all(boundary | interior):
+        return False
+    # Boundary poles must be simple (no repeats).
+    boundary_poles = p[boundary]
+    for i, bp in enumerate(boundary_poles):
+        for other in boundary_poles[i + 1:]:
+            if abs(bp - other) < atol:
+                return False
+    return True
+
+
+def root_locus(
+    open_loop: TransferFunction, gains: Sequence[float]
+) -> np.ndarray:
+    """Sample the root locus of ``1 + k * G(x) = 0`` over ``gains``.
+
+    Returns an array of shape ``(len(gains), n_poles)`` holding the
+    closed-loop pole locations for each gain, sorted by real part so that
+    branches are roughly contiguous.
+    """
+    gains = np.asarray(list(gains), dtype=float)
+    if gains.size == 0:
+        raise ValueError("at least one gain is required")
+    n = max(open_loop.den.size, open_loop.num.size) - 1
+    out = np.full((gains.size, n), np.nan, dtype=complex)
+    num = np.concatenate([np.zeros(open_loop.den.size - open_loop.num.size),
+                          open_loop.num])
+    for i, k in enumerate(gains):
+        char = np.polyadd(open_loop.den, k * num)
+        roots = np.roots(char)
+        roots = np.sort_complex(roots)
+        out[i, :roots.size] = roots
+    return out
+
+
+def stability_margin_gain(
+    open_loop: TransferFunction,
+    gains: Sequence[float],
+) -> float:
+    """The largest sampled gain for which the closed loop remains stable.
+
+    Scans ``gains`` in increasing order and returns the last value whose
+    closed-loop poles all satisfy the stability criterion; returns 0.0 if
+    even the smallest sampled gain is unstable.
+    """
+    stable_up_to = 0.0
+    for k in sorted(gains):
+        closed = (open_loop * float(k)).feedback()
+        if is_stable(closed, tolerance=0.0) or is_marginally_stable(closed):
+            stable_up_to = float(k)
+        else:
+            break
+    return stable_up_to

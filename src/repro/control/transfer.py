@@ -1,0 +1,157 @@
+"""Rational transfer functions in the continuous (s) or discrete (z) domain.
+
+A :class:`TransferFunction` is a ratio of two polynomials with real
+coefficients, stored in descending powers (numpy's polynomial convention).
+It supports the algebra needed for loop analysis — series/parallel
+composition and the standard negative-feedback closure — plus pole/zero
+extraction and pointwise evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+Number = Union[int, float, complex]
+
+#: Valid domains for a transfer function.
+CONTINUOUS = "s"
+DISCRETE = "z"
+
+
+def _trim(coeffs: np.ndarray) -> np.ndarray:
+    """Strip leading zero coefficients, keeping at least one coefficient."""
+    nz = np.flatnonzero(np.abs(coeffs) > 0)
+    if nz.size == 0:
+        return coeffs[-1:]
+    return coeffs[nz[0]:]
+
+
+class TransferFunction:
+    """A rational transfer function ``num / den``.
+
+    Parameters
+    ----------
+    num, den:
+        Polynomial coefficients in descending powers of the domain
+        variable.
+    domain:
+        ``"s"`` for continuous time, ``"z"`` for discrete time.
+    dt:
+        Sample period; required when ``domain == "z"``.
+    """
+
+    def __init__(
+        self,
+        num: Sequence[float],
+        den: Sequence[float],
+        domain: str = CONTINUOUS,
+        dt: float = 0.0,
+    ):
+        if domain not in (CONTINUOUS, DISCRETE):
+            raise ValueError(f"domain must be 's' or 'z', got {domain!r}")
+        if domain == DISCRETE and not dt > 0:
+            raise ValueError("discrete transfer functions require dt > 0")
+        self.num = _trim(np.asarray(num, dtype=float))
+        self.den = _trim(np.asarray(den, dtype=float))
+        if not np.any(self.den):
+            raise ValueError("denominator must not be identically zero")
+        self.domain = domain
+        self.dt = float(dt) if domain == DISCRETE else 0.0
+        # Normalize so the leading denominator coefficient is 1 (monic),
+        # which makes comparisons and pole extraction well conditioned.
+        lead = self.den[0]
+        self.num = self.num / lead
+        self.den = self.den / lead
+
+    # -- algebra ----------------------------------------------------------
+
+    def _check_compatible(self, other: "TransferFunction") -> None:
+        if self.domain != other.domain:
+            raise ValueError("cannot combine s-domain and z-domain systems")
+        if self.domain == DISCRETE and not np.isclose(self.dt, other.dt):
+            raise ValueError("cannot combine systems with different sample periods")
+
+    def __mul__(self, other: Union["TransferFunction", Number]) -> "TransferFunction":
+        if isinstance(other, (int, float)):
+            return TransferFunction(self.num * other, self.den, self.domain, self.dt)
+        self._check_compatible(other)
+        return TransferFunction(
+            np.polymul(self.num, other.num),
+            np.polymul(self.den, other.den),
+            self.domain,
+            self.dt,
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Union["TransferFunction", Number]) -> "TransferFunction":
+        if isinstance(other, (int, float)):
+            other = TransferFunction([float(other)], [1.0], self.domain, self.dt)
+        self._check_compatible(other)
+        num = np.polyadd(
+            np.polymul(self.num, other.den), np.polymul(other.num, self.den)
+        )
+        den = np.polymul(self.den, other.den)
+        return TransferFunction(num, den, self.domain, self.dt)
+
+    __radd__ = __add__
+
+    def feedback(self, other: "TransferFunction" = None) -> "TransferFunction":
+        """Close a negative-feedback loop around this system.
+
+        With unity feedback (``other is None``) the result is
+        ``G / (1 + G)``; otherwise ``G / (1 + G*H)``.
+        """
+        if other is None:
+            other = TransferFunction([1.0], [1.0], self.domain, self.dt)
+        self._check_compatible(other)
+        num = np.polymul(self.num, other.den)
+        den = np.polyadd(
+            np.polymul(self.den, other.den), np.polymul(self.num, other.num)
+        )
+        return TransferFunction(num, den, self.domain, self.dt)
+
+    # -- analysis ----------------------------------------------------------
+
+    def poles(self) -> np.ndarray:
+        """Roots of the denominator polynomial."""
+        if self.den.size < 2:
+            return np.array([], dtype=complex)
+        return np.roots(self.den)
+
+    def zeros(self) -> np.ndarray:
+        """Roots of the numerator polynomial."""
+        if self.num.size < 2:
+            return np.array([], dtype=complex)
+        return np.roots(self.num)
+
+    def __call__(self, point: Number) -> complex:
+        """Evaluate the transfer function at a complex point."""
+        return complex(np.polyval(self.num, point) / np.polyval(self.den, point))
+
+    def dc_gain(self) -> float:
+        """Gain at zero frequency (``s = 0`` or ``z = 1``)."""
+        at = 0.0 if self.domain == CONTINUOUS else 1.0
+        return float(np.real(self(at)))
+
+    def __repr__(self) -> str:
+        return (
+            f"TransferFunction(num={self.num.tolist()}, den={self.den.tolist()}, "
+            f"domain={self.domain!r}"
+            + (f", dt={self.dt}" if self.domain == DISCRETE else "")
+            + ")"
+        )
+
+
+def pi_transfer_function(kp: float, ki: float) -> TransferFunction:
+    """The continuous PI controller ``G(s) = Kp + Ki / s`` from the paper."""
+    return TransferFunction([kp, ki], [1.0, 0.0], CONTINUOUS)
+
+
+def first_order_plant(gain: float, tau: float) -> TransferFunction:
+    """A first-order lag ``K / (tau*s + 1)`` (thermal-plant approximation)."""
+    if not tau > 0:
+        raise ValueError(f"tau must be positive, got {tau}")
+    return TransferFunction([gain], [tau, 1.0], CONTINUOUS)

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: the DTM policy space.
+
+Three orthogonal axes (Table 2 of the paper):
+
+1. **Throttling mechanism** — :class:`repro.core.stopgo.StopGoPolicy`
+   (freeze on trip) vs. :class:`repro.core.dvfs.DVFSPolicy` (PI-controlled
+   frequency/voltage scaling);
+2. **Scope** — each policy runs either globally (one decision from the
+   hottest sensor anywhere) or distributed (per-core decisions);
+3. **Migration** — none, :class:`repro.core.counter_migration.
+   CounterBasedMigration`, or :class:`repro.core.sensor_migration.
+   SensorBasedMigration`, both executing the Figure 4 assignment
+   algorithm on top of the inner throttling loop (the paper's two-loop
+   structure, Figure 1).
+
+:mod:`repro.core.taxonomy` enumerates and constructs all 12 combinations.
+"""
+
+from repro.core.counter_migration import CounterBasedMigration
+from repro.core.dvfs import DVFSPolicy
+from repro.core.migration import MigrationContext, MigrationPolicy, figure4_assignment
+from repro.core.policy import ThrottlePolicy
+from repro.core.sensor_migration import SensorBasedMigration
+from repro.core.stopgo import StopGoPolicy
+from repro.core.taxonomy import (
+    ALL_POLICY_SPECS,
+    MigrationKind,
+    PolicySpec,
+    Scope,
+    ThrottleKind,
+    build_policy,
+)
+
+__all__ = [
+    "ALL_POLICY_SPECS",
+    "CounterBasedMigration",
+    "DVFSPolicy",
+    "MigrationContext",
+    "MigrationKind",
+    "MigrationPolicy",
+    "PolicySpec",
+    "Scope",
+    "SensorBasedMigration",
+    "StopGoPolicy",
+    "ThrottleKind",
+    "ThrottlePolicy",
+    "build_policy",
+    "figure4_assignment",
+]

@@ -1,0 +1,45 @@
+"""Counter-based migration (Section 6.1).
+
+Thread intensity on a hotspot unit is estimated from hardware performance
+counters: register-file accesses per *adjusted* cycle (the OS records the
+frequency scaling factors seen by each run and normalises with them, "used
+to scale the power estimations from performance counters by a cubic
+relation"). The estimate is the same for every core — counters know the
+thread, not the die position — which is exactly the approximation the
+sensor-based mechanism later refines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.migration import MigrationContext, MigrationPolicy
+from repro.osmodel.timer import DEFAULT_MIGRATION_PERIOD_S
+
+#: Exponent of the power-vs-frequency relation used for normalisation.
+CUBIC = 3.0
+
+
+class CounterBasedMigration(MigrationPolicy):
+    """Figure 4 matching with performance-counter intensities."""
+
+    kind = "counter"
+
+    def __init__(self, min_interval_s: float = DEFAULT_MIGRATION_PERIOD_S):
+        super().__init__(min_interval_s)
+
+    def propose(self, ctx: MigrationContext) -> Optional[List[int]]:
+        """Greedy reassignment from counter-derived intensities."""
+        scheduler = ctx.scheduler
+
+        def intensity(pid: int, core: int, unit: str) -> float:
+            # Counters are thread properties: core-independent.
+            return scheduler.process(pid).counters.intensity_for(unit)
+
+        # Until threads have accumulated any counter history there is no
+        # basis for a decision.
+        if all(
+            p.counters.adjusted_cycles == 0 for p in scheduler.processes
+        ):
+            return None
+        return self.matched_assignment(ctx, intensity)

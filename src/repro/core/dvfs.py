@@ -1,0 +1,147 @@
+"""PI-controlled DVFS throttling (Section 4 of the paper).
+
+Each controlled domain (one per core when distributed, one for the whole
+chip when global) runs the paper's discrete PI law at the trace sample
+period, regulating the domain's hottest monitored sensor toward a setpoint
+just below the 84.2 C emergency threshold. Outputs are clipped to
+[0.2, 1.0]; the actuator-side constraints (10 us transition penalty, 2%
+minimum transition) are enforced by :class:`repro.core.dvfs.DVFSActuator`,
+which the engine interposes between policy output and the modeled silicon.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.control.pi import (
+    MAX_FREQUENCY_SCALE,
+    MIN_FREQUENCY_SCALE,
+    DiscretePIController,
+    PIDesign,
+    design_paper_controller,
+)
+from repro.core.policy import DEFAULT_THRESHOLD_C, SensorReadings, ThrottlePolicy
+
+#: Setpoint margin below the threshold ("slightly below", Section 2.3).
+DEFAULT_SETPOINT_MARGIN_C = 2.0
+
+
+class DVFSPolicy(ThrottlePolicy):
+    """Formal closed-loop DVFS, global or distributed.
+
+    Parameters
+    ----------
+    n_cores:
+        Number of cores.
+    dt:
+        Control period (the trace sample period).
+    scope:
+        ``"distributed"``: one PI controller per core; ``"global"``: one
+        controller fed the hottest sensor anywhere, output applied to all.
+    design:
+        PI design; defaults to the paper's constants at ``dt``.
+    threshold_c, setpoint_margin_c:
+        Emergency threshold and setpoint placement below it.
+    """
+
+    kind = "dvfs"
+
+    def __init__(
+        self,
+        n_cores: int,
+        dt: float,
+        scope: str = "distributed",
+        design: Optional[PIDesign] = None,
+        threshold_c: float = DEFAULT_THRESHOLD_C,
+        setpoint_margin_c: float = DEFAULT_SETPOINT_MARGIN_C,
+    ):
+        super().__init__(n_cores, threshold_c)
+        if scope not in ("global", "distributed"):
+            raise ValueError(f"scope must be 'global' or 'distributed': {scope!r}")
+        if not setpoint_margin_c >= 0:
+            raise ValueError(f"setpoint_margin_c must be >= 0: {setpoint_margin_c}")
+        self.scope = scope
+        self.design = design or design_paper_controller(dt)
+        self.setpoint_c = self.threshold_c - setpoint_margin_c
+        n_controllers = n_cores if scope == "distributed" else 1
+        self.controllers: List[DiscretePIController] = [
+            DiscretePIController(self.design, setpoint=self.setpoint_c)
+            for _ in range(n_controllers)
+        ]
+
+    def controller_for(self, core: int) -> DiscretePIController:
+        """The controller governing ``core``."""
+        return self.controllers[core if self.scope == "distributed" else 0]
+
+    def scales(self, time_s: float, readings: SensorReadings) -> List[float]:
+        """Advance each controller one period and return per-core scales.
+
+        "Since an individual controller governs an entire core or
+        processor, it typically selects the hottest of the input
+        temperatures" (Section 4.1).
+        """
+        self._check_readings(readings)
+        if self.scope == "distributed":
+            return [
+                self.controllers[core].step(self.hottest(readings[core]), time_s)
+                for core in range(self.n_cores)
+            ]
+        hottest_anywhere = max(self.hottest(r) for r in readings)
+        scale = self.controllers[0].step(hottest_anywhere, time_s)
+        return [scale] * self.n_cores
+
+    def average_scale(self, core: int) -> float:
+        """Mean PI output over the current feedback window."""
+        return self.controller_for(core).average_output
+
+    def reset_window(self, core: int) -> None:
+        """Restart the feedback-averaging window for ``core``."""
+        self.controller_for(core).reset_window()
+
+    def on_migration(self, cores: Sequence[int], time_s: float) -> None:
+        """Migration flushes the departed thread's feedback window."""
+        for core in cores:
+            self.reset_window(core)
+
+
+class DVFSActuator:
+    """Physical voltage/frequency actuator for one core.
+
+    Enforces the Table 3 constraints: a requested change smaller than 2%
+    of the scale range is ignored (the PLL is not re-locked for noise),
+    and every accepted change stalls the core for the 10 us transition
+    penalty. Stop-go's 0.0 "scale" bypasses the actuator — clock gating is
+    not a PLL transition.
+    """
+
+    def __init__(
+        self,
+        transition_penalty_s: float = 10e-6,
+        min_transition: float = 0.02,
+        initial_scale: float = MAX_FREQUENCY_SCALE,
+    ):
+        if not transition_penalty_s >= 0:
+            raise ValueError(f"transition_penalty_s must be >= 0")
+        if not 0 <= min_transition < 1:
+            raise ValueError(f"min_transition must be in [0,1): {min_transition}")
+        self.transition_penalty_s = float(transition_penalty_s)
+        self.min_transition_abs = min_transition * (
+            MAX_FREQUENCY_SCALE - MIN_FREQUENCY_SCALE
+        )
+        self.current_scale = float(initial_scale)
+        self.transitions = 0
+
+    def request(self, scale: float) -> float:
+        """Apply a requested scale; returns the stall time incurred (s).
+
+        The new operating point takes effect immediately after the stall;
+        the caller accounts the stall against useful work in the current
+        step.
+        """
+        if not 0.0 < scale <= MAX_FREQUENCY_SCALE:
+            raise ValueError(f"scale must be in (0, 1]: {scale}")
+        if abs(scale - self.current_scale) < self.min_transition_abs:
+            return 0.0
+        self.current_scale = scale
+        self.transitions += 1
+        return self.transition_penalty_s

@@ -1,0 +1,198 @@
+"""Migration-policy framework and the Figure 4 assignment algorithm.
+
+Both of the paper's migration mechanisms share the same OS-level decision
+algorithm (Figure 4); they differ only in how a thread's *intensity* on a
+core's critical hotspot is estimated (performance counters vs. the
+thread-core thermal table). The algorithm:
+
+1. compute each core's *hotspot imbalance* — critical-hotspot temperature
+   minus the core's second-hottest distinct hotspot;
+2. visit cores in decreasing imbalance (most in need first);
+3. greedily assign each core the remaining process least intense on that
+   core's critical hotspot;
+4. migrate only where the assignment differs (a core may be assigned its
+   current process, in which case "a migration is not done"); the result
+   can be "as simple as a single swap, or as complex as a four-way
+   rotation".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.osmodel.scheduler import Scheduler
+from repro.osmodel.thermal_table import ThreadCoreThermalTable
+from repro.osmodel.timer import DEFAULT_MIGRATION_PERIOD_S, RateLimiter
+
+
+@dataclass
+class MigrationContext:
+    """Everything the OS sees when making a migration decision.
+
+    Attributes
+    ----------
+    time_s:
+        Decision time.
+    scheduler:
+        Current process-to-core mapping (and the processes' counters).
+    readings:
+        Per-core dict of hotspot unit -> sensor temperature.
+    avg_scales:
+        Per-core average effective scale since the last decision window
+        (PI feedback for DVFS, duty fraction for stop-go).
+    thermal_table:
+        The OS thread-core thermal table (sensor-based policies only).
+    rebalance_urgent:
+        True when the inner loop is in distress (a core is frozen by
+        stop-go): the matcher then accepts rotations even without a
+        predicted intensity improvement, because moving a stalled thread
+        to any cooler core recovers throughput.
+    """
+
+    time_s: float
+    scheduler: Scheduler
+    readings: List[Dict[str, float]]
+    avg_scales: List[float]
+    thermal_table: Optional[ThreadCoreThermalTable] = None
+    rebalance_urgent: bool = False
+
+
+def hotspot_imbalance(reading: Dict[str, float]) -> float:
+    """Critical-hotspot temperature minus the second-hottest hotspot.
+
+    With a single monitored hotspot the imbalance is defined as 0.
+    """
+    if not reading:
+        raise ValueError("empty sensor reading")
+    temps = sorted(reading.values(), reverse=True)
+    if len(temps) < 2:
+        return 0.0
+    return temps[0] - temps[1]
+
+
+def critical_unit(reading: Dict[str, float]) -> str:
+    """The unit of a core's hottest monitored sensor."""
+    if not reading:
+        raise ValueError("empty sensor reading")
+    return max(reading.items(), key=lambda kv: kv[1])[0]
+
+
+def figure4_assignment(
+    current_assignment: Sequence[int],
+    readings: Sequence[Dict[str, float]],
+    intensity: Callable[[int, int, str], float],
+) -> List[int]:
+    """The paper's Figure 4 greedy matching.
+
+    Parameters
+    ----------
+    current_assignment:
+        ``core -> pid`` mapping before the decision.
+    readings:
+        Per-core hotspot temperatures (defines each core's critical
+        hotspot and imbalance).
+    intensity:
+        ``intensity(pid, core, unit)`` — estimated heat intensity of a
+        thread on a core's hotspot unit. Lower is better for a hot core.
+
+    Returns the proposed ``core -> pid`` assignment (a permutation of the
+    input).
+    """
+    n_cores = len(current_assignment)
+    if len(readings) != n_cores:
+        raise ValueError("one reading per core is required")
+    remaining = list(current_assignment)
+    order = sorted(
+        range(n_cores),
+        key=lambda core: hotspot_imbalance(readings[core]),
+        reverse=True,
+    )
+    assignment: List[Optional[int]] = [None] * n_cores
+    for core in order:
+        unit = critical_unit(readings[core])
+        best = min(remaining, key=lambda pid: (intensity(pid, core, unit), pid))
+        assignment[core] = best
+        remaining.remove(best)
+    assert not remaining
+    return [pid for pid in assignment if pid is not None]
+
+
+class MigrationPolicy(abc.ABC):
+    """Base class for the outer (OS) control loop.
+
+    Concrete policies implement :meth:`propose` — producing a new
+    assignment from a context — while this base class owns the shared
+    mechanics: the 10 ms eligibility rule and the bookkeeping of decision
+    epochs.
+    """
+
+    #: Short tag ("counter" / "sensor"), set by subclasses.
+    kind: str = ""
+
+    #: Minimum fractional reduction of summed critical-hotspot intensity a
+    #: non-urgent proposal must promise before threads are actually moved
+    #: (suppresses cost-only lateral shuffles; urgent rounds bypass it).
+    improvement_margin: float = 0.02
+
+    def __init__(self, min_interval_s: float = DEFAULT_MIGRATION_PERIOD_S):
+        self._limiter = RateLimiter(min_interval_s)
+        self.decisions = 0
+        self.proposals_with_moves = 0
+
+    def matched_assignment(
+        self,
+        ctx: MigrationContext,
+        intensity: Callable[[int, int, str], float],
+    ) -> Optional[List[int]]:
+        """Run the Figure 4 matching and gate non-urgent neutral moves.
+
+        Returns ``None`` when the matching reproduces the current
+        assignment, or when the round is not urgent and the proposal does
+        not reduce the summed intensity on each core's critical hotspot by
+        at least :attr:`improvement_margin`.
+        """
+        current = list(ctx.scheduler.assignment)
+        proposal = figure4_assignment(current, ctx.readings, intensity)
+        if proposal == current:
+            return None
+        if not ctx.rebalance_urgent:
+            units = [critical_unit(r) for r in ctx.readings]
+            cur_cost = sum(
+                intensity(current[c], c, units[c]) for c in range(len(current))
+            )
+            new_cost = sum(
+                intensity(proposal[c], c, units[c]) for c in range(len(proposal))
+            )
+            costs_known = all(
+                map(lambda v: v == v and v != float("inf"), (cur_cost, new_cost))
+            )
+            if costs_known and not new_cost < cur_cost * (1.0 - self.improvement_margin):
+                return None
+        return proposal
+
+    @property
+    def min_interval_s(self) -> float:
+        """Minimum separation between migration rounds."""
+        return self._limiter.min_separation_s
+
+    @abc.abstractmethod
+    def propose(self, ctx: MigrationContext) -> Optional[List[int]]:
+        """Return a proposed ``core -> pid`` assignment, or ``None``."""
+
+    def decide(self, ctx: MigrationContext) -> Optional[List[int]]:
+        """Rate-limited decision entry point called by the engine.
+
+        Returns an assignment that differs from the current one, or
+        ``None`` when ineligible or no improvement is proposed.
+        """
+        if not self._limiter.allow(ctx.time_s):
+            return None
+        proposal = self.propose(ctx)
+        self.decisions += 1
+        if proposal is None or list(proposal) == list(ctx.scheduler.assignment):
+            return None
+        self._limiter.record(ctx.time_s)
+        self.proposals_with_moves += 1
+        return list(proposal)

@@ -1,0 +1,78 @@
+"""Throttle-policy interface.
+
+A throttle policy is the inner, fine-grained loop of the paper's design:
+once per trace sample (27.78 us) it reads the per-core hotspot sensors and
+returns one frequency-scale factor per core. The two mechanisms map onto
+that interface naturally:
+
+* stop-go returns 1.0 (run) or 0.0 (frozen);
+* DVFS returns the PI controller's clipped output in [0.2, 1.0].
+
+A *global* policy returns the same value for every core.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+#: The paper's thermal emergency threshold (deg C).
+DEFAULT_THRESHOLD_C = 84.2
+
+#: Sensor reading type: hotspot unit name -> temperature, one dict per core.
+SensorReadings = List[Dict[str, float]]
+
+
+class ThrottlePolicy(abc.ABC):
+    """Base class for the inner control loop."""
+
+    #: Short mechanism tag ("stop-go" or "dvfs"), set by subclasses.
+    kind: str = ""
+
+    def __init__(self, n_cores: int, threshold_c: float = DEFAULT_THRESHOLD_C):
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1: {n_cores}")
+        self.n_cores = n_cores
+        self.threshold_c = float(threshold_c)
+
+    @abc.abstractmethod
+    def scales(self, time_s: float, readings: SensorReadings) -> List[float]:
+        """One frequency-scale factor per core for the next step.
+
+        ``readings`` holds, per core, the temperatures of that core's
+        monitored hotspots. A return value of 0.0 means "stalled" (stop-go
+        freeze); DVFS values lie in its clipped range.
+        """
+
+    def on_migration(self, cores: Sequence[int], time_s: float) -> None:
+        """Hook: the OS migrated the threads on ``cores`` at ``time_s``.
+
+        Default: no action. DVFS overrides this to reset its per-core
+        feedback-averaging windows (the recorded data was for the departed
+        thread).
+        """
+
+    def average_scale(self, core: int) -> float:
+        """Mean effective scale of ``core`` since its window reset.
+
+        The outer migration loop reads this to time-normalise observed
+        thermal trends. Stop-go policies report their duty fraction;
+        DVFS policies report the mean PI output.
+        """
+        return 1.0
+
+    def reset_window(self, core: int) -> None:
+        """Clear the averaging window of :meth:`average_scale`."""
+
+    @staticmethod
+    def hottest(reading: Dict[str, float]) -> float:
+        """Hottest monitored temperature of one core."""
+        if not reading:
+            raise ValueError("empty sensor reading")
+        return max(reading.values())
+
+    def _check_readings(self, readings: SensorReadings) -> None:
+        if len(readings) != self.n_cores:
+            raise ValueError(
+                f"expected readings for {self.n_cores} cores, got {len(readings)}"
+            )

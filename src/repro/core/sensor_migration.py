@@ -1,0 +1,79 @@
+"""Sensor-based migration (Section 6.3, Figure 6).
+
+Rather than trusting performance-counter proxies, this policy estimates
+thread heat intensity directly from thermal-sensor behaviour recorded by
+the inner control loop. The OS maintains a thread-core thermal table
+(:class:`repro.osmodel.thermal_table.ThreadCoreThermalTable`); each entry
+is a frequency-normalised observation of how a thread drives a core's
+hotspot. The Figure 6 flow:
+
+* on each OS decision interrupt, fetch sensor-trend and scaling data from
+  the cores and record it into the table (the engine performs the
+  recording because it owns the window bookkeeping);
+* if the table cannot yet estimate all thread-core combinations, choose
+  migration targets that *profile* — fill the largest gap;
+* otherwise estimate every thread's intensity per core and run the
+  Figure 4 matching. Unlike the counter policy, intensity here is
+  core-dependent: "a core next to the cache may have less thermal
+  intensity due to the cache's relatively cool temperature".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.migration import MigrationContext, MigrationPolicy
+from repro.osmodel.timer import DEFAULT_MIGRATION_PERIOD_S
+
+
+class SensorBasedMigration(MigrationPolicy):
+    """Figure 4 matching with thermal-table intensities + profiling moves."""
+
+    kind = "sensor"
+
+    def __init__(self, min_interval_s: float = DEFAULT_MIGRATION_PERIOD_S):
+        super().__init__(min_interval_s)
+        self.profiling_moves = 0
+
+    def propose(self, ctx: MigrationContext) -> Optional[List[int]]:
+        """Either a profiling move or the Figure 4 matching."""
+        table = ctx.thermal_table
+        if table is None:
+            raise ValueError(
+                "sensor-based migration requires a thermal table in the context"
+            )
+        scheduler = ctx.scheduler
+        pids = [p.pid for p in scheduler.processes]
+
+        if not table.is_sufficient(pids):
+            return self._profiling_assignment(ctx)
+
+        def intensity(pid: int, core: int, unit: str) -> float:
+            estimate = table.estimate(pid, core, unit)
+            # A thread somehow never observed sorts last (never preferred
+            # as "least intense") — conservative under missing data.
+            return float("inf") if estimate is None else estimate
+
+        return self.matched_assignment(ctx, intensity)
+
+    def _profiling_assignment(self, ctx: MigrationContext) -> Optional[List[int]]:
+        """Swap one unprofiled thread onto the core that most needs data.
+
+        Candidates where the thread already sits on the target core are
+        skipped — staying put produces the observation anyway.
+        """
+        table = ctx.thermal_table
+        scheduler = ctx.scheduler
+        pids = [p.pid for p in scheduler.processes]
+        for pid, target_core in table.profiling_candidates(pids):
+            source_core = scheduler.core_of(pid)
+            if source_core == target_core:
+                continue
+            assignment = list(scheduler.assignment)
+            assignment[source_core], assignment[target_core] = (
+                assignment[target_core],
+                assignment[source_core],
+            )
+            self.profiling_moves += 1
+            return assignment
+        return None

@@ -1,0 +1,212 @@
+"""Extension study: asymmetric cores (the paper's named future axis).
+
+Section 9 of the paper: "SMT and asymmetric cores are two possible
+extensions" to the taxonomy. This module explores the asymmetric-cores
+axis with the machinery already in place: cores that share one
+microarchitecture (identical traces and power) but occupy different
+silicon areas, so a big core runs a given thread at lower power density —
+and therefore cooler — than a small one.
+
+Two questions, each answered by a function:
+
+* :func:`placement_sensitivity` — with *no* migration, how much does it
+  matter whether the hot threads start on the big cores or the small
+  ones?
+* :func:`asymmetric_migration_study` — can the migration policies recover
+  a bad initial placement? Sensor-based migration is the interesting
+  case: its thread-core thermal table learns per-core biases, which on an
+  asymmetric chip are large and real (counter-based intensity is
+  core-blind by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import MigrationKind, PolicySpec, Scope, ThrottleKind
+from repro.experiments.common import default_config, run_cached
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.workloads import Workload, get_workload
+from repro.util.tables import render_table
+
+#: Big-big-small-small configuration with the same total core area as
+#: four uniform 4 mm cores (2 * 5.0^2 + 2 * 2.65^2 ~ 64 mm^2).
+ASYMMETRIC_SIZES: Tuple[float, ...] = (5.0, 5.0, 2.65, 2.65)
+
+#: The study workload: two hot programs (gzip, sixtrack) + two cool ones.
+STUDY_BENCHMARKS: Tuple[str, ...] = ("gzip", "sixtrack", "mcf", "swim")
+
+_DDV = PolicySpec(ThrottleKind.DVFS, Scope.DISTRIBUTED, MigrationKind.NONE)
+_DDV_SENSOR = PolicySpec(ThrottleKind.DVFS, Scope.DISTRIBUTED, MigrationKind.SENSOR)
+_DDV_COUNTER = PolicySpec(ThrottleKind.DVFS, Scope.DISTRIBUTED, MigrationKind.COUNTER)
+
+
+@dataclass(frozen=True)
+class ExtensionRow:
+    """One configuration of the asymmetric-cores study."""
+
+    label: str
+    bips: float
+    duty_cycle: float
+    migrations: int
+    max_temp_c: float
+
+
+def _run(benchmarks: Sequence[str], spec, config: SimulationConfig,
+         label: str) -> ExtensionRow:
+    workload = Workload("asym-study", tuple(benchmarks))
+    result = run_workload(workload, spec, config)
+    return ExtensionRow(
+        label=label,
+        bips=result.bips,
+        duty_cycle=result.duty_cycle,
+        migrations=result.migrations,
+        max_temp_c=result.max_temp_c,
+    )
+
+
+def placement_sensitivity(
+    config: Optional[SimulationConfig] = None,
+) -> List[ExtensionRow]:
+    """Hot-threads-on-big-cores vs. hot-threads-on-small-cores, no migration.
+
+    On the symmetric chip the two placements are equivalent by symmetry
+    (up to edge effects); on the asymmetric chip the good placement runs
+    the hot threads at lower density and wins.
+    """
+    config = config or default_config(duration_s=0.2)
+    asym = replace(config, core_sizes_mm=ASYMMETRIC_SIZES)
+    good = STUDY_BENCHMARKS  # hot programs on cores 0/1 (the big ones)
+    bad = (
+        STUDY_BENCHMARKS[2], STUDY_BENCHMARKS[3],
+        STUDY_BENCHMARKS[0], STUDY_BENCHMARKS[1],
+    )
+    return [
+        _run(good, _DDV, config, "symmetric, hot on cores 0/1"),
+        _run(bad, _DDV, config, "symmetric, hot on cores 2/3"),
+        _run(good, _DDV, asym, "asymmetric, hot on BIG cores"),
+        _run(bad, _DDV, asym, "asymmetric, hot on SMALL cores"),
+    ]
+
+
+def asymmetric_migration_study(
+    config: Optional[SimulationConfig] = None,
+) -> List[ExtensionRow]:
+    """Can migration recover a hot-on-small placement?
+
+    All rows start from the *bad* placement (hot threads on the small
+    cores) on the asymmetric chip.
+    """
+    config = config or default_config(duration_s=0.2)
+    asym = replace(config, core_sizes_mm=ASYMMETRIC_SIZES)
+    bad = (
+        STUDY_BENCHMARKS[2], STUDY_BENCHMARKS[3],
+        STUDY_BENCHMARKS[0], STUDY_BENCHMARKS[1],
+    )
+    return [
+        _run(bad, _DDV, asym, "no migration"),
+        _run(bad, _DDV_COUNTER, asym, "counter-based migration"),
+        _run(bad, _DDV_SENSOR, asym, "sensor-based migration"),
+    ]
+
+
+#: SMT-2 chip: two cores holding the same total area as four 4 mm cores.
+SMT_CORE_SIZES: Tuple[float, ...] = (5.657, 5.657)
+
+
+def smt_study(
+    config: Optional[SimulationConfig] = None,
+) -> List[ExtensionRow]:
+    """CMP-4 vs. 2-way-SMT-2 at equal silicon area (paper Section 9).
+
+    Four threads (gzip, sixtrack, mcf, swim) run either one-per-core on
+    the 4-core chip, or as merged pairs on a 2-core chip of equal total
+    core area. Two pairings are studied:
+
+    * *complementary* — each hot thread shares its core with a cool one
+      (gzip+swim, sixtrack+mcf);
+    * *aligned* — the hot threads share one core (gzip+sixtrack) and the
+      cool threads the other (mcf+swim).
+
+    The thermal hazard SMT introduces is visible in the merged profiles:
+    an int+fp pair stresses both register files of one core at once,
+    leaving no cool unit for the DTM policies to exploit.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.sim.engine import ThermalTimingSimulator
+    from repro.uarch.benchmarks import get_benchmark
+    from repro.uarch.config import MachineConfig
+    from repro.uarch.smt import merge_profiles
+
+    config = config or default_config(duration_s=0.2)
+    rows = [
+        _run(STUDY_BENCHMARKS, _DDV, config, "CMP-4: one thread per core")
+    ]
+
+    smt_machine = MachineConfig(n_cores=2)
+    smt_config = dc_replace(
+        config, machine=smt_machine, core_sizes_mm=SMT_CORE_SIZES
+    )
+    gzip, sixtrack, mcf, swim = (
+        get_benchmark(n) for n in STUDY_BENCHMARKS
+    )
+    pairings = [
+        ("SMT-2, complementary pairs",
+         [merge_profiles(gzip, swim), merge_profiles(sixtrack, mcf)]),
+        ("SMT-2, aligned pairs (hot+hot)",
+         [merge_profiles(gzip, sixtrack), merge_profiles(mcf, swim)]),
+    ]
+    for label, profiles in pairings:
+        sim = ThermalTimingSimulator(profiles, _DDV, smt_config)
+        result = sim.run()
+        rows.append(
+            ExtensionRow(
+                label=label,
+                bips=result.bips,
+                duty_cycle=result.duty_cycle,
+                migrations=result.migrations,
+                max_temp_c=result.max_temp_c,
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[ExtensionRow], title: str) -> str:
+    """Render one study as a table."""
+    return render_table(
+        ["configuration", "BIPS", "duty cycle", "migrations", "max T (C)"],
+        [
+            [r.label, f"{r.bips:.2f}", f"{r.duty_cycle:.2%}",
+             str(r.migrations), f"{r.max_temp_c:.1f}"]
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def main() -> str:
+    """Run both studies at a reduced horizon and print them."""
+    config = default_config(duration_s=0.2)
+    parts = [
+        render(
+            placement_sensitivity(config),
+            "Extension: asymmetric cores — placement sensitivity",
+        ),
+        render(
+            asymmetric_migration_study(config),
+            "Extension: asymmetric cores — migration recovery",
+        ),
+        render(
+            smt_study(config),
+            "Extension: SMT vs CMP at equal area",
+        ),
+    ]
+    text = "\n\n".join(parts)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Figure 5: hotspot temperatures and DVFS control output on one core
+across several migration intervals.
+
+The paper plots, for the gzip-twolf-ammp-lucas workload under distributed
+DVFS + counter-based migration, (a) the temperatures of the FP and
+integer register logic on the first core as threads migrate through it
+(lucas -> gzip -> lucas -> ammp in their run), and (b) the PI controller's
+frequency-scale output over the same interval: the critical hotspot is
+served by the controller while the other hotspot "drifts" with the
+resident thread's profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.taxonomy import MigrationKind, PolicySpec, Scope, ThrottleKind
+from repro.experiments.common import default_config
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.results import RunResult
+from repro.sim.workloads import get_workload
+from repro.util.ascii_plot import multi_series
+from repro.util.tables import render_table
+
+#: The paper uses workload7 (gzip-twolf-ammp-lucas).
+WORKLOAD_NAME = "workload7"
+
+#: Policy under which the figure is recorded.
+SPEC = PolicySpec(ThrottleKind.DVFS, Scope.DISTRIBUTED, MigrationKind.COUNTER)
+
+
+@dataclass(frozen=True)
+class Figure5Data:
+    """Time series for one core across a window containing migrations."""
+
+    core: int
+    times_ms: np.ndarray
+    intreg_temp_c: np.ndarray
+    fpreg_temp_c: np.ndarray
+    frequency_scale: np.ndarray
+    resident_benchmark: List[str]       # per sample
+    migration_times_ms: List[float]     # within the window
+
+    @property
+    def resident_sequence(self) -> List[str]:
+        """Distinct benchmarks in residence order (the paper's callouts)."""
+        seq: List[str] = []
+        for name in self.resident_benchmark:
+            if not seq or seq[-1] != name:
+                seq.append(name)
+        return seq
+
+
+def compute(
+    config: Optional[SimulationConfig] = None,
+    window_s: float = 0.06,
+) -> Figure5Data:
+    """Record the run and extract the busiest core's window.
+
+    Chooses the core with the most thread changes and a window starting
+    just before its first migration, mirroring the paper's presentation of
+    "several migration intervals".
+    """
+    config = config or default_config()
+    if not config.record_series:
+        config = replace(config, record_series=True)
+    workload = get_workload(WORKLOAD_NAME)
+    result: RunResult = run_workload(workload, SPEC, config)
+    series = result.series
+    assert series is not None
+
+    # Busiest core: most residency changes.
+    changes = (np.diff(series.assignments, axis=0) != 0).sum(axis=0)
+    core = int(np.argmax(changes))
+
+    change_steps = np.flatnonzero(np.diff(series.assignments[:, core]) != 0)
+    start_step = max(0, int(change_steps[0]) - 20) if change_steps.size else 0
+    dt = float(series.times[1] - series.times[0]) if len(series.times) > 1 else 1.0
+    n_window = min(len(series.times) - start_step, max(2, int(round(window_s / dt))))
+    sl = slice(start_step, start_step + n_window)
+
+    pid_to_benchmark = dict(enumerate(workload.benchmarks))
+    resident = [
+        pid_to_benchmark[int(pid)] for pid in series.assignments[sl, core]
+    ]
+    t0 = series.times[sl].copy()
+    window_lo, window_hi = float(t0[0]), float(t0[-1])
+    migrations = [
+        1000.0 * (m - window_lo)
+        for m in series.migration_times
+        if window_lo <= m <= window_hi
+    ]
+    return Figure5Data(
+        core=core,
+        times_ms=1000.0 * (t0 - window_lo),
+        intreg_temp_c=series.hotspot_temps["intreg"][sl, core].copy(),
+        fpreg_temp_c=series.hotspot_temps["fpreg"][sl, core].copy(),
+        frequency_scale=series.scales[sl, core].copy(),
+        resident_benchmark=resident,
+        migration_times_ms=migrations,
+    )
+
+
+def render(data: Figure5Data, n_rows: int = 24) -> str:
+    """A tabular view of the two sub-figures (sampled to ``n_rows``)."""
+    idx = np.linspace(0, len(data.times_ms) - 1, n_rows).astype(int)
+    rows = [
+        [
+            f"{data.times_ms[i]:.2f}",
+            f"{data.intreg_temp_c[i]:.2f}",
+            f"{data.fpreg_temp_c[i]:.2f}",
+            f"{data.frequency_scale[i]:.2f}",
+            data.resident_benchmark[i],
+        ]
+        for i in idx
+    ]
+    header = (
+        f"Figure 5: core {data.core} across migrations "
+        f"(residents: {' -> '.join(data.resident_sequence)})"
+    )
+    table = render_table(
+        ["time (ms)", "int reg (C)", "FP reg (C)", "freq scale", "resident"],
+        rows,
+        title=header,
+    )
+    sketch = multi_series(
+        data.times_ms,
+        {
+            "int reg (C)": data.intreg_temp_c,
+            "FP reg (C)": data.fpreg_temp_c,
+            "freq scale": data.frequency_scale,
+        },
+        time_unit="ms",
+    )
+    return table + "\n\n" + sketch
+
+
+def main() -> str:
+    """Compute and print the figure data."""
+    text = render(compute())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,243 @@
+"""Table 1: per-benchmark processor temperatures on a mobile platform.
+
+The paper measures a Pentium M (Banias, 1.5 GHz) notebook through the
+ACPI thermal diode while running SPEC programs: most settle at a steady
+temperature between 59 and 71 C (Table 1a), while bzip2/ammp/facerec/
+fma3d oscillate over ~6 degree ranges (Table 1b).
+
+We reproduce the measurement protocol on the simulated mobile chip:
+
+* single core + 1 MB L2 (``mobile_machine_config``), notebook cooling
+  solution (``MOBILE_PACKAGE``);
+* one thermal diode at the edge of the die — we read the L2 region
+  adjacent to the die edge, whose temperature integrates total chip
+  power the way a package-edge diode does;
+* readings rounded to whole degrees (the ACPI interface restriction);
+* the machine idles to a settled temperature before each run (warm start
+  at idle power), then the benchmark runs long enough to reach its
+  operating temperature.
+
+Because the paper's temperature oscillations unfold over seconds-to-
+minutes of real execution (full SPEC phases), the Table 1 runs stretch
+each benchmark's phase period by ``PHASE_STRETCH`` and simulate several
+seconds — the mobile package's external time constants filter anything
+faster into invisibility, exactly as on the real laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.thermal.coupling import initialize_coupled_steady
+from repro.thermal.layouts import build_mobile_floorplan, mobile_sensor_block
+from repro.thermal.leakage import LeakageModel
+from repro.thermal.model import ThermalModel
+from repro.thermal.package import MOBILE_PACKAGE, ThermalPackage
+from repro.uarch.benchmarks import get_benchmark
+from repro.uarch.config import mobile_machine_config
+from repro.uarch.interval_model import UNIT_ORDER
+from repro.uarch.power import L2_BANK_PEAK_W, L2_IDLE_FRACTION
+from repro.uarch.tracegen import generate_trace
+from repro.util.rng import DEFAULT_ROOT_SEED
+from repro.util.tables import render_table
+
+#: The benchmarks of Table 1a with the paper's measured steady temps (C).
+PAPER_STABLE = {
+    "gzip": 70,
+    "mcf": 59,
+    "parser": 67,
+    "twolf": 67,
+    "mesa": 65,
+    "swim": 62,
+    "lucas": 63,
+    "sixtrack": 71,
+}
+
+#: The benchmarks of Table 1b with the paper's measured ranges (C).
+PAPER_RANGES = {
+    "bzip2": (67, 72),
+    "ammp": (58, 64),
+    "facerec": (65, 71),
+    "fma3d": (61, 67),
+}
+
+#: Block read by the edge thermal diode.
+DIODE_BLOCK = mobile_sensor_block()
+
+#: Mobile power budget relative to the high-performance chip: lower clock
+#: (1.5 vs 3.6 GHz) and a power-conscious design point.
+MOBILE_POWER_SCALE = 0.27
+
+#: Workload-independent platform heat reaching the diode (uncore, PLL,
+#: I/O, bus interface): the Banias diode sits at the package edge where
+#: this baseline is a large share of what it sees, compressing the
+#: apparent spread between hot and cool programs.
+PLATFORM_IDLE_W = 5.0
+
+#: Slow-down applied to benchmark phase periods (see module docstring).
+#: Real SPEC programs swing over minutes — slow enough that the whole
+#: cooling stack (including the heatsink, tau ~ a minute) follows, which
+#: is why the ACPI diode sees multi-degree ranges.
+PHASE_STRETCH = 6000.0
+
+#: ACPI reading granularity.
+QUANTIZATION_C = 1.0
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's measured temperature behaviour."""
+
+    benchmark: str
+    category: str  # "SPECint" / "SPECfp"
+    stable: bool
+    steady_c: Optional[int]            # Table 1a entries
+    range_c: Optional[Tuple[int, int]]  # Table 1b entries
+
+
+def _simulate_benchmark(
+    name: str,
+    duration_s: float,
+    dt: float,
+    package: ThermalPackage,
+    power_scale: float,
+    seed: int,
+) -> np.ndarray:
+    """Diode readings (quantised, 1/dt Hz) while ``name`` runs."""
+    profile = get_benchmark(name)
+    stretched = replace(
+        profile,
+        phase=replace(
+            profile.phase, period_s=profile.phase.period_s * PHASE_STRETCH
+        ),
+    )
+    # Sample the interval model directly at the coarse thermal step: the
+    # trace then holds one power bin per step, phases included.
+    machine = replace(
+        mobile_machine_config(),
+        trace_sample_cycles=int(round(dt * mobile_machine_config().clock_hz)),
+    )
+    trace = generate_trace(
+        stretched,
+        machine,
+        duration_s=duration_s,
+        seed=seed,
+        power_scale=power_scale,
+        use_cache=False,
+    )
+
+    floorplan = build_mobile_floorplan()
+    model = ThermalModel(floorplan, package, dt)
+    # 130 nm mobile part: leakage is a smaller share than at 90 nm.
+    leakage = LeakageModel(floorplan, 8.0 * power_scale)
+    net = model.network
+    unit_idx = np.array([net.index(f"core0.{u}") for u in UNIT_ORDER])
+    l2_idx = net.index("l2_0")
+    n_blocks = net.n_blocks
+    n_bins = trace.n_samples
+
+    def l2_power(activity: float) -> float:
+        return PLATFORM_IDLE_W + power_scale * L2_BANK_PEAK_W * (
+            L2_IDLE_FRACTION + (1 - L2_IDLE_FRACTION) * activity
+        )
+
+    # The real protocol runs each benchmark for minutes before (and while)
+    # polling — the whole stack is warm. Start from the benchmark's mean-
+    # power steady state and let the phases swing around it.
+    mean_p = np.zeros(n_blocks)
+    mean_p[unit_idx] = trace.unit_power.mean(axis=0)
+    mean_p[l2_idx] = l2_power(float(trace.l2_activity.mean()))
+    initialize_coupled_steady(model, leakage, mean_p, tolerance_c=1e-3)
+
+    n_steps = max(1, int(round(duration_s / dt)))
+    readings = np.empty(n_steps)
+    p = np.zeros(n_blocks)
+    for k in range(n_steps):
+        b = k % n_bins
+        p[:] = 0.0
+        p[unit_idx] = trace.unit_power[b]
+        p[l2_idx] = l2_power(float(trace.l2_activity[b]))
+        p += leakage.power(model.temperatures[:n_blocks])
+        model.step(p, dt)
+        readings[k] = model.temperature_of(DIODE_BLOCK)
+    return np.round(readings / QUANTIZATION_C) * QUANTIZATION_C
+
+
+def compute(
+    duration_s: float = 900.0,
+    dt: float = 20e-3,
+    package: ThermalPackage = MOBILE_PACKAGE,
+    power_scale: float = MOBILE_POWER_SCALE,
+    seed: int = DEFAULT_ROOT_SEED,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Table1Row]:
+    """Measure every Table 1 benchmark; returns rows in the paper's order."""
+    names = list(benchmarks) if benchmarks is not None else (
+        list(PAPER_STABLE) + list(PAPER_RANGES)
+    )
+    rows = []
+    for name in names:
+        profile = get_benchmark(name)
+        readings = _simulate_benchmark(
+            name, duration_s, dt, package, power_scale, seed
+        )
+        settle = readings[len(readings) // 3:]  # discard the ramp-up
+        stable = not profile.phase.is_oscillating
+        if stable:
+            steady = int(round(float(np.median(settle))))
+            row = Table1Row(name, _category(profile), True, steady, None)
+        else:
+            lo, hi = int(settle.min()), int(settle.max())
+            row = Table1Row(name, _category(profile), False, None, (lo, hi))
+        rows.append(row)
+    return rows
+
+
+def _category(profile) -> str:
+    return "SPECint" if profile.suite == "int" else "SPECfp"
+
+
+def render(rows: Sequence[Table1Row]) -> str:
+    """Paper-style Tables 1a and 1b."""
+    stable_rows = [
+        [r.benchmark, r.category, f"{r.steady_c}"]
+        for r in rows
+        if r.stable
+    ]
+    osc_rows = [
+        [r.benchmark, r.category, f"{r.range_c[0]}-{r.range_c[1]}"]
+        for r in rows
+        if not r.stable
+    ]
+    parts = []
+    if stable_rows:
+        parts.append(
+            render_table(
+                ["benchmark", "category", "steady-state temperature (C)"],
+                stable_rows,
+                title="Table 1a: temperatures of stable benchmarks",
+            )
+        )
+    if osc_rows:
+        parts.append(
+            render_table(
+                ["benchmark", "category", "temperature range (C)"],
+                osc_rows,
+                title="Table 1b: temperature ranges of oscillating benchmarks",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def main() -> str:
+    """Compute and print both sub-tables."""
+    text = render(compute())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Operating-system substrate.
+
+The paper's migration policies live in the OS: timer interrupts arrive
+every ~10 ms, the OS tracks per-thread performance counters and thermal
+profiles, and migrations are executed by the scheduler at a 100 us cost
+per involved core. This package models exactly that layer:
+
+* :mod:`repro.osmodel.process` — runnable processes bound to power traces;
+* :mod:`repro.osmodel.scheduler` — the process-to-core mapping and
+  migration mechanics;
+* :mod:`repro.osmodel.timer` — periodic timer interrupts;
+* :mod:`repro.osmodel.thermal_table` — the OS-managed thread-core thermal
+  trend table of Figure 6 (sensor-based migration).
+"""
+
+from repro.osmodel.process import Process
+from repro.osmodel.scheduler import MigrationRecord, Scheduler
+from repro.osmodel.thermal_table import ThreadCoreThermalTable
+from repro.osmodel.timer import PeriodicTimer
+
+__all__ = [
+    "MigrationRecord",
+    "PeriodicTimer",
+    "Process",
+    "Scheduler",
+    "ThreadCoreThermalTable",
+]

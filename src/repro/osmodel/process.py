@@ -1,0 +1,70 @@
+"""Processes: schedulable entities bound to benchmark power traces.
+
+A process replays its benchmark's power trace. Progress is measured in
+*trace position* — fractional full-speed samples — which advances at the
+current frequency scale: a core at 50% frequency moves through its trace
+half as fast (and the engine pro-rates instruction counts accordingly).
+The trace is circular, mirroring the paper's restart-on-completion rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.counters import PerformanceCounters
+from repro.uarch.trace import PowerTrace
+
+
+@dataclass
+class Process:
+    """One runnable program.
+
+    Attributes
+    ----------
+    pid:
+        Small integer id, unique within a workload.
+    benchmark:
+        Benchmark name (matches the trace).
+    trace:
+        The power trace this process replays.
+    position:
+        Current fractional position in full-speed samples.
+    counters:
+        Performance counters attributed to this process, accumulated
+        across whichever cores it runs on.
+    migrations:
+        How many times this process has been migrated.
+    """
+
+    pid: int
+    benchmark: str
+    trace: PowerTrace
+    position: float = 0.0
+    counters: PerformanceCounters = field(default_factory=PerformanceCounters)
+    migrations: int = 0
+
+    def __post_init__(self):
+        if self.pid < 0:
+            raise ValueError(f"pid must be >= 0: {self.pid}")
+        if self.benchmark != self.trace.benchmark:
+            raise ValueError(
+                f"benchmark {self.benchmark!r} does not match trace "
+                f"{self.trace.benchmark!r}"
+            )
+
+    def advance(self, sample_fraction: float) -> None:
+        """Move forward by ``sample_fraction`` full-speed samples."""
+        if sample_fraction < 0:
+            raise ValueError(f"cannot advance backwards: {sample_fraction}")
+        self.position += sample_fraction
+
+    @property
+    def completed_passes(self) -> int:
+        """How many full passes through the trace have completed."""
+        return int(self.position) // self.trace.n_samples
+
+    def __repr__(self) -> str:
+        return (
+            f"Process(pid={self.pid}, benchmark={self.benchmark!r}, "
+            f"position={self.position:.1f})"
+        )

@@ -1,0 +1,112 @@
+"""The scheduler: process-to-core mapping and migration mechanics.
+
+The paper's migration mechanism (Section 6): migrations are decided by an
+OS-level policy no more often than every 10 ms; when the OS migrates, the
+relevant tracking state is flushed and "each core involved takes a penalty
+of 100 us". The scheduler owns the mapping and executes reassignments —
+*deciding* them is the job of the migration policies in ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.osmodel.process import Process
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One executed migration round."""
+
+    time_s: float
+    moves: Dict[int, int]  # pid -> destination core
+    cores_involved: List[int]
+
+
+class Scheduler:
+    """Owns the core-to-process assignment for one workload run.
+
+    The model is one process per core (four-program workloads on four
+    cores, as in the paper's experiments); a reassignment is therefore a
+    permutation — a swap, or up to a four-way rotation.
+    """
+
+    def __init__(self, processes: Sequence[Process], n_cores: int):
+        if len(processes) != n_cores:
+            raise ValueError(
+                f"expected one process per core: {len(processes)} processes, "
+                f"{n_cores} cores"
+            )
+        pids = [p.pid for p in processes]
+        if len(set(pids)) != len(pids):
+            raise ValueError(f"duplicate pids: {pids}")
+        self.n_cores = n_cores
+        self._by_pid: Dict[int, Process] = {p.pid: p for p in processes}
+        #: core index -> pid currently running there.
+        self.assignment: List[int] = [p.pid for p in processes]
+        self.migration_history: List[MigrationRecord] = []
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def processes(self) -> List[Process]:
+        """All processes, in pid order."""
+        return [self._by_pid[pid] for pid in sorted(self._by_pid)]
+
+    def process_on(self, core: int) -> Process:
+        """The process currently assigned to ``core``."""
+        return self._by_pid[self.assignment[core]]
+
+    def core_of(self, pid: int) -> int:
+        """The core currently running process ``pid``."""
+        try:
+            return self.assignment.index(pid)
+        except ValueError:
+            raise KeyError(f"pid {pid} is not scheduled") from None
+
+    def process(self, pid: int) -> Process:
+        """Look up a process by pid."""
+        try:
+            return self._by_pid[pid]
+        except KeyError:
+            raise KeyError(f"unknown pid {pid}") from None
+
+    # -- migration ---------------------------------------------------------
+
+    def apply_assignment(
+        self, new_assignment: Sequence[int], time_s: float
+    ) -> Optional[MigrationRecord]:
+        """Install a new core->pid mapping; returns the migration record.
+
+        ``new_assignment`` must be a permutation of the current pids.
+        Cores whose process does not change are not "involved" and take no
+        penalty. Returns ``None`` when nothing actually moves.
+        """
+        new_assignment = list(new_assignment)
+        if sorted(new_assignment) != sorted(self.assignment):
+            raise ValueError(
+                f"new assignment {new_assignment} is not a permutation of "
+                f"{sorted(self.assignment)}"
+            )
+        involved = [
+            core
+            for core in range(self.n_cores)
+            if new_assignment[core] != self.assignment[core]
+        ]
+        if not involved:
+            return None
+        moves = {new_assignment[core]: core for core in involved}
+        for pid in moves:
+            self._by_pid[pid].migrations += 1
+        self.assignment = new_assignment
+        record = MigrationRecord(
+            time_s=time_s, moves=moves, cores_involved=involved
+        )
+        self.migration_history.append(record)
+        return record
+
+    @property
+    def total_migrations(self) -> int:
+        """Total process moves executed so far."""
+        return sum(len(r.moves) for r in self.migration_history)

@@ -1,0 +1,191 @@
+"""The OS-managed thread-core thermal trend table (paper Figure 6).
+
+Sensor-based migration cannot read a thread's heat intensity directly: a
+thread "will appear to have different temperature gradients when running
+on different cores due to different external factors, such as being
+located closer to the edge of the chip", and any DVFS scaling in effect
+time-dilates the observed trends. The OS therefore maintains a grid of
+observed, *normalised* thermal trends per (thread, core, hotspot unit):
+
+* raw trends (deg C per second) are recorded from PI-controller feedback;
+* each observation is divided by the cube of the average frequency scale
+  over the observation window (the paper's cubic power relation), mapping
+  it back to a full-speed-equivalent intensity;
+* unobserved (thread, core) combinations are estimated additively from
+  the thread's mean intensity and the core's mean bias, once enough
+  profiling data exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Minimum frequency scale used when normalising (guards the division).
+_MIN_SCALE = 0.05
+
+
+@dataclass
+class _CellStats:
+    """Running mean of normalised observations for one table cell."""
+
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class ThreadCoreThermalTable:
+    """Grid of estimated hotspot intensities per thread-core pair.
+
+    Keys are ``(pid, core, unit)`` where ``unit`` is a hotspot unit name
+    (``"intreg"`` or ``"fpreg"`` in the paper's configuration).
+    """
+
+    def __init__(self, n_cores: int, units: Sequence[str]):
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1: {n_cores}")
+        if not units:
+            raise ValueError("at least one hotspot unit is required")
+        self.n_cores = n_cores
+        self.units = tuple(units)
+        self._cells: Dict[Tuple[int, int, str], _CellStats] = {}
+        self._threads_seen: set = set()
+
+    # -- recording -------------------------------------------------------
+
+    def record(
+        self,
+        pid: int,
+        core: int,
+        unit: str,
+        observation: float,
+        avg_scale: float,
+        exponent: float = 3.0,
+    ) -> None:
+        """Record one observed thermal-intensity sample.
+
+        ``observation`` is the raw thermal signal observed while ``pid``
+        ran on ``core`` (the engine uses the hotspot's elevation over the
+        chip's coolest sensor plus a gradient term); ``avg_scale`` is the
+        mean effective scale over the window — the PI-controller output
+        average under DVFS, the duty fraction under stop-go. Observations
+        are normalised by ``avg_scale ** exponent``: the paper's cubic
+        power relation for DVFS (``exponent=3``), linear for stop-go duty
+        (``exponent=1``, since average power scales directly with duty).
+        """
+        if unit not in self.units:
+            raise KeyError(f"unknown hotspot unit {unit!r}; table has {self.units}")
+        if not 0 <= core < self.n_cores:
+            raise IndexError(f"core {core} out of range")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0: {exponent}")
+        scale = max(_MIN_SCALE, min(1.0, avg_scale))
+        normalised = observation / scale ** exponent
+        self._cells.setdefault((pid, core, unit), _CellStats()).add(normalised)
+        self._threads_seen.add(pid)
+
+    # -- sufficiency (Figure 6 decision diamond) -----------------------------
+
+    def observed_cores_of(self, pid: int) -> List[int]:
+        """Cores on which ``pid`` has at least one observation."""
+        return sorted(
+            {c for (p, c, _u), s in self._cells.items() if p == pid and s.count}
+        )
+
+    def observed_threads_on(self, core: int) -> List[int]:
+        """Threads that have at least one observation on ``core``."""
+        return sorted(
+            {p for (p, c, _u), s in self._cells.items() if c == core and s.count}
+        )
+
+    def is_sufficient(self, pids: Sequence[int]) -> bool:
+        """Whether all thread-core trends can be estimated.
+
+        The paper's criterion: "each core needs to be run and dynamically
+        tested with at least two threads, and each thread needs to have
+        recorded sensor data from running on at least one core."
+        """
+        for core in range(self.n_cores):
+            if len(self.observed_threads_on(core)) < 2:
+                return False
+        for pid in pids:
+            if not self.observed_cores_of(pid):
+                return False
+        return True
+
+    def profiling_candidates(self, pids: Sequence[int]) -> List[Tuple[int, int]]:
+        """All ``(pid, core)`` pairings that would fill table gaps.
+
+        Used to "set migration targets to profile more to fill thermal
+        table": pairs are ordered by how much they help — cores with the
+        fewest distinct observed threads first, and within a core, threads
+        with the fewest observations anywhere first.
+        """
+        out: List[Tuple[int, int]] = []
+        cores_by_need = sorted(
+            range(self.n_cores), key=lambda c: len(self.observed_threads_on(c))
+        )
+        for core in cores_by_need:
+            seen_here = set(self.observed_threads_on(core))
+            candidates = [p for p in pids if p not in seen_here]
+            candidates.sort(key=lambda p: len(self.observed_cores_of(p)))
+            out.extend((p, core) for p in candidates)
+        return out
+
+    def most_needed_profiling(self, pids: Sequence[int]) -> Optional[Tuple[int, int]]:
+        """The single best profiling pairing (first candidate), if any."""
+        candidates = self.profiling_candidates(pids)
+        return candidates[0] if candidates else None
+
+    # -- estimation -----------------------------------------------------------
+
+    def _thread_mean(self, pid: int, unit: str) -> Optional[float]:
+        values = [
+            s.mean
+            for (p, _c, u), s in self._cells.items()
+            if p == pid and u == unit and s.count
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def _core_bias(self, core: int, unit: str) -> float:
+        """Mean deviation of observations on ``core`` from thread means."""
+        deviations = []
+        for (p, c, u), s in self._cells.items():
+            if c != core or u != unit or not s.count:
+                continue
+            t_mean = self._thread_mean(p, u)
+            if t_mean is not None:
+                deviations.append(s.mean - t_mean)
+        if not deviations:
+            return 0.0
+        return sum(deviations) / len(deviations)
+
+    def estimate(self, pid: int, core: int, unit: str) -> Optional[float]:
+        """Estimated full-speed intensity of ``pid``'s ``unit`` on ``core``.
+
+        Direct observations win; otherwise the additive model
+        ``thread_mean + core_bias`` is used. Returns ``None`` when the
+        thread has never been observed anywhere.
+        """
+        if unit not in self.units:
+            raise KeyError(f"unknown hotspot unit {unit!r}")
+        cell = self._cells.get((pid, core, unit))
+        if cell is not None and cell.count:
+            return cell.mean
+        t_mean = self._thread_mean(pid, unit)
+        if t_mean is None:
+            return None
+        return t_mean + self._core_bias(core, unit)
+
+    def n_observations(self) -> int:
+        """Total recorded observations (for tests/diagnostics)."""
+        return sum(s.count for s in self._cells.values())

@@ -1,0 +1,79 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TimeSeries:
+    """Optional per-step recording (used by the Figure 5 reproduction).
+
+    Arrays are indexed ``[step]`` (times) or ``[step, core]``; hotspot
+    temperatures are kept per monitored unit so the Figure 5(a) pair
+    (integer vs. FP register logic on one core) can be plotted directly.
+    """
+
+    times: np.ndarray
+    scales: np.ndarray                  # (n, n_cores) effective frequency scale
+    hotspot_temps: Dict[str, np.ndarray]  # unit -> (n, n_cores)
+    assignments: np.ndarray             # (n, n_cores) pid on each core
+    migration_times: List[float] = field(default_factory=list)
+
+    def core_series(self, core: int) -> Dict[str, np.ndarray]:
+        """All recorded series for one core."""
+        out = {"times": self.times, "scale": self.scales[:, core]}
+        for unit, arr in self.hotspot_temps.items():
+            out[unit] = arr[:, core]
+        out["pid"] = self.assignments[:, core]
+        return out
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one (workload, policy) simulation."""
+
+    policy: str
+    workload: str
+    benchmarks: Tuple[str, ...]
+    duration_s: float
+    bips: float
+    duty_cycle: float
+    instructions: float
+    per_core_instructions: Tuple[float, ...]
+    max_temp_c: float
+    emergency_s: float
+    migrations: int
+    dvfs_transitions: int
+    stopgo_trips: int
+    #: Hardware overtemperature trips (0 unless the PROCHOT-style
+    #: failsafe is enabled in the configuration).
+    prochot_events: int = 0
+    series: Optional[TimeSeries] = None
+
+    @property
+    def had_emergency(self) -> bool:
+        """Whether the run ever exceeded the emergency envelope."""
+        return self.emergency_s > 0.0
+
+    def relative_to(self, baseline: "RunResult") -> float:
+        """Throughput relative to a baseline run of the same workload."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"cannot compare across workloads: {self.workload} vs "
+                f"{baseline.workload}"
+            )
+        if baseline.bips == 0:
+            raise ZeroDivisionError("baseline achieved zero throughput")
+        return self.bips / baseline.bips
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.workload:12s} {self.policy:40s} "
+            f"BIPS={self.bips:6.2f} duty={self.duty_cycle:6.1%} "
+            f"maxT={self.max_temp_c:5.1f}C migrations={self.migrations}"
+        )

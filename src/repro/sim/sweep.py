@@ -1,0 +1,120 @@
+"""Generic parameter-sweep helpers over the simulation engine.
+
+The ablation studies in :mod:`repro.experiments.ablations` are curated
+sweeps with paper-facing labels; this module provides the underlying
+generic machinery for user-driven exploration: vary one
+:class:`~repro.sim.engine.SimulationConfig` field (or the policy spec)
+across a set of values and collect the per-workload results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.taxonomy import PolicySpec
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.results import RunResult
+from repro.sim.workloads import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Results of one sweep value across the workloads."""
+
+    value: object
+    results: Dict[str, RunResult]  # workload name -> result
+
+    @property
+    def mean_bips(self) -> float:
+        """Average throughput across the point's workloads."""
+        return sum(r.bips for r in self.results.values()) / len(self.results)
+
+    @property
+    def mean_duty_cycle(self) -> float:
+        """Average adjusted duty cycle across the point's workloads."""
+        return sum(r.duty_cycle for r in self.results.values()) / len(self.results)
+
+    @property
+    def total_emergency_s(self) -> float:
+        """Summed time above the emergency envelope across workloads."""
+        return sum(r.emergency_s for r in self.results.values())
+
+
+def _config_field_names() -> List[str]:
+    return [f.name for f in fields(SimulationConfig)]
+
+
+def sweep_config_field(
+    field_name: str,
+    values: Sequence,
+    spec: Optional[PolicySpec],
+    workloads: Sequence[Workload],
+    base_config: Optional[SimulationConfig] = None,
+) -> List[SweepPoint]:
+    """Vary one configuration field over ``values``.
+
+    Example::
+
+        sweep_config_field(
+            "threshold_c", [84.2, 90.0, 100.0],
+            spec_by_key("distributed-dvfs-none"),
+            [get_workload("workload7")],
+        )
+    """
+    base_config = base_config or SimulationConfig()
+    if field_name not in _config_field_names():
+        raise ValueError(
+            f"unknown SimulationConfig field {field_name!r}; "
+            f"known: {_config_field_names()}"
+        )
+    if not values:
+        raise ValueError("at least one sweep value is required")
+    if not workloads:
+        raise ValueError("at least one workload is required")
+    points = []
+    for value in values:
+        config = replace(base_config, **{field_name: value})
+        results = {
+            w.name: run_workload(w, spec, config) for w in workloads
+        }
+        points.append(SweepPoint(value=value, results=results))
+    return points
+
+
+def sweep_policies(
+    specs: Sequence[Optional[PolicySpec]],
+    workloads: Sequence[Workload],
+    config: Optional[SimulationConfig] = None,
+) -> List[SweepPoint]:
+    """Vary the policy across ``specs`` (``None`` = unthrottled)."""
+    config = config or SimulationConfig()
+    if not specs:
+        raise ValueError("at least one policy spec is required")
+    points = []
+    for spec in specs:
+        results = {w.name: run_workload(w, spec, config) for w in workloads}
+        points.append(
+            SweepPoint(value=spec.key if spec else "unthrottled", results=results)
+        )
+    return points
+
+
+def best_point(
+    points: Sequence[SweepPoint],
+    metric: Callable[[SweepPoint], float] = lambda p: p.mean_bips,
+    require_safe: bool = True,
+) -> SweepPoint:
+    """The sweep point maximising ``metric``.
+
+    With ``require_safe`` (default), points that spent time above the
+    emergency envelope are excluded — a DTM configuration that overheats
+    is not a candidate no matter its throughput. Falls back to the full
+    set if every point violated.
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    candidates = [p for p in points if p.total_emergency_s == 0.0] if require_safe else list(points)
+    if not candidates:
+        candidates = list(points)
+    return max(candidates, key=metric)

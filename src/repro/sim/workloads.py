@@ -1,0 +1,102 @@
+"""The 12 four-process workloads of Table 4.
+
+Workloads span the mix spectrum from all-integer (IIII) to all-floating-
+point (FFFF); the suite label string (e.g. ``"IIFF"``) records each
+member's SPEC category in order, matching the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.uarch.benchmarks import ALL_BENCHMARKS, get_benchmark
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named four-program mix."""
+
+    name: str
+    benchmarks: Tuple[str, str, str, str]
+
+    def __post_init__(self):
+        for b in self.benchmarks:
+            if b not in ALL_BENCHMARKS:
+                raise ValueError(f"workload {self.name}: unknown benchmark {b!r}")
+
+    @property
+    def mix_label(self) -> str:
+        """Suite labels in order, e.g. ``"IIFF"``."""
+        return "".join(
+            "I" if get_benchmark(b).suite == "int" else "F" for b in self.benchmarks
+        )
+
+    @property
+    def label(self) -> str:
+        """Axis label in the paper's figure style."""
+        return "-".join(self.benchmarks) + f" ({self.mix_label})"
+
+
+#: Table 4, verbatim.
+ALL_WORKLOADS: Tuple[Workload, ...] = (
+    Workload("workload1", ("gcc", "gzip", "mcf", "vpr")),
+    Workload("workload2", ("crafty", "eon", "parser", "perlbmk")),
+    Workload("workload3", ("bzip2", "gzip", "twolf", "swim")),
+    Workload("workload4", ("crafty", "perlbmk", "vpr", "mgrid")),
+    Workload("workload5", ("gcc", "parser", "applu", "mesa")),
+    Workload("workload6", ("bzip2", "eon", "art", "facerec")),
+    Workload("workload7", ("gzip", "twolf", "ammp", "lucas")),
+    Workload("workload8", ("parser", "vpr", "fma3d", "sixtrack")),
+    Workload("workload9", ("gcc", "applu", "mgrid", "swim")),
+    Workload("workload10", ("mcf", "ammp", "art", "mesa")),
+    Workload("workload11", ("ammp", "facerec", "fma3d", "swim")),
+    Workload("workload12", ("art", "lucas", "mgrid", "sixtrack")),
+)
+
+_BY_NAME: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+#: Expected mix labels, asserted in tests against Table 4's last column.
+EXPECTED_MIX_LABELS: Dict[str, str] = {
+    "workload1": "IIII",
+    "workload2": "IIII",
+    "workload3": "IIIF",
+    "workload4": "IIIF",
+    "workload5": "IIFF",
+    "workload6": "IIFF",
+    "workload7": "IIFF",
+    "workload8": "IIFF",
+    "workload9": "IFFF",
+    "workload10": "IFFF",
+    "workload11": "FFFF",
+    "workload12": "FFFF",
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a Table 4 workload by name (``"workload1"`` .. ``"workload12"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """All workload names in Table 4 order."""
+    return [w.name for w in ALL_WORKLOADS]
+
+
+def random_workload(seed: int, name: Optional[str] = None) -> Workload:
+    """A random four-program mix drawn from the 22 benchmarks.
+
+    Table 4 is the paper's fixed selection; random mixes let tests and
+    studies check that the policy conclusions generalise beyond it.
+    Draws without replacement, deterministically in ``seed``.
+    """
+    rng = RngStream(seed, "random-workload")
+    names = sorted(ALL_BENCHMARKS)
+    picks = tuple(rng.choice(names, size=4, replace=False).tolist())
+    return Workload(name or f"random{seed}", picks)

@@ -1,0 +1,133 @@
+"""Leakage-temperature coupling helpers.
+
+Leakage power depends on temperature, and temperature depends on total
+power — the circular dependency the paper's Figure 2 draws between its
+"dynamic leakage" box and HotSpot. During transients the engine breaks
+the loop with a one-step lag; for *steady states* (warm starts, Table 1
+initialisation, standalone analyses) the fixed point must be solved
+explicitly. This module centralises that solve.
+
+The iteration ``T -> steady_state(P_dyn + P_leak(T))`` is a contraction
+for physical parameter ranges (the loop gain ``dP_leak/dT * R_thermal``
+is well below 1), so plain fixed-point iteration converges in a handful
+of rounds; :func:`coupled_steady_state` iterates to an explicit tolerance
+instead of a hard-coded round count and reports divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.thermal.leakage import LeakageModel
+from repro.thermal.model import ThermalModel
+
+#: Default convergence tolerance (deg C, max-norm over nodes).
+DEFAULT_TOLERANCE_C = 1e-6
+
+#: Iteration cap; physical configurations converge in < 10 rounds.
+DEFAULT_MAX_ITERATIONS = 50
+
+
+class LeakageCouplingError(RuntimeError):
+    """The leakage fixed point failed to converge.
+
+    Physically this is thermal runaway: the leakage-temperature loop gain
+    exceeds one, so no steady state exists below meltdown. Reachable only
+    with pathological parameters (enormous leakage or thermal resistance).
+    """
+
+
+def coupled_steady_state(
+    model: ThermalModel,
+    leakage: LeakageModel,
+    dynamic_power_w: np.ndarray,
+    tolerance_c: float = DEFAULT_TOLERANCE_C,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Tuple[np.ndarray, int]:
+    """Steady-state temperatures with self-consistent leakage.
+
+    Parameters
+    ----------
+    model, leakage:
+        The thermal network and its leakage model (same floorplan).
+    dynamic_power_w:
+        Per-block dynamic power (W).
+    tolerance_c:
+        Convergence threshold on the max temperature change per round.
+    max_iterations:
+        Safety cap; exceeding it raises :class:`LeakageCouplingError`.
+
+    Returns
+    -------
+    (temperatures, iterations):
+        Full node-temperature vector and the rounds needed.
+    """
+    p_dyn = np.asarray(dynamic_power_w, dtype=float)
+    n_blocks = model.network.n_blocks
+    if p_dyn.shape != (n_blocks,):
+        raise ValueError(
+            f"expected {n_blocks} block powers, got shape {p_dyn.shape}"
+        )
+    if not tolerance_c > 0:
+        raise ValueError(f"tolerance_c must be positive: {tolerance_c}")
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1: {max_iterations}")
+
+    temps = model.steady_state(p_dyn)
+    for iteration in range(1, max_iterations + 1):
+        total = p_dyn + leakage.power(temps[:n_blocks])
+        if not np.isfinite(total).all():
+            raise LeakageCouplingError(
+                "leakage power overflowed during the fixed-point solve — "
+                "thermal runaway (loop gain above 1)"
+            )
+        new_temps = model.steady_state(total)
+        delta = float(np.max(np.abs(new_temps - temps)))
+        temps = new_temps
+        if delta <= tolerance_c:
+            return temps, iteration
+    raise LeakageCouplingError(
+        f"leakage fixed point did not converge within {max_iterations} "
+        f"iterations (last delta {delta:.3g} C) — thermal runaway?"
+    )
+
+
+def initialize_coupled_steady(
+    model: ThermalModel,
+    leakage: LeakageModel,
+    dynamic_power_w: np.ndarray,
+    tolerance_c: float = DEFAULT_TOLERANCE_C,
+) -> np.ndarray:
+    """Set ``model``'s state to the coupled steady point; returns temps."""
+    temps, _ = coupled_steady_state(model, leakage, dynamic_power_w, tolerance_c)
+    model.set_temperatures(temps)
+    return temps
+
+
+def loop_gain_estimate(
+    model: ThermalModel,
+    leakage: LeakageModel,
+    temperatures_c: Optional[np.ndarray] = None,
+) -> float:
+    """Upper-bound estimate of the leakage-temperature loop gain.
+
+    ``gain = max_block(dP_leak/dT) * R_thermal_total`` evaluated at the
+    given (or current) temperatures. Values well below 1 guarantee the
+    fixed point converges; near or above 1 signals thermal-runaway risk.
+    """
+    n_blocks = model.network.n_blocks
+    temps = (
+        model.temperatures[:n_blocks]
+        if temperatures_c is None
+        else np.asarray(temperatures_c, dtype=float)[:n_blocks]
+    )
+    # dP/dT of the exponential model, summed over the chip.
+    dp_dt = float((leakage.beta * leakage.power(temps)).sum())
+    # Worst-case thermal resistance: hottest block response to 1 W chip-wide
+    # uniform heating is bounded by the external path, estimated from the
+    # ambient tie plus the spreader path.
+    g_amb = model.network.ambient_conductance
+    r_total = 1.0 / g_amb
+    return dp_dt * r_total

@@ -1,0 +1,169 @@
+"""Floorplan geometry: rectangular blocks and their adjacency.
+
+A floorplan is a set of non-overlapping axis-aligned rectangles (in
+millimeters, for readability of the layout code). The RC-network builder
+needs, for every pair of blocks, the length of their shared edge and the
+center-to-edge distances perpendicular to it; those queries live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Two edges closer than this (mm) are considered touching. Floorplans are
+#: specified with exact arithmetic so a tight tolerance suffices.
+ADJACENCY_TOLERANCE_MM = 1e-9
+
+
+@dataclass(frozen=True)
+class Block:
+    """An axis-aligned rectangle: lower-left corner plus extent, in mm."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self):
+        if not self.width > 0 or not self.height > 0:
+            raise ValueError(
+                f"block {self.name!r} must have positive extent "
+                f"({self.width} x {self.height})"
+            )
+
+    @property
+    def x2(self) -> float:
+        """Right edge."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge."""
+        return self.y + self.height
+
+    @property
+    def area_mm2(self) -> float:
+        """Area in square millimeters."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Center point (mm)."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def translated(self, dx: float, dy: float, rename: Optional[str] = None) -> "Block":
+        """A copy of this block shifted by ``(dx, dy)``."""
+        return Block(rename or self.name, self.x + dx, self.y + dy,
+                     self.width, self.height)
+
+    def overlaps(self, other: "Block") -> bool:
+        """Whether the two rectangles share interior area."""
+        eps = ADJACENCY_TOLERANCE_MM
+        return (
+            self.x < other.x2 - eps
+            and other.x < self.x2 - eps
+            and self.y < other.y2 - eps
+            and other.y < self.y2 - eps
+        )
+
+    def shared_edge(self, other: "Block") -> Tuple[float, float, float]:
+        """Shared-edge geometry with another block.
+
+        Returns ``(length, d_self, d_other)`` where ``length`` is the
+        overlap length of the touching edges (0 if not adjacent) and the
+        distances are from each block's center to the shared edge — the
+        quantities HotSpot's lateral-resistance formula needs.
+        """
+        eps = ADJACENCY_TOLERANCE_MM
+        # Vertical shared edge (side by side).
+        if abs(self.x2 - other.x) < eps or abs(other.x2 - self.x) < eps:
+            length = min(self.y2, other.y2) - max(self.y, other.y)
+            if length > eps:
+                return (length, self.width / 2.0, other.width / 2.0)
+        # Horizontal shared edge (stacked).
+        if abs(self.y2 - other.y) < eps or abs(other.y2 - self.y) < eps:
+            length = min(self.x2, other.x2) - max(self.x, other.x)
+            if length > eps:
+                return (length, self.height / 2.0, other.height / 2.0)
+        return (0.0, 0.0, 0.0)
+
+
+class Floorplan:
+    """An ordered collection of named, non-overlapping blocks."""
+
+    def __init__(self, blocks: Sequence[Block]):
+        names = [b.name for b in blocks]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate block names: {dupes}")
+        self.blocks: List[Block] = list(blocks)
+        self._index: Dict[str, int] = {b.name: i for i, b in enumerate(self.blocks)}
+        self._check_no_overlap()
+
+    def _check_no_overlap(self) -> None:
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1:]:
+                if a.overlaps(b):
+                    raise ValueError(f"blocks {a.name!r} and {b.name!r} overlap")
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def names(self) -> List[str]:
+        """Block names in floorplan order."""
+        return [b.name for b in self.blocks]
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        try:
+            return self.blocks[self._index[name]]
+        except KeyError:
+            raise KeyError(f"no block named {name!r} in floorplan") from None
+
+    def index(self, name: str) -> int:
+        """Position of the named block in floorplan order."""
+        if name not in self._index:
+            raise KeyError(f"no block named {name!r} in floorplan")
+        return self._index[name]
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Sum of all block areas (mm^2)."""
+        return sum(b.area_mm2 for b in self.blocks)
+
+    @property
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """``(x_min, y_min, x_max, y_max)`` over all blocks."""
+        return (
+            min(b.x for b in self.blocks),
+            min(b.y for b in self.blocks),
+            max(b.x2 for b in self.blocks),
+            max(b.y2 for b in self.blocks),
+        )
+
+    def adjacent_pairs(self) -> List[Tuple[int, int, float, float, float]]:
+        """All adjacent block pairs.
+
+        Returns tuples ``(i, j, shared_length, d_i, d_j)`` with ``i < j``,
+        shared length in mm and center-to-edge distances in mm.
+        """
+        pairs = []
+        for i, a in enumerate(self.blocks):
+            for j in range(i + 1, len(self.blocks)):
+                length, da, db = a.shared_edge(self.blocks[j])
+                if length > 0:
+                    pairs.append((i, j, length, da, db))
+        return pairs
+
+    def merged_with(self, other: "Floorplan") -> "Floorplan":
+        """A new floorplan containing the blocks of both."""
+        return Floorplan(self.blocks + other.blocks)

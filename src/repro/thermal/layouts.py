@@ -1,0 +1,189 @@
+"""Concrete floorplans: the 4-core CMP of the paper and a single-core
+mobile chip used for the Table 1 reproduction.
+
+The per-core layout follows the out-of-order PowerPC-style floorplans used
+in the paper's lineage (HotSpot's EV6-style plans, and Li et al. HPCA'05):
+caches along the bottom, front-end in the middle band, execution units and
+the two register files — the paper's hotspots — in the top band. The chip
+places four such cores in a row over a crossbar strip and a 4 MB shared L2
+split into four banks, so that cores have distinct lateral surroundings
+(edge cores vs. inner cores), which the sensor-based migration policy must
+learn (Section 6.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.thermal.floorplan import Block, Floorplan
+
+#: Units inside one core. ``intreg`` and ``fpreg`` are the paper's two
+#: monitored hotspots ("integer register logic", "FP register logic").
+CORE_UNITS: Tuple[str, ...] = (
+    "icache",
+    "dcache",
+    "bpred",
+    "decode",
+    "iq",
+    "lsu",
+    "fxu",
+    "intreg",
+    "bxu",
+    "fpreg",
+    "fpu",
+)
+
+#: The two per-core hotspot units watched by thermal sensors.
+HOTSPOT_UNITS: Tuple[str, str] = ("intreg", "fpreg")
+
+#: Fractional layout of a core (x, y, width, height in the unit square).
+_CORE_LAYOUT: Dict[str, Tuple[float, float, float, float]] = {
+    "icache": (0.00, 0.00, 0.50, 0.35),
+    "dcache": (0.50, 0.00, 0.50, 0.35),
+    "bpred": (0.00, 0.35, 0.25, 0.30),
+    "decode": (0.25, 0.35, 0.25, 0.30),
+    "iq": (0.50, 0.35, 0.25, 0.30),
+    "lsu": (0.75, 0.35, 0.25, 0.30),
+    "fxu": (0.00, 0.65, 0.22, 0.35),
+    "intreg": (0.22, 0.65, 0.13, 0.35),
+    "bxu": (0.35, 0.65, 0.13, 0.35),
+    "fpreg": (0.48, 0.65, 0.13, 0.35),
+    "fpu": (0.61, 0.65, 0.39, 0.35),
+}
+
+#: Default core edge length (mm) for the 90 nm 4-core chip.
+DEFAULT_CORE_SIZE_MM = 4.0
+
+#: Height (mm) of the crossbar/interconnect strip between cores and L2.
+XBAR_HEIGHT_MM = 0.8
+
+#: Height (mm) of the shared L2 region (4 MB, spanning the chip width).
+L2_HEIGHT_MM = 5.2
+
+
+def core_block_name(core_index: int, unit: str) -> str:
+    """Canonical name of a unit inside a core, e.g. ``core2.fpreg``."""
+    return f"core{core_index}.{unit}"
+
+
+def parse_block_name(name: str) -> Tuple[int, str]:
+    """Inverse of :func:`core_block_name`.
+
+    Returns ``(core_index, unit)``; shared blocks (L2 banks, crossbar)
+    return core index ``-1``.
+    """
+    if name.startswith("core") and "." in name:
+        prefix, unit = name.split(".", 1)
+        return int(prefix[4:]), unit
+    return -1, name
+
+
+def build_core_floorplan(
+    core_size_mm: float = DEFAULT_CORE_SIZE_MM,
+    origin: Tuple[float, float] = (0.0, 0.0),
+    prefix: str = "",
+) -> Floorplan:
+    """One out-of-order core, optionally name-prefixed and translated."""
+    if not core_size_mm > 0:
+        raise ValueError(f"core_size_mm must be positive, got {core_size_mm}")
+    ox, oy = origin
+    blocks = [
+        Block(
+            prefix + unit,
+            ox + fx * core_size_mm,
+            oy + fy * core_size_mm,
+            fw * core_size_mm,
+            fh * core_size_mm,
+        )
+        for unit, (fx, fy, fw, fh) in _CORE_LAYOUT.items()
+    ]
+    return Floorplan(blocks)
+
+
+def build_cmp_floorplan(
+    n_cores: int = 4,
+    core_size_mm: float = DEFAULT_CORE_SIZE_MM,
+    core_sizes_mm: Optional[Sequence[float]] = None,
+) -> Floorplan:
+    """The paper's chip: ``n_cores`` cores over a crossbar and L2 banks.
+
+    Core ``i`` occupies a square column above the crossbar; the L2 is
+    split into one bank per core column so the thermal model resolves
+    lateral gradients along the chip.
+
+    ``core_sizes_mm`` enables the *asymmetric cores* axis the paper names
+    as a possible extension: per-core edge lengths (same microarchitecture
+    and power, different silicon area — a larger core runs the same
+    workload at lower power density and therefore cooler).
+    """
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    if core_sizes_mm is None:
+        sizes = [core_size_mm] * n_cores
+    else:
+        sizes = [float(s) for s in core_sizes_mm]
+        if len(sizes) != n_cores:
+            raise ValueError(
+                f"core_sizes_mm must have {n_cores} entries, got {len(sizes)}"
+            )
+        if any(not s > 0 for s in sizes):
+            raise ValueError(f"core sizes must be positive: {sizes}")
+    blocks: List[Block] = []
+    xbar_bottom = L2_HEIGHT_MM
+    core_bottom = L2_HEIGHT_MM + XBAR_HEIGHT_MM
+    x = 0.0
+    for i, size in enumerate(sizes):
+        core = build_core_floorplan(
+            size,
+            origin=(x, core_bottom),
+            prefix=f"core{i}.",
+        )
+        blocks.extend(core.blocks)
+        x += size
+    chip_width = sum(sizes)
+    blocks.append(Block("xbar", 0.0, xbar_bottom, chip_width, XBAR_HEIGHT_MM))
+    x = 0.0
+    for i, size in enumerate(sizes):
+        blocks.append(Block(f"l2_{i}", x, 0.0, size, L2_HEIGHT_MM))
+        x += size
+    return Floorplan(blocks)
+
+
+def build_mobile_floorplan(core_size_mm: float = 6.0) -> Floorplan:
+    """A single-core mobile chip (the Table 1 Pentium M stand-in).
+
+    One core above a 1 MB L2 block; the ACPI-style thermal diode sits at
+    the edge of the die (see :func:`mobile_sensor_block`).
+    """
+    l2_height = core_size_mm * 0.6
+    core = build_core_floorplan(
+        core_size_mm, origin=(0.0, l2_height), prefix="core0."
+    )
+    l2 = Block("l2_0", 0.0, 0.0, core_size_mm, l2_height)
+    return Floorplan(list(core.blocks) + [l2])
+
+
+def mobile_sensor_block() -> str:
+    """Block holding the mobile chip's single edge thermal diode.
+
+    The Pentium M's ACPI diode sits at the edge of the processor. We read
+    the L2 region, which reaches the die's bottom edge and integrates
+    total chip power the way a package-edge diode does (the Table 1
+    experiment reads this block through 1 °C quantisation).
+    """
+    return "l2_0"
+
+
+def core_names(n_cores: int) -> List[str]:
+    """``["core0", ..., "core{n-1}"]`` — used for labeling results."""
+    return [f"core{i}" for i in range(n_cores)]
+
+
+def hotspot_blocks(core_index: int) -> List[str]:
+    """The monitored hotspot block names of one core."""
+    return [core_block_name(core_index, unit) for unit in HOTSPOT_UNITS]
+
+
+def all_core_blocks(core_index: int) -> List[str]:
+    """All block names belonging to one core."""
+    return [core_block_name(core_index, unit) for unit in CORE_UNITS]

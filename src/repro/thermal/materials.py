@@ -1,0 +1,39 @@
+"""Material thermal properties used by the RC-network builder.
+
+Values are the standard ones HotSpot 2.0 ships with (silicon and copper
+bulk properties, a representative thermal-interface paste), expressed in
+SI units: conductivity in W/(m*K) and volumetric heat capacity in
+J/(m^3*K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Material:
+    """Thermal conductivity and volumetric heat capacity of a material."""
+
+    name: str
+    conductivity: float  # W / (m K)
+    volumetric_heat_capacity: float  # J / (m^3 K)
+
+    def __post_init__(self):
+        if not self.conductivity > 0:
+            raise ValueError(f"conductivity must be positive: {self.conductivity}")
+        if not self.volumetric_heat_capacity > 0:
+            raise ValueError(
+                f"volumetric heat capacity must be positive: "
+                f"{self.volumetric_heat_capacity}"
+            )
+
+
+#: Bulk silicon near operating temperature.
+SILICON = Material("silicon", conductivity=100.0, volumetric_heat_capacity=1.75e6)
+
+#: Copper (heat spreader and heatsink base).
+COPPER = Material("copper", conductivity=400.0, volumetric_heat_capacity=3.55e6)
+
+#: Thermal interface material between die and spreader.
+INTERFACE = Material("tim", conductivity=4.0, volumetric_heat_capacity=4.0e6)

@@ -1,0 +1,154 @@
+"""Transient and steady-state thermal solver.
+
+The network ODE ``C dT/dt = -G T + u`` is linear and time-invariant, so
+for a fixed step ``dt`` with power held constant across the step (exactly
+our situation: power traces are piecewise constant at the sample period)
+the update
+
+    T[k+1] = T_ss(u) + A_d (T[k] - T_ss(u)),   A_d = expm(-C^-1 G dt)
+
+is *exact*, unconditionally stable, and costs two dense mat-vecs per step
+after a one-time ``expm``. ``T_ss(u) = G^-1 u`` is the steady state under
+input ``u``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+from scipy.linalg import expm, lu_factor, lu_solve
+
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.package import ThermalPackage
+from repro.thermal.rc_network import RCNetwork, build_rc_network
+
+
+class ThermalModel:
+    """Stateful thermal simulator over a floorplan + package.
+
+    Parameters
+    ----------
+    floorplan, package:
+        Geometry and vertical stack; the RC network is built internally.
+    dt:
+        Default transient step (seconds). Steps of other sizes are
+        supported but recompute the propagator (cached per size).
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        package: ThermalPackage,
+        dt: float,
+    ):
+        if not dt > 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.floorplan = floorplan
+        self.package = package
+        self.dt = float(dt)
+        self.network: RCNetwork = build_rc_network(floorplan, package)
+        self._g_lu = lu_factor(self.network.conductance)
+        self._c_inv = 1.0 / self.network.capacitance
+        self._propagators: Dict[float, np.ndarray] = {}
+        self._propagator_for(self.dt)
+        #: Current node temperatures (deg C), initialized to ambient.
+        self.temperatures = np.full(
+            self.network.n_nodes, self.network.ambient_c, dtype=float
+        )
+
+    # -- propagator management ---------------------------------------------
+
+    def _propagator_for(self, dt: float) -> np.ndarray:
+        key = round(float(dt), 15)
+        cached = self._propagators.get(key)
+        if cached is None:
+            a = -(self._c_inv[:, None] * self.network.conductance) * dt
+            cached = expm(a)
+            self._propagators[key] = cached
+        return cached
+
+    # -- solvers -------------------------------------------------------------
+
+    def steady_state(self, block_power_w: Sequence[float]) -> np.ndarray:
+        """Steady-state node temperatures under constant block powers."""
+        u = self.network.input_vector(np.asarray(block_power_w, dtype=float))
+        return lu_solve(self._g_lu, u)
+
+    def step(self, block_power_w: Sequence[float], dt: Optional[float] = None) -> np.ndarray:
+        """Advance the transient state by one step of ``dt`` seconds.
+
+        ``block_power_w`` is held constant over the step. Returns (a copy
+        of) the new node temperatures.
+        """
+        dt = self.dt if dt is None else float(dt)
+        a_d = self._propagator_for(dt)
+        t_ss = self.steady_state(block_power_w)
+        self.temperatures = t_ss + a_d @ (self.temperatures - t_ss)
+        return self.temperatures.copy()
+
+    def run(
+        self,
+        power_schedule: Iterable[Sequence[float]],
+        dt: Optional[float] = None,
+    ) -> np.ndarray:
+        """Step through a sequence of power vectors; return the trajectory.
+
+        The result has shape ``(n_steps, n_nodes)`` — the temperature
+        *after* each step.
+        """
+        rows: List[np.ndarray] = [
+            self.step(p, dt) for p in power_schedule
+        ]
+        return np.array(rows)
+
+    # -- state management ------------------------------------------------------
+
+    def set_temperatures(self, temperatures: Sequence[float]) -> None:
+        """Overwrite the full node-temperature state."""
+        temps = np.asarray(temperatures, dtype=float)
+        if temps.shape != (self.network.n_nodes,):
+            raise ValueError(
+                f"expected {self.network.n_nodes} temperatures, got {temps.shape}"
+            )
+        self.temperatures = temps.copy()
+
+    def initialize_steady(self, block_power_w: Sequence[float]) -> np.ndarray:
+        """Set the state to the steady point of ``block_power_w``.
+
+        Experiments start from a warmed-up chip rather than a cold one, as
+        on real hardware (the paper waits for the machine to reach a stable
+        idle temperature before each measurement).
+        """
+        self.temperatures = self.steady_state(block_power_w)
+        return self.temperatures.copy()
+
+    # -- queries ------------------------------------------------------------------
+
+    def temperature_of(self, name: str) -> float:
+        """Current temperature of a named node."""
+        return float(self.temperatures[self.network.index(name)])
+
+    def block_temperatures(self) -> np.ndarray:
+        """Temperatures of the silicon blocks only, floorplan order."""
+        return self.temperatures[: self.network.n_blocks].copy()
+
+    def hottest_block(self) -> str:
+        """Name of the hottest silicon block right now."""
+        idx = int(np.argmax(self.temperatures[: self.network.n_blocks]))
+        return self.network.node_names[idx]
+
+    def max_block_temperature(self) -> float:
+        """Temperature of the hottest silicon block."""
+        return float(self.temperatures[: self.network.n_blocks].max())
+
+    def time_constants(self) -> np.ndarray:
+        """Open-network time constants (s): ``1 / eigvals(C^-1 G)``, sorted.
+
+        Useful for sanity-checking that block-level constants sit in the
+        millisecond range the paper relies on.
+        """
+        eigvals = np.linalg.eigvals(self._c_inv[:, None] * self.network.conductance)
+        eigvals = np.real(eigvals)
+        eigvals = eigvals[eigvals > 0]
+        return np.sort(1.0 / eigvals)

@@ -1,0 +1,125 @@
+"""On-chip thermal sensor model.
+
+Every DTM policy in the paper acts on thermal sensor readings, not on the
+model's true temperatures. Real sensors quantize (the paper's ACPI diode
+reports whole degrees), carry a calibration offset, add noise, and lag the
+silicon slightly; the paper notes the sensor delay is small relative to
+thermal time scales, and we model it as a configurable one-sample
+exponential lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.thermal.model import ThermalModel
+from repro.util.rng import RngStream
+
+
+@dataclass
+class ThermalSensor:
+    """One sensor attached to a named floorplan block.
+
+    Attributes
+    ----------
+    block:
+        Floorplan block whose temperature the sensor observes.
+    offset_c:
+        Static calibration error added to every reading.
+    noise_std_c:
+        Standard deviation of white Gaussian read noise.
+    quantization_c:
+        Reading granularity (0 disables quantization; the Table 1
+        experiment uses 1.0 to match the ACPI interface).
+    lag:
+        First-order smoothing weight in [0, 1): 0 means the sensor tracks
+        silicon instantly, larger values blend in the previous reading.
+    """
+
+    block: str
+    offset_c: float = 0.0
+    noise_std_c: float = 0.0
+    quantization_c: float = 0.0
+    lag: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.lag < 1.0:
+            raise ValueError(f"lag must be in [0, 1): {self.lag}")
+        if self.noise_std_c < 0:
+            raise ValueError(f"noise_std_c must be >= 0: {self.noise_std_c}")
+        if self.quantization_c < 0:
+            raise ValueError(f"quantization_c must be >= 0: {self.quantization_c}")
+
+
+class SensorBank:
+    """A set of sensors read together once per control step.
+
+    Readings are deterministic given the bank's RNG stream, so simulations
+    are exactly reproducible.
+    """
+
+    def __init__(
+        self,
+        sensors: Sequence[ThermalSensor],
+        rng: Optional[RngStream] = None,
+    ):
+        if not sensors:
+            raise ValueError("a sensor bank needs at least one sensor")
+        names = [s.block for s in sensors]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate sensors on the same block")
+        self.sensors: List[ThermalSensor] = list(sensors)
+        self._rng = rng or RngStream(0, "sensors")
+        self._smoothed: Optional[np.ndarray] = None
+        self._last_reading: Dict[str, float] = {}
+
+    @property
+    def blocks(self) -> List[str]:
+        """Monitored block names, in sensor order."""
+        return [s.block for s in self.sensors]
+
+    def read(self, model: ThermalModel) -> Dict[str, float]:
+        """Sample every sensor against the model's current temperatures."""
+        true_temps = np.array(
+            [model.temperature_of(s.block) for s in self.sensors]
+        )
+        if self._smoothed is None:
+            self._smoothed = true_temps.copy()
+        readings: Dict[str, float] = {}
+        for i, sensor in enumerate(self.sensors):
+            self._smoothed[i] = (
+                sensor.lag * self._smoothed[i] + (1.0 - sensor.lag) * true_temps[i]
+            )
+            value = self._smoothed[i] + sensor.offset_c
+            if sensor.noise_std_c > 0:
+                value += float(self._rng.normal(0.0, sensor.noise_std_c))
+            if sensor.quantization_c > 0:
+                value = (
+                    round(value / sensor.quantization_c) * sensor.quantization_c
+                )
+            readings[sensor.block] = float(value)
+        self._last_reading = readings
+        return readings
+
+    @property
+    def last_reading(self) -> Dict[str, float]:
+        """The most recent set of readings (empty before the first read)."""
+        return dict(self._last_reading)
+
+    def reset(self) -> None:
+        """Forget smoothing state (e.g. between independent runs)."""
+        self._smoothed = None
+        self._last_reading = {}
+
+
+def ideal_sensor_bank(blocks: Sequence[str]) -> SensorBank:
+    """Noise-free, instantaneous sensors on the given blocks.
+
+    The paper's simulated policies assume accurate sensors (it cites the
+    POWER5's low sensor delay); the main experiments use this bank, and
+    the sensor-fidelity ablation swaps in degraded ones.
+    """
+    return SensorBank([ThermalSensor(block=b) for b in blocks])

@@ -1,0 +1,56 @@
+"""Microarchitectural performance & power substrate (Turandot/PowerTimer
+stand-in).
+
+The paper's DTM study consumes its performance simulator through *power
+traces*: per-floorplan-unit power sampled every 100,000 cycles (27.78 us
+at 3.6 GHz), plus per-interval activity counters (instructions, integer
+and FP register-file accesses) that feed the counter-based migration
+policy. This package produces those traces from 22 synthetic SPEC CPU2000
+benchmark models:
+
+* :mod:`repro.uarch.config` — the Table 3 machine configuration;
+* :mod:`repro.uarch.isa` — instruction classes and mixes;
+* :mod:`repro.uarch.benchmarks` — calibrated per-benchmark profiles;
+* :mod:`repro.uarch.phases` — time-varying phase behaviour;
+* :mod:`repro.uarch.caches` / :mod:`repro.uarch.branch` — memory-system
+  and branch-predictor models (both functional, for the cycle-level
+  pipeline, and analytic, for the interval engine);
+* :mod:`repro.uarch.pipeline` — a cycle-level out-of-order core model;
+* :mod:`repro.uarch.interval_model` — the fast vectorised interval engine
+  used for trace production;
+* :mod:`repro.uarch.power` — PowerTimer-style activity-to-power scaling;
+* :mod:`repro.uarch.trace` / :mod:`repro.uarch.tracegen` — trace
+  containers, generation and caching;
+* :mod:`repro.uarch.counters` — per-thread performance counters.
+"""
+
+from repro.uarch.benchmarks import (
+    ALL_BENCHMARKS,
+    BenchmarkProfile,
+    get_benchmark,
+    specfp_benchmarks,
+    specint_benchmarks,
+)
+from repro.uarch.config import DVFSConfig, MachineConfig, default_machine_config
+from repro.uarch.counters import PerformanceCounters
+from repro.uarch.power import PowerModel
+from repro.uarch.smt import merge_profiles
+from repro.uarch.trace import PowerTrace
+from repro.uarch.tracegen import clear_trace_cache, generate_trace
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkProfile",
+    "DVFSConfig",
+    "MachineConfig",
+    "PerformanceCounters",
+    "PowerModel",
+    "PowerTrace",
+    "merge_profiles",
+    "clear_trace_cache",
+    "default_machine_config",
+    "generate_trace",
+    "get_benchmark",
+    "specfp_benchmarks",
+    "specint_benchmarks",
+]

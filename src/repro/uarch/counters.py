@@ -1,0 +1,111 @@
+"""Per-thread performance counters.
+
+Counter-based migration (Section 6.1) reads "cycle counts, the number of
+integer register file accesses, the number of floating point register
+accesses, and instructions executed" and works with accesses per
+*adjusted* cycle when frequency scaling is active: a thread observed at a
+low frequency looks artificially cool, so its access rates are normalised
+by the effective cycles actually delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerformanceCounters:
+    """Hardware counters attributed to a single thread.
+
+    ``cycles`` counts wall-clock nominal cycles the thread was scheduled;
+    ``adjusted_cycles`` weights each period by the frequency scale then in
+    effect — the denominator the paper's migration policy needs.
+    """
+
+    instructions: float = 0.0
+    int_rf_accesses: float = 0.0
+    fp_rf_accesses: float = 0.0
+    cycles: float = 0.0
+    adjusted_cycles: float = 0.0
+
+    def update(
+        self,
+        instructions: float,
+        int_rf_accesses: float,
+        fp_rf_accesses: float,
+        nominal_cycles: float,
+        frequency_scale: float,
+    ) -> None:
+        """Accumulate one observation window.
+
+        Parameters
+        ----------
+        instructions, int_rf_accesses, fp_rf_accesses:
+            Event counts in the window.
+        nominal_cycles:
+            Wall-clock duration of the window expressed in nominal cycles.
+        frequency_scale:
+            Frequency scale in effect during the window (0 while stalled).
+        """
+        if nominal_cycles < 0:
+            raise ValueError(f"nominal_cycles must be >= 0: {nominal_cycles}")
+        if not 0.0 <= frequency_scale <= 1.0:
+            raise ValueError(f"frequency_scale must be in [0,1]: {frequency_scale}")
+        self.instructions += instructions
+        self.int_rf_accesses += int_rf_accesses
+        self.fp_rf_accesses += fp_rf_accesses
+        self.cycles += nominal_cycles
+        self.adjusted_cycles += nominal_cycles * frequency_scale
+
+    @property
+    def int_rf_per_adjusted_cycle(self) -> float:
+        """Integer RF accesses per adjusted cycle (0 before any activity)."""
+        if self.adjusted_cycles == 0:
+            return 0.0
+        return self.int_rf_accesses / self.adjusted_cycles
+
+    @property
+    def fp_rf_per_adjusted_cycle(self) -> float:
+        """FP RF accesses per adjusted cycle (0 before any activity)."""
+        if self.adjusted_cycles == 0:
+            return 0.0
+        return self.fp_rf_accesses / self.adjusted_cycles
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per adjusted cycle."""
+        if self.adjusted_cycles == 0:
+            return 0.0
+        return self.instructions / self.adjusted_cycles
+
+    def intensity_for(self, hotspot_unit: str) -> float:
+        """Access intensity relevant to a hotspot unit.
+
+        The migration matcher asks "which thread would heat this core's
+        critical hotspot least?"; intensity for the integer register file
+        is integer-RF accesses per adjusted cycle, and likewise for FP.
+        Unknown units fall back to total instruction rate.
+        """
+        if hotspot_unit == "intreg":
+            return self.int_rf_per_adjusted_cycle
+        if hotspot_unit == "fpreg":
+            return self.fp_rf_per_adjusted_cycle
+        return self.ipc
+
+    def reset(self) -> None:
+        """Zero all counters (thread teardown)."""
+        self.instructions = 0.0
+        self.int_rf_accesses = 0.0
+        self.fp_rf_accesses = 0.0
+        self.cycles = 0.0
+        self.adjusted_cycles = 0.0
+
+    def copy(self) -> "PerformanceCounters":
+        """An independent snapshot of the current values."""
+        return PerformanceCounters(
+            instructions=self.instructions,
+            int_rf_accesses=self.int_rf_accesses,
+            fp_rf_accesses=self.fp_rf_accesses,
+            cycles=self.cycles,
+            adjusted_cycles=self.adjusted_cycles,
+        )

@@ -1,0 +1,173 @@
+"""Instruction classes and per-benchmark instruction mixes.
+
+The synthetic instruction streams driving both the cycle-level pipeline
+and the interval engine are described by an :class:`InstructionMix` — the
+stationary distribution over instruction classes — rather than by real
+program binaries. This is the information the power model actually needs:
+which execution resources (and hence floorplan units) each instruction
+exercises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+
+class InstructionClass(enum.Enum):
+    """Broad execution classes, each mapping to a primary functional unit."""
+
+    INT_ALU = "int_alu"  # executes on FXU, reads/writes integer RF
+    INT_MUL = "int_mul"  # long-latency FXU op
+    FP_ALU = "fp_alu"    # executes on FPU, reads/writes FP RF
+    FP_MUL = "fp_mul"    # long-latency FPU op
+    LOAD = "load"        # LSU + D-cache
+    STORE = "store"      # LSU + D-cache
+    BRANCH = "branch"    # BXU + predictor
+
+
+#: Execution latency (cycles) of each class once issued.
+EXECUTION_LATENCY: Dict[InstructionClass, int] = {
+    InstructionClass.INT_ALU: 1,
+    InstructionClass.INT_MUL: 7,
+    InstructionClass.FP_ALU: 4,
+    InstructionClass.FP_MUL: 6,
+    InstructionClass.LOAD: 1,   # plus cache latency, added by the memory model
+    InstructionClass.STORE: 1,
+    InstructionClass.BRANCH: 1,
+}
+
+#: Integer register-file accesses per instruction of each class
+#: (source reads + destination write, pessimistically rounded).
+INT_RF_ACCESSES: Dict[InstructionClass, float] = {
+    InstructionClass.INT_ALU: 3.0,
+    InstructionClass.INT_MUL: 3.0,
+    InstructionClass.FP_ALU: 0.0,
+    InstructionClass.FP_MUL: 0.0,
+    InstructionClass.LOAD: 2.0,   # address base + destination (int side)
+    InstructionClass.STORE: 2.0,
+    InstructionClass.BRANCH: 1.0,
+}
+
+#: FP register-file accesses per instruction of each class.
+FP_RF_ACCESSES: Dict[InstructionClass, float] = {
+    InstructionClass.INT_ALU: 0.0,
+    InstructionClass.INT_MUL: 0.0,
+    InstructionClass.FP_ALU: 3.0,
+    InstructionClass.FP_MUL: 3.0,
+    InstructionClass.LOAD: 0.5,   # FP loads write the FP RF; split heuristically
+    InstructionClass.STORE: 0.5,
+    InstructionClass.BRANCH: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """A stationary distribution over :class:`InstructionClass`.
+
+    Fractions must be non-negative and sum to 1 (within tolerance).
+    """
+
+    fractions: Tuple[Tuple[InstructionClass, float], ...]
+
+    def __post_init__(self):
+        total = 0.0
+        seen = set()
+        for cls, frac in self.fractions:
+            if cls in seen:
+                raise ValueError(f"duplicate class {cls} in mix")
+            seen.add(cls)
+            if frac < 0:
+                raise ValueError(f"negative fraction for {cls}: {frac}")
+            total += frac
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"mix fractions must sum to 1, got {total}")
+
+    @classmethod
+    def from_dict(cls, fractions: Dict[InstructionClass, float]) -> "InstructionMix":
+        """Build a mix from a class->fraction mapping."""
+        return cls(tuple(sorted(fractions.items(), key=lambda kv: kv[0].value)))
+
+    def fraction(self, icls: InstructionClass) -> float:
+        """Fraction of instructions in the given class (0 if absent)."""
+        for c, f in self.fractions:
+            if c is icls:
+                return f
+        return 0.0
+
+    def __iter__(self) -> Iterator[Tuple[InstructionClass, float]]:
+        return iter(self.fractions)
+
+    @property
+    def load_store_fraction(self) -> float:
+        """Memory-instruction share."""
+        return self.fraction(InstructionClass.LOAD) + self.fraction(
+            InstructionClass.STORE
+        )
+
+    @property
+    def fp_fraction(self) -> float:
+        """Floating-point-instruction share."""
+        return self.fraction(InstructionClass.FP_ALU) + self.fraction(
+            InstructionClass.FP_MUL
+        )
+
+    @property
+    def branch_fraction(self) -> float:
+        """Branch-instruction share."""
+        return self.fraction(InstructionClass.BRANCH)
+
+    def int_rf_accesses_per_instruction(self) -> float:
+        """Expected integer register-file accesses per instruction."""
+        return sum(f * INT_RF_ACCESSES[c] for c, f in self.fractions)
+
+    def fp_rf_accesses_per_instruction(self) -> float:
+        """Expected FP register-file accesses per instruction."""
+        return sum(f * FP_RF_ACCESSES[c] for c, f in self.fractions)
+
+
+def integer_mix(
+    load: float = 0.22,
+    store: float = 0.10,
+    branch: float = 0.16,
+    int_mul: float = 0.02,
+) -> InstructionMix:
+    """A typical SPECint mix: the remainder is single-cycle integer ALU."""
+    int_alu = 1.0 - load - store - branch - int_mul
+    return InstructionMix.from_dict(
+        {
+            InstructionClass.INT_ALU: int_alu,
+            InstructionClass.INT_MUL: int_mul,
+            InstructionClass.LOAD: load,
+            InstructionClass.STORE: store,
+            InstructionClass.BRANCH: branch,
+        }
+    )
+
+
+def floating_point_mix(
+    fp: float = 0.38,
+    fp_mul_share: float = 0.4,
+    load: float = 0.24,
+    store: float = 0.09,
+    branch: float = 0.05,
+    int_mul: float = 0.01,
+) -> InstructionMix:
+    """A typical SPECfp mix: ``fp`` split between FP add and FP multiply."""
+    fp_mul = fp * fp_mul_share
+    fp_alu = fp - fp_mul
+    int_alu = 1.0 - fp - load - store - branch - int_mul
+    if int_alu < 0:
+        raise ValueError("mix fractions exceed 1")
+    return InstructionMix.from_dict(
+        {
+            InstructionClass.INT_ALU: int_alu,
+            InstructionClass.INT_MUL: int_mul,
+            InstructionClass.FP_ALU: fp_alu,
+            InstructionClass.FP_MUL: fp_mul,
+            InstructionClass.LOAD: load,
+            InstructionClass.STORE: store,
+            InstructionClass.BRANCH: branch,
+        }
+    )

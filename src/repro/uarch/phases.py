@@ -1,0 +1,111 @@
+"""Program phase behaviour.
+
+Table 1 of the paper splits benchmarks into those that settle at a steady
+temperature and those whose temperature "continually rises and falls
+throughout execution" (bzip2, ammp, facerec, fma3d). The phase generator
+reproduces that distinction: every benchmark's per-interval activity is
+modulated by a deterministic waveform — near-constant (small random walk)
+for stable programs, and a large-amplitude periodic wave for oscillators.
+
+A :class:`PhaseSpec` is evaluated lazily over interval indices so the
+interval engine can vectorise trace generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+#: Waveform shapes supported by :meth:`PhaseSpec.modulation`.
+SHAPES = ("constant", "sine", "square", "sawtooth", "random_walk")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Activity-modulation waveform for one benchmark.
+
+    Attributes
+    ----------
+    shape:
+        One of :data:`SHAPES`.
+    period_s:
+        Waveform period (ignored for ``constant`` and ``random_walk``).
+    amplitude:
+        Peak deviation from 1.0; the modulation stays within
+        ``[1 - amplitude, 1 + amplitude]``.
+    jitter:
+        Standard deviation of per-interval multiplicative noise added on
+        top of the waveform (models short-term program variability).
+    """
+
+    shape: str = "constant"
+    period_s: float = 0.05
+    amplitude: float = 0.0
+    jitter: float = 0.02
+
+    def __post_init__(self):
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown phase shape {self.shape!r}; use one of {SHAPES}")
+        if self.shape not in ("constant", "random_walk") and not self.period_s > 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1): {self.amplitude}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter}")
+
+    @property
+    def is_oscillating(self) -> bool:
+        """Whether this spec produces Table 1(b)-style temperature swings."""
+        return self.shape in ("sine", "square", "sawtooth") and self.amplitude > 0.05
+
+    def modulation(
+        self, n_intervals: int, interval_s: float, rng: RngStream
+    ) -> np.ndarray:
+        """Per-interval modulation factors, shape ``(n_intervals,)``.
+
+        Values are clipped to a minimum of 0.05 so activity never reaches
+        exactly zero (even stalled programs keep clocks and caches busy).
+        """
+        if n_intervals < 1:
+            raise ValueError(f"n_intervals must be >= 1, got {n_intervals}")
+        if not interval_s > 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        t = np.arange(n_intervals) * interval_s
+        if self.shape == "constant":
+            wave = np.zeros(n_intervals)
+        elif self.shape == "sine":
+            wave = np.sin(2.0 * np.pi * t / self.period_s)
+        elif self.shape == "square":
+            wave = np.sign(np.sin(2.0 * np.pi * t / self.period_s))
+            wave[wave == 0] = 1.0
+        elif self.shape == "sawtooth":
+            frac = np.mod(t / self.period_s, 1.0)
+            wave = 2.0 * frac - 1.0
+        elif self.shape == "random_walk":
+            steps = rng.normal(0.0, 1.0, n_intervals)
+            walk = np.cumsum(steps)
+            # Mean-revert so the walk stays bounded over long traces.
+            walk -= np.linspace(0.0, walk[-1], n_intervals)
+            peak = np.abs(walk).max()
+            wave = walk / peak if peak > 0 else walk
+        else:  # pragma: no cover - guarded by __post_init__
+            raise AssertionError(self.shape)
+        values = 1.0 + self.amplitude * wave
+        if self.jitter > 0:
+            values = values * (1.0 + rng.normal(0.0, self.jitter, n_intervals))
+        return np.clip(values, 0.05, None)
+
+
+def stable_phase(jitter: float = 0.02) -> PhaseSpec:
+    """A Table 1(a)-style stable program (small random variation only)."""
+    return PhaseSpec(shape="random_walk", amplitude=0.04, jitter=jitter)
+
+
+def oscillating_phase(
+    shape: str, period_s: float, amplitude: float
+) -> PhaseSpec:
+    """A Table 1(b)-style oscillator."""
+    return PhaseSpec(shape=shape, period_s=period_s, amplitude=amplitude)

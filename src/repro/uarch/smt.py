@@ -1,0 +1,131 @@
+"""Simultaneous multithreading (SMT) as a workload transformation.
+
+The paper names SMT as the other natural extension of its taxonomy
+(Section 9), and the surrounding literature — the authors' own
+CMP-vs-SMT thermal study [9], Li et al. HPCA'05, Powell et al.
+Heat-and-Run — frames the question our extension study asks: at equal
+silicon area, does running two threads per (bigger) SMT core behave
+better or worse thermally than one thread per (smaller) core?
+
+We model a 2-way SMT core at the fidelity the thermal study needs: two
+co-scheduled threads merge into one *combined profile* whose trace drives
+a single core. The merge rules follow published SMT behaviour:
+
+* **throughput** — combined IPC is ``min(cap, (ipc_a + ipc_b) *
+  SMT_EFFICIENCY)``: two threads share fetch/issue bandwidth, so each
+  runs slower than alone but the pair outruns either (typical published
+  SMT speedups are 1.2–1.4x over single-thread; efficiency 0.75 puts a
+  1.9+1.9 IPC pair at ~2.85);
+* **mix and register-file pressure** — instruction-weighted blends: an
+  int+fp pair exercises *both* register files at once, which is exactly
+  the thermal hazard SMT introduces (no cool unit left to balance
+  against);
+* **memory system** — miss rates blend instruction-weighted and gain a
+  contention bump (threads share the L1/L2);
+* **phases** — the pair's activity modulation keeps the stronger
+  oscillator's waveform; uncorrelated thread phases partially cancel, so
+  the amplitude is damped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.uarch.benchmarks import BenchmarkProfile
+from repro.uarch.isa import InstructionClass, InstructionMix
+
+#: Fraction of the threads' summed solo IPC an SMT pair achieves.
+SMT_EFFICIENCY = 0.75
+
+#: Combined-IPC cap (shared fetch/decode path, not the full issue width).
+SMT_IPC_CAP = 3.2
+
+#: Multiplier on blended miss rates from cache sharing.
+CACHE_CONTENTION_FACTOR = 1.25
+
+#: Damping applied to the dominant thread's phase amplitude (uncorrelated
+#: phases partially cancel when two activity streams superpose).
+PHASE_DAMPING = 0.6
+
+
+def _blend_mixes(
+    mix_a: InstructionMix, mix_b: InstructionMix, weight_a: float
+) -> InstructionMix:
+    """Instruction-count-weighted blend of two mixes."""
+    classes = {cls for cls, _f in mix_a} | {cls for cls, _f in mix_b}
+    blended = {
+        cls: weight_a * mix_a.fraction(cls) + (1.0 - weight_a) * mix_b.fraction(cls)
+        for cls in classes
+    }
+    # Guard against floating-point drift away from a unit sum.
+    total = sum(blended.values())
+    blended = {cls: f / total for cls, f in blended.items()}
+    return InstructionMix.from_dict(blended)
+
+
+def merge_profiles(
+    a: BenchmarkProfile,
+    b: BenchmarkProfile,
+    name: Optional[str] = None,
+    efficiency: float = SMT_EFFICIENCY,
+) -> BenchmarkProfile:
+    """The combined profile of threads ``a`` and ``b`` co-running on one
+    2-way SMT core.
+
+    The result is an ordinary :class:`BenchmarkProfile`, so the whole
+    trace/power/thermal pipeline applies unchanged — an SMT chip is "a
+    CMP whose per-core workloads are merged pairs".
+    """
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError(f"efficiency must be in (0, 1]: {efficiency}")
+    combined_ipc = min(SMT_IPC_CAP, (a.base_ipc + b.base_ipc) * efficiency)
+    # Instruction share of thread a within the pair (throughput-weighted).
+    weight_a = a.base_ipc / (a.base_ipc + b.base_ipc)
+
+    def blend(x: float, y: float) -> float:
+        return weight_a * x + (1.0 - weight_a) * y
+
+    mix = _blend_mixes(a.mix, b.mix, weight_a)
+    # Per-instruction RF rates blend; intensities must be re-derived
+    # against the *blended* mix so the product (mix rate x intensity)
+    # equals the blended per-instruction access rate.
+    target_int = blend(
+        a.int_rf_accesses_per_instruction, b.int_rf_accesses_per_instruction
+    )
+    target_fp = blend(
+        a.fp_rf_accesses_per_instruction, b.fp_rf_accesses_per_instruction
+    )
+    mix_int = mix.int_rf_accesses_per_instruction()
+    mix_fp = mix.fp_rf_accesses_per_instruction()
+    int_intensity = target_int / mix_int if mix_int > 0 else 0.0
+    fp_intensity = target_fp / mix_fp if mix_fp > 0 else 0.0
+
+    dominant = a if a.phase.amplitude >= b.phase.amplitude else b
+    phase = replace(
+        dominant.phase, amplitude=dominant.phase.amplitude * PHASE_DAMPING
+    )
+
+    suite = a.suite if a.suite == b.suite else "fp"  # mixed pairs tagged fp
+    return BenchmarkProfile(
+        name=name or f"{a.name}+{b.name}",
+        suite=suite,
+        base_ipc=combined_ipc,
+        mix=mix,
+        int_rf_intensity=int_intensity,
+        fp_rf_intensity=fp_intensity,
+        l1d_mpki=blend(a.l1d_mpki, b.l1d_mpki) * CACHE_CONTENTION_FACTOR,
+        l2_mpki=blend(a.l2_mpki, b.l2_mpki) * CACHE_CONTENTION_FACTOR,
+        mispredicts_per_kinst=blend(
+            a.mispredicts_per_kinst, b.mispredicts_per_kinst
+        ),
+        phase=phase,
+    )
+
+
+def smt_speedup(a: BenchmarkProfile, b: BenchmarkProfile) -> float:
+    """Throughput of the SMT pair relative to time-slicing the two threads
+    on one core (each then effectively runs at half rate)."""
+    merged = merge_profiles(a, b)
+    time_sliced = 0.5 * (a.base_ipc + b.base_ipc)
+    return merged.base_ipc / time_sliced

@@ -1,0 +1,84 @@
+"""Power-trace persistence.
+
+The paper's flow generates traces once (hours of Turandot time) and
+replays them across every policy experiment. Our traces are cheap to
+regenerate, but persisting them still matters for larger studies, for
+sharing exact inputs alongside results, and for inspecting traces with
+external tools. Format: a single ``.npz`` with the arrays plus a small
+metadata record; round-trips are exact (bit-for-bit arrays).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.uarch.interval_model import UNIT_ORDER
+from repro.uarch.trace import PowerTrace
+
+#: Format version written into every file; bump on layout changes.
+FORMAT_VERSION = 1
+
+_PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(trace: PowerTrace, path: _PathLike) -> pathlib.Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "benchmark": trace.benchmark,
+        "sample_period_s": trace.sample_period_s,
+        "sample_cycles": trace.sample_cycles,
+        "unit_order": list(UNIT_ORDER),
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        unit_power=trace.unit_power,
+        l2_activity=trace.l2_activity,
+        instructions=trace.instructions,
+        int_rf_accesses=trace.int_rf_accesses,
+        fp_rf_accesses=trace.fp_rf_accesses,
+    )
+    return path
+
+
+def load_trace(path: _PathLike) -> PowerTrace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises ``ValueError`` on version or unit-order mismatch — a trace
+    written under a different unit layout must not be silently
+    misinterpreted.
+    """
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {meta.get('format_version')} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        if tuple(meta.get("unit_order", ())) != UNIT_ORDER:
+            raise ValueError(
+                "trace was written with a different floorplan unit order; "
+                "regenerate it with this version of the library"
+            )
+        return PowerTrace(
+            benchmark=meta["benchmark"],
+            sample_period_s=float(meta["sample_period_s"]),
+            sample_cycles=int(meta["sample_cycles"]),
+            unit_power=data["unit_power"].copy(),
+            l2_activity=data["l2_activity"].copy(),
+            instructions=data["instructions"].copy(),
+            int_rf_accesses=data["int_rf_accesses"].copy(),
+            fp_rf_accesses=data["fp_rf_accesses"].copy(),
+        )

@@ -1,0 +1,38 @@
+"""Shared utilities: physical units, deterministic RNG streams, validation,
+and plain-text table rendering used by the experiment harness.
+
+These helpers are deliberately small and dependency-free so that every
+other subpackage (``thermal``, ``uarch``, ``core``, ``sim``) can rely on
+them without import cycles.
+"""
+
+from repro.util.rng import RngStream, derive_seed
+from repro.util.tables import render_table
+from repro.util.units import (
+    CELSIUS_TO_KELVIN,
+    MICROSECOND,
+    MILLISECOND,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "CELSIUS_TO_KELVIN",
+    "MICROSECOND",
+    "MILLISECOND",
+    "RngStream",
+    "celsius_to_kelvin",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "derive_seed",
+    "kelvin_to_celsius",
+    "render_table",
+]

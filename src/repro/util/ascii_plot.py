@@ -1,0 +1,120 @@
+"""Terminal-friendly charts.
+
+The paper's figures are bar charts and time series; the experiment
+modules render their *data* as tables, and these helpers add a visual
+layer that works anywhere a monospace font does: horizontal bar charts
+for Figure 3/7-style comparisons and multi-series line sketches for
+Figure 5-style traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Eighth-block characters used for sub-character bar resolution.
+_BLOCKS = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+#: Characters used by sparklines, coarsest to finest.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line sketch of a series using block characters.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot sparkline an empty series")
+    if width is not None and width > 0 and data.size > width:
+        # Downsample by averaging bins.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(data.min()), float(data.max())
+    if hi - lo < 1e-12:
+        return _SPARKS[0] * data.size
+    scaled = (data - lo) / (hi - lo) * (len(_SPARKS) - 1)
+    return "".join(_SPARKS[int(round(v))] for v in scaled)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    reference: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and value annotations.
+
+    ``reference`` draws a marker column at that value (e.g. the baseline
+    1.0 in a normalised-throughput chart).
+    """
+    labels = [str(label) for label in labels]
+    data = [float(v) for v in values]
+    if len(labels) != len(data):
+        raise ValueError("labels and values must have the same length")
+    if not data:
+        raise ValueError("nothing to chart")
+    if width < 8:
+        raise ValueError(f"width too small: {width}")
+    top = max(max(data), reference or 0.0, 1e-12)
+    label_width = max(len(label) for label in labels)
+    ref_col = int(round((reference / top) * width)) if reference else None
+
+    lines = []
+    for label, value in zip(labels, data):
+        filled = value / top * width
+        whole = int(filled)
+        frac = int(round((filled - whole) * 8))
+        if frac == 8:
+            whole, frac = whole + 1, 0
+        bar = "█" * whole + _BLOCKS[frac]
+        bar = bar.ljust(width)
+        if ref_col is not None and 0 <= ref_col < width and bar[ref_col] == " ":
+            bar = bar[:ref_col] + "│" + bar[ref_col + 1:]
+        lines.append(
+            f"{label.rjust(label_width)} ┤{bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def multi_series(
+    times: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    time_unit: str = "",
+) -> str:
+    """Several aligned sparklines sharing a time axis, with ranges.
+
+    Used for Figure 5-style views: one row per signal, a common time
+    ruler underneath.
+    """
+    times = np.asarray(list(times), dtype=float)
+    if times.size == 0:
+        raise ValueError("empty time axis")
+    name_width = max(len(n) for n in series) if series else 0
+    if not series:
+        raise ValueError("no series given")
+    lines = []
+    for name, values in series.items():
+        data = np.asarray(list(values), dtype=float)
+        if data.shape != times.shape:
+            raise ValueError(
+                f"series {name!r} length {data.size} != time axis {times.size}"
+            )
+        spark = sparkline(data, width=width)
+        lines.append(
+            f"{name.rjust(name_width)} {spark} "
+            f"[{data.min():.2f}, {data.max():.2f}]"
+        )
+    ruler = (
+        f"{' ' * name_width} {str(round(times[0], 2)).ljust(width // 2)}"
+        f"{str(round(times[-1], 2)).rjust(width - width // 2)} {time_unit}"
+    )
+    lines.append(ruler)
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic element in the simulator (benchmark phase noise, sensor
+noise, interval-model variation) draws from a stream derived from a root
+seed plus a stable string label. Two properties follow:
+
+* re-running any experiment with the same seed reproduces it bit-for-bit;
+* adding a new consumer of randomness does not perturb existing streams,
+  because each stream is independently derived rather than shared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Root seed used by all experiments unless explicitly overridden.
+DEFAULT_ROOT_SEED = 20060617  # ISCA'06 conference date
+
+
+def derive_seed(root_seed: int, *labels: str) -> int:
+    """Derive a child seed from ``root_seed`` and a sequence of labels.
+
+    The derivation hashes the root seed together with the labels so that
+    distinct label paths give statistically independent streams.
+
+    >>> derive_seed(1, "a") != derive_seed(1, "b")
+    True
+    >>> derive_seed(1, "a") == derive_seed(1, "a")
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root_seed)).encode("ascii"))
+    for label in labels:
+        digest.update(b"/")
+        digest.update(label.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+class RngStream:
+    """A named deterministic random stream.
+
+    Thin wrapper over :class:`numpy.random.Generator` that records its
+    provenance (root seed and label path) for debuggability and supports
+    deriving child streams.
+    """
+
+    def __init__(self, root_seed: int = DEFAULT_ROOT_SEED, *labels: str):
+        self.root_seed = int(root_seed)
+        self.labels = tuple(labels)
+        self._generator = np.random.default_rng(derive_seed(root_seed, *labels))
+
+    def child(self, *labels: str) -> "RngStream":
+        """Return an independent stream extending this stream's label path."""
+        return RngStream(self.root_seed, *(self.labels + labels))
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator."""
+        return self._generator
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        """Draw uniform samples in ``[low, high)``."""
+        return self._generator.uniform(low, high, size)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        """Draw normal samples."""
+        return self._generator.normal(loc, scale, size)
+
+    def integers(self, low: int, high: int, size=None):
+        """Draw integer samples in ``[low, high)``."""
+        return self._generator.integers(low, high, size)
+
+    def choice(self, items, size=None, replace: bool = True):
+        """Draw from ``items`` with or without replacement."""
+        return self._generator.choice(items, size=size, replace=replace)
+
+    def __repr__(self) -> str:
+        path = "/".join(self.labels) or "<root>"
+        return f"RngStream(seed={self.root_seed}, path={path!r})"

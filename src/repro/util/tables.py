@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the experiment harness.
+
+Each experiment module (``repro.experiments.tableN`` / ``figureN``) returns
+structured rows and uses :func:`render_table` to print them in the same
+layout as the corresponding table in the paper, so a benchmark run's output
+can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _format_cell(value) -> str:
+    """Format a single table cell."""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    formatted: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in formatted)
+    return "\n".join(lines)
+
+
+def render_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence],
+    corner: str = "",
+    title: str = "",
+) -> str:
+    """Render a labelled 2-D grid (used for the Table 8 policy summary)."""
+    headers = [corner] + list(col_labels)
+    rows = [[label] + list(row) for label, row in zip(row_labels, cells)]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,45 @@
+"""Physical units and conversions used throughout the simulator.
+
+The simulator works internally in SI units: seconds, watts, joules, and
+degrees Celsius for temperatures (thermal RC arithmetic only ever uses
+temperature *differences*, so Celsius and Kelvin are interchangeable there;
+the explicit conversion helpers exist for the few absolute-temperature
+formulas, e.g. the leakage model).
+"""
+
+from __future__ import annotations
+
+#: Offset between the Celsius and Kelvin scales.
+CELSIUS_TO_KELVIN = 273.15
+
+#: One microsecond, in seconds.
+MICROSECOND = 1e-6
+
+#: One millisecond, in seconds.
+MILLISECOND = 1e-3
+
+#: One nanosecond, in seconds.
+NANOSECOND = 1e-9
+
+#: Meters per millimeter (floorplans are specified in mm for readability).
+MILLIMETER = 1e-3
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return temp_c + CELSIUS_TO_KELVIN
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return temp_k - CELSIUS_TO_KELVIN
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area from square millimeters to square meters."""
+    return area_mm2 * MILLIMETER * MILLIMETER
+
+
+def mm_to_m(length_mm: float) -> float:
+    """Convert a length from millimeters to meters."""
+    return length_mm * MILLIMETER

@@ -1,0 +1,59 @@
+"""Argument-validation helpers.
+
+The simulator's public entry points validate their inputs eagerly so that
+configuration mistakes fail at construction time with a clear message
+rather than surfacing later as a cryptic numerical error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Require ``value`` to be a finite number; return it for chaining."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    inclusive: bool = True,
+) -> float:
+    """Require ``value`` to lie within ``[low, high]`` (or the open interval).
+
+    Either bound may be ``None`` to leave that side unconstrained.
+    """
+    if low is not None:
+        ok = value >= low if inclusive else value > low
+        if not ok:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+    if high is not None:
+        ok = value <= high if inclusive else value < high
+        if not ok:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``value`` to be a probability in ``[0, 1]``."""
+    return check_in_range(value, name, 0.0, 1.0)

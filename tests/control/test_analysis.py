@@ -1,0 +1,78 @@
+"""Tests for closed-loop step-response analysis."""
+
+import numpy as np
+import pytest
+
+from repro.control.analysis import (
+    FirstOrderThermalPlant,
+    closed_loop_step_response,
+    settling_time,
+)
+from repro.control.pi import design_paper_controller
+
+PAPER_DT = 100_000 / 3.6e9
+
+
+@pytest.fixture
+def design():
+    return design_paper_controller(PAPER_DT)
+
+
+@pytest.fixture
+def hot_plant():
+    # Equilibrium at full speed: 45 + 55 = 100 C — above the setpoint.
+    return FirstOrderThermalPlant(gain=55.0, tau=7e-3, ambient=45.0)
+
+
+class TestPlant:
+    def test_equilibrium_cubic(self, hot_plant):
+        assert hot_plant.equilibrium(1.0) == pytest.approx(100.0)
+        assert hot_plant.equilibrium(0.5) == pytest.approx(45.0 + 55.0 * 0.125)
+
+    def test_advance_moves_toward_equilibrium(self, hot_plant):
+        t1 = hot_plant.advance(45.0, 1.0, 1e-3)
+        assert 45.0 < t1 < 100.0
+
+    def test_advance_converges(self, hot_plant):
+        t = 45.0
+        for _ in range(10_000):
+            t = hot_plant.advance(t, 1.0, 1e-4)
+        assert t == pytest.approx(100.0, abs=0.01)
+
+
+class TestStepResponse:
+    def test_settles_at_setpoint(self, design, hot_plant):
+        resp = closed_loop_step_response(design, hot_plant, 82.2, horizon=0.5)
+        assert resp.final_temperature == pytest.approx(82.2, abs=0.5)
+
+    def test_settling_time_finite_and_fast(self, design, hot_plant):
+        resp = closed_loop_step_response(design, hot_plant, 82.2, horizon=0.5)
+        ts = settling_time(resp, band=0.5)
+        assert np.isfinite(ts)
+        assert ts < 0.3  # settles well within the horizon
+
+    def test_no_emergency_overshoot(self, design, hot_plant):
+        """The controlled response must not blow past the 84.2 C limit."""
+        resp = closed_loop_step_response(design, hot_plant, 82.2, horizon=0.5)
+        assert resp.max_temperature < 84.2
+
+    def test_cool_plant_runs_full_speed(self, design):
+        plant = FirstOrderThermalPlant(gain=20.0, tau=7e-3, ambient=45.0)
+        resp = closed_loop_step_response(design, plant, 82.2, horizon=0.2)
+        assert np.all(resp.outputs == 1.0)
+        assert resp.final_temperature == pytest.approx(65.0, abs=0.5)
+
+    def test_unreachable_setpoint_settles_at_floor(self, design):
+        # Even at minimum scale the plant stays above the setpoint; the
+        # settling-time helper then measures against the achieved value.
+        plant = FirstOrderThermalPlant(gain=400.0, tau=5e-3, ambient=80.0)
+        resp = closed_loop_step_response(design, plant, 82.2, horizon=0.3)
+        floor_temp = plant.equilibrium(0.2)
+        assert resp.final_temperature == pytest.approx(floor_temp, abs=1.0)
+        assert np.isfinite(settling_time(resp, band=1.0))
+
+    def test_overshoot_property(self, design, hot_plant):
+        resp = closed_loop_step_response(design, hot_plant, 82.2, horizon=0.5)
+        assert resp.overshoot == pytest.approx(
+            max(0.0, resp.max_temperature - 82.2)
+        )

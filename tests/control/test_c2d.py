@@ -1,0 +1,96 @@
+"""Tests for continuous-to-discrete conversion.
+
+The headline test reproduces the paper's published discrete PI law from
+its continuous constants: u[n] = u[n-1] - 0.0107 e[n] + 0.003796 e[n-1]
+at the 100,000-cycle / 3.6 GHz sample period.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control.c2d import c2d, discretize_pi_increments
+from repro.control.transfer import (
+    TransferFunction,
+    first_order_plant,
+    pi_transfer_function,
+)
+
+PAPER_DT = 100_000 / 3.6e9  # 27.78 us
+
+
+class TestPaperCoefficients:
+    def test_euler_matches_published_law(self):
+        b0, b1 = discretize_pi_increments(0.0107, 248.5, PAPER_DT, "euler")
+        # Applied law negates: u[n] = u[n-1] - b0 e[n] - b1 e[n-1].
+        assert b0 == pytest.approx(0.0107, abs=1e-9)
+        assert -b1 == pytest.approx(0.003796, abs=2e-6)
+
+    def test_zoh_matches_euler_for_pi(self):
+        eb = discretize_pi_increments(0.0107, 248.5, PAPER_DT, "euler")
+        zb = discretize_pi_increments(0.0107, 248.5, PAPER_DT, "zoh")
+        np.testing.assert_allclose(eb, zb, rtol=1e-9)
+
+    def test_tustin_close_but_distinct(self):
+        eb = discretize_pi_increments(0.0107, 248.5, PAPER_DT, "euler")
+        tb = discretize_pi_increments(0.0107, 248.5, PAPER_DT, "tustin")
+        # Tustin differs by Ki*Ts/2 in each coefficient.
+        assert tb[0] == pytest.approx(eb[0] + 248.5 * PAPER_DT / 2, rel=1e-6)
+        assert tb != pytest.approx(eb)
+
+
+class TestC2dGeneric:
+    def test_integrator_pole_maps_to_one(self):
+        for method in ("euler", "tustin", "zoh"):
+            g = c2d(pi_transfer_function(1.0, 10.0), 0.01, method)
+            assert g.domain == "z"
+            np.testing.assert_allclose(g.poles(), [1.0], atol=1e-9)
+
+    def test_first_order_zoh_exact_pole(self):
+        # ZOH maps a pole at -1/tau to exp(-dt/tau) exactly.
+        tau, dt = 0.05, 0.01
+        g = c2d(first_order_plant(2.0, tau), dt, "zoh")
+        np.testing.assert_allclose(g.poles(), [np.exp(-dt / tau)], rtol=1e-9)
+
+    def test_first_order_zoh_dc_gain_preserved(self):
+        g = c2d(first_order_plant(2.0, 0.05), 0.01, "zoh")
+        assert g.dc_gain() == pytest.approx(2.0, rel=1e-9)
+
+    def test_first_order_tustin_dc_gain_preserved(self):
+        g = c2d(first_order_plant(2.0, 0.05), 0.01, "tustin")
+        assert g.dc_gain() == pytest.approx(2.0, rel=1e-9)
+
+    def test_zoh_step_response_matches_continuous(self):
+        # Simulate the discrete system's step response and compare with
+        # the exact continuous first-order response at the samples.
+        gain, tau, dt = 3.0, 0.02, 1e-3
+        g = c2d(first_order_plant(gain, tau), dt, "zoh")
+        # y[n+1] = -a1 y[n] + b0 u[n+1] + b1 u[n] with monic den [1, a1].
+        num = np.concatenate([np.zeros(g.den.size - g.num.size), g.num])
+        a1 = g.den[1]
+        y, ys = 0.0, []
+        prev_u = 1.0  # the step is already applied at sample 0
+        for n in range(50):
+            u = 1.0
+            y = -a1 * y + num[0] * u + num[1] * prev_u
+            prev_u = u
+            ys.append(y)
+        expected = gain * (1.0 - np.exp(-dt * np.arange(1, 51) / tau))
+        np.testing.assert_allclose(ys, expected, rtol=1e-6, atol=1e-9)
+
+    def test_requires_continuous_input(self):
+        z = TransferFunction([1.0], [1.0, -0.5], domain="z", dt=0.01)
+        with pytest.raises(ValueError):
+            c2d(z, 0.01)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            c2d(first_order_plant(1.0, 1.0), 0.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            c2d(first_order_plant(1.0, 1.0), 0.01, "bilinear-ish")
+
+    def test_zoh_rejects_improper(self):
+        improper = TransferFunction([1.0, 0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            c2d(improper, 0.01, "zoh")

@@ -1,0 +1,143 @@
+"""Tests for the PI design and the discrete runtime controller."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.control.pi import (
+    MAX_FREQUENCY_SCALE,
+    MIN_FREQUENCY_SCALE,
+    PAPER_KI,
+    PAPER_KP,
+    DiscretePIController,
+    design_paper_controller,
+    design_pi,
+)
+
+PAPER_DT = 100_000 / 3.6e9
+
+
+@pytest.fixture
+def design():
+    return design_paper_controller(PAPER_DT)
+
+
+class TestDesign:
+    def test_paper_constants(self):
+        assert PAPER_KP == 0.0107
+        assert PAPER_KI == 248.5
+
+    def test_design_coefficients(self, design):
+        assert design.b0 == pytest.approx(0.0107)
+        assert design.b1 == pytest.approx(-0.003797, abs=2e-6)
+
+    def test_transfer_function_roundtrip(self, design):
+        tf = design.transfer_function()
+        assert tf(1.0) == pytest.approx(PAPER_KP + PAPER_KI)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            design_pi(1.0, 1.0, 0.0)
+
+
+class TestControllerBasics:
+    def test_starts_at_max(self, design):
+        c = DiscretePIController(design, setpoint=82.2)
+        assert c.output == MAX_FREQUENCY_SCALE
+
+    def test_cool_core_stays_at_full_speed(self, design):
+        c = DiscretePIController(design, setpoint=82.2)
+        for _ in range(1000):
+            out = c.step(60.0)
+        assert out == MAX_FREQUENCY_SCALE
+
+    def test_hot_core_throttles(self, design):
+        c = DiscretePIController(design, setpoint=82.2)
+        for _ in range(200):
+            out = c.step(90.0)
+        assert out < MAX_FREQUENCY_SCALE
+
+    def test_saturates_at_minimum(self, design):
+        c = DiscretePIController(design, setpoint=82.2)
+        for _ in range(5000):
+            out = c.step(120.0)
+        assert out == MIN_FREQUENCY_SCALE
+
+    def test_bad_limits_rejected(self, design):
+        with pytest.raises(ValueError):
+            DiscretePIController(design, setpoint=80.0, output_min=0.9, output_max=0.2)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50.0, max_value=200.0, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_output_always_clipped(self, temps):
+        c = DiscretePIController(design_paper_controller(PAPER_DT), setpoint=82.2)
+        for t in temps:
+            out = c.step(t)
+            assert MIN_FREQUENCY_SCALE <= out <= MAX_FREQUENCY_SCALE
+
+
+class TestAntiWindup:
+    def test_recovery_after_long_saturation(self, design):
+        """Clipping prevents hidden integral build-up (Section 4.2)."""
+        c = DiscretePIController(design, setpoint=82.2)
+        for _ in range(20_000):  # a long, hopeless overheat
+            c.step(120.0)
+        assert c.output == MIN_FREQUENCY_SCALE
+        # Once the condition clears, the controller winds up promptly: the
+        # per-step increment at error -37 is about 0.0107*37, so recovery
+        # to full speed takes only a couple of steps, not 20,000.
+        steps = 0
+        while c.step(45.0) < MAX_FREQUENCY_SCALE:
+            steps += 1
+            assert steps < 50, "controller failed to recover promptly"
+
+
+class TestConvergence:
+    def test_regulates_first_order_plant_to_setpoint(self, design):
+        """Closed loop with a thermal-like plant settles at the setpoint."""
+        import numpy as np
+
+        setpoint = 82.2
+        c = DiscretePIController(design, setpoint=setpoint)
+        temp, tau, gain, ambient = 60.0, 7e-3, 55.0, 45.0
+        alpha = 1.0 - np.exp(-PAPER_DT / tau)
+        for _ in range(60_000):  # ~1.7 s
+            scale = c.step(temp)
+            target = ambient + gain * scale ** 3
+            temp += (target - temp) * alpha
+        assert temp == pytest.approx(setpoint, abs=0.3)
+        # And the equilibrium scale matches the plant inversion.
+        expected_scale = ((setpoint - ambient) / gain) ** (1.0 / 3.0)
+        assert c.output == pytest.approx(expected_scale, abs=0.02)
+
+
+class TestFeedbackWindow:
+    def test_average_output_window(self, design):
+        c = DiscretePIController(design, setpoint=82.2)
+        for _ in range(10):
+            c.step(120.0)
+        avg_hot = c.average_output
+        assert avg_hot < MAX_FREQUENCY_SCALE
+        c.reset_window()
+        assert c.average_output == c.output  # empty window reports current
+
+    def test_trace_recording(self, design):
+        c = DiscretePIController(design, setpoint=82.2, record=True)
+        c.step(90.0, time=1.0)
+        c.step(91.0, time=2.0)
+        assert c.trace.times == [1.0, 2.0]
+        assert len(c.trace.outputs) == 2
+        assert c.trace.errors[0] == pytest.approx(90.0 - 82.2)
+
+    def test_reset(self, design):
+        c = DiscretePIController(design, setpoint=82.2)
+        for _ in range(100):
+            c.step(100.0)
+        c.reset()
+        assert c.output == MAX_FREQUENCY_SCALE
+        assert c.average_output == MAX_FREQUENCY_SCALE

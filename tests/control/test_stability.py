@@ -1,0 +1,94 @@
+"""Tests for pole/stability analysis and root-locus sampling."""
+
+import numpy as np
+import pytest
+
+from repro.control.stability import (
+    is_marginally_stable,
+    is_stable,
+    poles,
+    root_locus,
+    stability_margin_gain,
+)
+from repro.control.transfer import (
+    TransferFunction,
+    first_order_plant,
+    pi_transfer_function,
+)
+
+
+class TestIsStable:
+    def test_stable_continuous(self):
+        assert is_stable(first_order_plant(1.0, 0.1))
+
+    def test_unstable_continuous(self):
+        g = TransferFunction([1.0], [1.0, -2.0])  # pole at +2
+        assert not is_stable(g)
+
+    def test_pi_open_loop_marginal(self):
+        g = pi_transfer_function(0.0107, 248.5)
+        assert not is_stable(g)
+        assert is_marginally_stable(g)
+
+    def test_stable_discrete(self):
+        g = TransferFunction([1.0], [1.0, -0.5], domain="z", dt=1.0)
+        assert is_stable(g)
+
+    def test_unstable_discrete(self):
+        g = TransferFunction([1.0], [1.0, -1.5], domain="z", dt=1.0)
+        assert not is_stable(g)
+
+    def test_discrete_integrator_marginal(self):
+        g = TransferFunction([1.0], [1.0, -1.0], domain="z", dt=1.0)
+        assert is_marginally_stable(g)
+        assert not is_stable(g)
+
+    def test_repeated_boundary_pole_not_marginal(self):
+        # 1/s^2: double pole at origin -> unstable even marginally.
+        g = TransferFunction([1.0], [1.0, 0.0, 0.0])
+        assert not is_marginally_stable(g)
+
+    def test_pure_gain_stable(self):
+        assert is_stable(TransferFunction([5.0], [1.0]))
+
+
+class TestPaperDesignStability:
+    """The paper's root-locus check: the closed PI+thermal loop is stable."""
+
+    def _open_loop(self):
+        # PI controller x first-order thermal plant (tau in ms range).
+        controller = pi_transfer_function(0.0107, 248.5)
+        plant = first_order_plant(gain=50.0, tau=7e-3)
+        return controller * plant
+
+    def test_closed_loop_poles_in_left_half_plane(self):
+        closed = self._open_loop().feedback()
+        assert np.all(closed.poles().real < 0)
+
+    def test_stable_across_wide_gain_range(self):
+        # "these constants can actually deviate significantly" (Sec. 4.1).
+        margin = stability_margin_gain(
+            self._open_loop(), gains=[0.1, 0.5, 1.0, 5.0, 10.0, 100.0]
+        )
+        assert margin >= 100.0
+
+
+class TestRootLocus:
+    def test_shape(self):
+        ol = pi_transfer_function(1.0, 10.0) * first_order_plant(1.0, 0.1)
+        locus = root_locus(ol, gains=np.linspace(0.01, 10, 25))
+        assert locus.shape == (25, 2)
+
+    def test_matches_direct_pole_computation(self):
+        ol = first_order_plant(2.0, 0.5)
+        locus = root_locus(ol, gains=[3.0])
+        closed = (ol * 3.0).feedback()
+        np.testing.assert_allclose(
+            np.sort_complex(locus[0][~np.isnan(locus[0])]),
+            np.sort_complex(closed.poles()),
+            rtol=1e-9,
+        )
+
+    def test_empty_gains_rejected(self):
+        with pytest.raises(ValueError):
+            root_locus(first_order_plant(1.0, 1.0), gains=[])

@@ -1,0 +1,103 @@
+"""Tests for rational transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.control.transfer import (
+    TransferFunction,
+    first_order_plant,
+    pi_transfer_function,
+)
+
+
+class TestConstruction:
+    def test_monic_normalisation(self):
+        tf = TransferFunction([2.0], [2.0, 4.0])
+        assert tf.den[0] == pytest.approx(1.0)
+        assert tf.den[1] == pytest.approx(2.0)
+        assert tf.num[0] == pytest.approx(1.0)
+
+    def test_leading_zeros_trimmed(self):
+        tf = TransferFunction([0.0, 0.0, 1.0], [0.0, 1.0, 2.0])
+        assert tf.num.size == 1
+        assert tf.den.size == 2
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction([1.0], [0.0])
+
+    def test_discrete_needs_dt(self):
+        with pytest.raises(ValueError):
+            TransferFunction([1.0], [1.0, 1.0], domain="z")
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction([1.0], [1.0], domain="w")
+
+
+class TestEvaluation:
+    def test_pointwise(self):
+        # G(s) = 1 / (s + 1); G(1) = 0.5
+        tf = TransferFunction([1.0], [1.0, 1.0])
+        assert tf(1.0) == pytest.approx(0.5)
+
+    def test_dc_gain_continuous(self):
+        assert first_order_plant(3.0, 0.5).dc_gain() == pytest.approx(3.0)
+
+    def test_dc_gain_discrete(self):
+        tf = TransferFunction([1.0], [1.0, -0.5], domain="z", dt=1.0)
+        assert tf.dc_gain() == pytest.approx(2.0)
+
+
+class TestAlgebra:
+    def test_series_composition(self):
+        g = first_order_plant(2.0, 1.0)
+        h = first_order_plant(3.0, 0.5)
+        gh = g * h
+        assert gh.dc_gain() == pytest.approx(6.0)
+        assert gh(2.0) == pytest.approx(g(2.0) * h(2.0))
+
+    def test_scalar_multiplication(self):
+        g = first_order_plant(2.0, 1.0)
+        assert (3.0 * g).dc_gain() == pytest.approx(6.0)
+
+    def test_parallel_addition(self):
+        g = first_order_plant(2.0, 1.0)
+        h = first_order_plant(3.0, 0.5)
+        s = g + h
+        assert s(1.5) == pytest.approx(g(1.5) + h(1.5))
+
+    def test_unity_feedback_dc(self):
+        # G/(1+G) with G dc-gain 9 -> closed dc gain 0.9.
+        g = first_order_plant(9.0, 1.0)
+        assert g.feedback().dc_gain() == pytest.approx(0.9)
+
+    def test_domain_mixing_rejected(self):
+        g = first_order_plant(1.0, 1.0)
+        z = TransferFunction([1.0], [1.0, -0.5], domain="z", dt=1.0)
+        with pytest.raises(ValueError):
+            _ = g * z
+
+
+class TestPolesZeros:
+    def test_first_order_pole(self):
+        g = first_order_plant(1.0, 0.5)  # pole at -1/tau = -2
+        np.testing.assert_allclose(g.poles(), [-2.0])
+
+    def test_pi_pole_at_origin(self):
+        g = pi_transfer_function(0.0107, 248.5)
+        np.testing.assert_allclose(g.poles(), [0.0], atol=1e-12)
+
+    def test_pi_zero(self):
+        kp, ki = 0.0107, 248.5
+        g = pi_transfer_function(kp, ki)
+        np.testing.assert_allclose(g.zeros(), [-ki / kp])
+
+    def test_pure_gain_has_no_poles(self):
+        g = TransferFunction([5.0], [1.0])
+        assert g.poles().size == 0
+        assert g.zeros().size == 0
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ValueError):
+            first_order_plant(1.0, 0.0)

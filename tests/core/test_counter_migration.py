@@ -1,0 +1,90 @@
+"""Tests for counter-based migration."""
+
+import pytest
+
+from repro.core.counter_migration import CounterBasedMigration
+from repro.core.migration import MigrationContext
+from repro.osmodel.process import Process
+from repro.osmodel.scheduler import Scheduler
+from repro.uarch.tracegen import generate_trace
+
+NAMES = ("gzip", "twolf", "ammp", "lucas")  # 2 int-leaning, 2 fp-leaning
+
+
+def make_scheduler(with_history=True):
+    processes = []
+    for i, n in enumerate(NAMES):
+        trace = generate_trace(n, duration_s=0.01)
+        p = Process(pid=i, benchmark=n, trace=trace)
+        if with_history:
+            # Populate counters from the trace itself (full-speed window).
+            p.counters.update(
+                instructions=float(trace.instructions.sum()),
+                int_rf_accesses=float(trace.int_rf_accesses.sum()),
+                fp_rf_accesses=float(trace.fp_rf_accesses.sum()),
+                nominal_cycles=float(trace.n_samples * trace.sample_cycles),
+                frequency_scale=1.0,
+            )
+        processes.append(p)
+    return Scheduler(processes, n_cores=4)
+
+
+def ctx_for(scheduler, readings, urgent=False, t=0.0):
+    return MigrationContext(
+        time_s=t,
+        scheduler=scheduler,
+        readings=readings,
+        avg_scales=[1.0] * 4,
+        rebalance_urgent=urgent,
+    )
+
+
+class TestProposal:
+    def test_no_history_no_decision(self):
+        s = make_scheduler(with_history=False)
+        policy = CounterBasedMigration()
+        readings = [{"intreg": 84.0, "fpreg": 70.0}] * 4
+        assert policy.propose(ctx_for(s, readings)) is None
+
+    def test_int_hot_core_gets_fp_thread(self):
+        """gzip sits on an int-hot core; the matcher moves in an
+        fp-leaning thread (ammp or lucas) whose int-RF rate is lowest."""
+        s = make_scheduler()
+        policy = CounterBasedMigration()
+        readings = [
+            {"intreg": 84.0, "fpreg": 70.0},   # gzip's core: int-critical
+            {"intreg": 76.0, "fpreg": 75.0},
+            {"intreg": 74.0, "fpreg": 76.0},
+            {"intreg": 74.0, "fpreg": 75.0},
+        ]
+        proposal = policy.propose(ctx_for(s, readings, urgent=True))
+        assert proposal is not None
+        landed = NAMES[proposal[0]]
+        assert landed in ("ammp", "lucas")
+
+    def test_proposal_is_permutation(self):
+        s = make_scheduler()
+        policy = CounterBasedMigration()
+        readings = [
+            {"intreg": 84.0, "fpreg": 70.0},
+            {"intreg": 70.0, "fpreg": 83.0},
+            {"intreg": 80.0, "fpreg": 75.0},
+            {"intreg": 75.0, "fpreg": 80.0},
+        ]
+        proposal = policy.propose(ctx_for(s, readings, urgent=True))
+        assert sorted(proposal) == [0, 1, 2, 3]
+
+    def test_decision_counted(self):
+        s = make_scheduler()
+        policy = CounterBasedMigration()
+        readings = [
+            {"intreg": 84.0, "fpreg": 70.0},
+            {"intreg": 70.0, "fpreg": 83.0},
+            {"intreg": 80.0, "fpreg": 75.0},
+            {"intreg": 75.0, "fpreg": 80.0},
+        ]
+        policy.decide(ctx_for(s, readings, urgent=True))
+        assert policy.decisions == 1
+
+    def test_kind_tag(self):
+        assert CounterBasedMigration().kind == "counter"

@@ -1,0 +1,220 @@
+"""Tests for the migration framework and the Figure 4 algorithm."""
+
+import pytest
+
+from repro.core.migration import (
+    MigrationContext,
+    MigrationPolicy,
+    critical_unit,
+    figure4_assignment,
+    hotspot_imbalance,
+)
+from repro.osmodel.process import Process
+from repro.osmodel.scheduler import Scheduler
+from repro.uarch.tracegen import generate_trace
+
+NAMES = ("gzip", "twolf", "ammp", "lucas")
+
+
+def make_scheduler():
+    processes = [
+        Process(pid=i, benchmark=n, trace=generate_trace(n, duration_s=0.005))
+        for i, n in enumerate(NAMES)
+    ]
+    return Scheduler(processes, n_cores=4)
+
+
+def make_readings(int_temps, fp_temps):
+    return [
+        {"intreg": i, "fpreg": f} for i, f in zip(int_temps, fp_temps)
+    ]
+
+
+class TestHelpers:
+    def test_hotspot_imbalance(self):
+        assert hotspot_imbalance({"intreg": 84.0, "fpreg": 78.0}) == pytest.approx(6.0)
+        assert hotspot_imbalance({"intreg": 70.0}) == 0.0
+        with pytest.raises(ValueError):
+            hotspot_imbalance({})
+
+    def test_critical_unit(self):
+        assert critical_unit({"intreg": 84.0, "fpreg": 78.0}) == "intreg"
+        assert critical_unit({"intreg": 70.0, "fpreg": 78.0}) == "fpreg"
+
+
+class TestFigure4:
+    def test_complementary_swap(self):
+        """An int-hot core receives the least int-intense thread."""
+        current = [0, 1]  # pid 0 = int-hog on core 0, pid 1 = fp-hog on core 1
+        readings = [
+            {"intreg": 84.0, "fpreg": 70.0},
+            {"intreg": 70.0, "fpreg": 84.0},
+        ]
+        intensity_map = {
+            (0, "intreg"): 5.0, (0, "fpreg"): 0.1,
+            (1, "intreg"): 0.5, (1, "fpreg"): 3.0,
+        }
+
+        def intensity(pid, core, unit):
+            return intensity_map[(pid, unit)]
+
+        assignment = figure4_assignment(current, readings, intensity)
+        assert assignment == [1, 0]  # swapped
+
+    def test_self_assignment_when_already_optimal(self):
+        """"the best candidate for a thread to migrate will be itself"."""
+        current = [0, 1]
+        readings = [
+            {"intreg": 84.0, "fpreg": 70.0},
+            {"intreg": 70.0, "fpreg": 84.0},
+        ]
+        intensity_map = {
+            (0, "intreg"): 0.1, (0, "fpreg"): 5.0,
+            (1, "intreg"): 5.0, (1, "fpreg"): 0.1,
+        }
+
+        def intensity(pid, core, unit):
+            return intensity_map[(pid, unit)]
+
+        assert figure4_assignment(current, readings, intensity) == [0, 1]
+
+    def test_most_imbalanced_core_chooses_first(self):
+        current = [0, 1, 2, 3]
+        # Core 2 has the largest imbalance -> gets the global minimum.
+        readings = make_readings(
+            [80.0, 81.0, 84.0, 79.0], [78.0, 79.0, 70.0, 78.0]
+        )
+        intensities = {0: 4.0, 1: 3.0, 2: 2.0, 3: 1.0}
+
+        def intensity(pid, core, unit):
+            return intensities[pid]
+
+        assignment = figure4_assignment(current, readings, intensity)
+        assert assignment[2] == 3  # least intense thread lands on core 2
+
+    def test_result_is_permutation(self):
+        current = [0, 1, 2, 3]
+        readings = make_readings([80, 81, 82, 83], [79, 80, 81, 82])
+
+        def intensity(pid, core, unit):
+            return (pid * 7 + core) % 5
+
+        assignment = figure4_assignment(current, readings, intensity)
+        assert sorted(assignment) == [0, 1, 2, 3]
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            figure4_assignment([0, 1], [{"intreg": 80.0}], lambda p, c, u: 0.0)
+
+
+class _FixedPolicy(MigrationPolicy):
+    """Test double returning a canned proposal."""
+
+    kind = "fixed"
+
+    def __init__(self, proposal, min_interval_s=10e-3):
+        super().__init__(min_interval_s)
+        self._proposal = proposal
+
+    def propose(self, ctx):
+        return self._proposal
+
+
+class TestDecideRateLimiting:
+    def _ctx(self, t, scheduler):
+        return MigrationContext(
+            time_s=t,
+            scheduler=scheduler,
+            readings=make_readings([80, 80, 80, 80], [75, 75, 75, 75]),
+            avg_scales=[1.0] * 4,
+        )
+
+    def test_min_interval_enforced(self):
+        s = make_scheduler()
+        p = _FixedPolicy([1, 0, 2, 3])
+        assert p.decide(self._ctx(0.0, s)) is not None
+        s.apply_assignment([1, 0, 2, 3], 0.0)
+        p._proposal = [0, 1, 2, 3]
+        # 5 ms later: ignored.
+        assert p.decide(self._ctx(5e-3, s)) is None
+        # 10 ms later: allowed.
+        assert p.decide(self._ctx(10.1e-3, s)) is not None
+
+    def test_noop_proposal_does_not_consume_budget(self):
+        s = make_scheduler()
+        p = _FixedPolicy(list(s.assignment))
+        assert p.decide(self._ctx(0.0, s)) is None
+        # The no-op did not consume the rate budget.
+        p._proposal = [1, 0, 2, 3]
+        assert p.decide(self._ctx(1e-3, s)) is not None
+
+    def test_none_proposal_handled(self):
+        s = make_scheduler()
+        p = _FixedPolicy(None)
+        assert p.decide(self._ctx(0.0, s)) is None
+
+
+class TestImprovementGate:
+    def _ctx(self, scheduler, urgent):
+        # Core 0 int-hot, core 1 fp-hot; cores 2/3 balanced.
+        return MigrationContext(
+            time_s=0.0,
+            scheduler=scheduler,
+            readings=make_readings([84, 70, 77, 77], [70, 84, 76.5, 76.5]),
+            avg_scales=[1.0] * 4,
+            rebalance_urgent=urgent,
+        )
+
+    def test_neutral_shuffle_suppressed_when_not_urgent(self):
+        s = make_scheduler()
+
+        class Shuffler(MigrationPolicy):
+            kind = "shuffle"
+
+            def propose(self, ctx):
+                # All threads look identical -> no cost improvement.
+                return self.matched_assignment(ctx, lambda p, c, u: 1.0)
+
+        p = Shuffler()
+        assert p.decide(self._ctx(s, urgent=False)) is None
+
+    def test_improving_swap_allowed(self):
+        s = make_scheduler()
+        intensity_map = {
+            (0, "intreg"): 5.0, (0, "fpreg"): 0.1,
+            (1, "intreg"): 0.5, (1, "fpreg"): 3.0,
+            (2, "intreg"): 1.0, (2, "fpreg"): 1.0,
+            (3, "intreg"): 1.0, (3, "fpreg"): 1.0,
+        }
+
+        class Matcher(MigrationPolicy):
+            kind = "m"
+
+            def propose(self, ctx):
+                return self.matched_assignment(
+                    ctx, lambda p, c, u: intensity_map[(p, u)]
+                )
+
+        p = Matcher()
+        proposal = p.decide(self._ctx(s, urgent=False))
+        assert proposal is not None
+        assert proposal[0] == 1  # fp-leaning thread onto the int-hot core
+
+    def test_urgent_round_bypasses_gate(self):
+        s = make_scheduler()
+
+        class Shuffler(MigrationPolicy):
+            kind = "shuffle"
+
+            def propose(self, ctx):
+                return self.matched_assignment(
+                    # Tie intensities, but tiny pid-dependent jitter makes
+                    # the greedy matching reshuffle.
+                    ctx, lambda p, c, u: 1.0 + 0.001 * ((p + c) % 3)
+                )
+
+        p = Shuffler()
+        result = p.decide(self._ctx(s, urgent=True))
+        # Urgent rounds accept whatever the matching proposes (may or may
+        # not differ from current; just must not raise).
+        assert result is None or sorted(result) == [0, 1, 2, 3]

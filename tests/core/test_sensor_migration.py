@@ -1,0 +1,118 @@
+"""Tests for sensor-based migration (Figure 6 flow)."""
+
+import pytest
+
+from repro.core.migration import MigrationContext
+from repro.core.sensor_migration import SensorBasedMigration
+from repro.osmodel.process import Process
+from repro.osmodel.scheduler import Scheduler
+from repro.osmodel.thermal_table import ThreadCoreThermalTable
+from repro.uarch.tracegen import generate_trace
+
+NAMES = ("gzip", "twolf", "ammp", "lucas")
+UNITS = ("intreg", "fpreg")
+
+
+def make_scheduler():
+    processes = [
+        Process(pid=i, benchmark=n, trace=generate_trace(n, duration_s=0.005))
+        for i, n in enumerate(NAMES)
+    ]
+    return Scheduler(processes, n_cores=4)
+
+
+def full_table(intensities):
+    """A table with every thread observed on every core.
+
+    ``intensities``: pid -> (int_intensity, fp_intensity).
+    """
+    t = ThreadCoreThermalTable(4, UNITS)
+    for pid, (i_int, i_fp) in intensities.items():
+        for core in range(4):
+            t.record(pid, core, "intreg", i_int, 1.0)
+            t.record(pid, core, "fpreg", i_fp, 1.0)
+    return t
+
+
+def ctx_for(scheduler, readings, table, urgent=False, t=0.0):
+    return MigrationContext(
+        time_s=t,
+        scheduler=scheduler,
+        readings=readings,
+        avg_scales=[1.0] * 4,
+        thermal_table=table,
+        rebalance_urgent=urgent,
+    )
+
+
+BALANCED_READINGS = [
+    {"intreg": 84.0, "fpreg": 70.0},
+    {"intreg": 70.0, "fpreg": 83.0},
+    {"intreg": 78.0, "fpreg": 76.0},
+    {"intreg": 76.0, "fpreg": 78.0},
+]
+
+
+class TestProfilingPhase:
+    def test_insufficient_table_triggers_profiling_swap(self):
+        s = make_scheduler()
+        policy = SensorBasedMigration()
+        table = ThreadCoreThermalTable(4, UNITS)
+        # Only thread 0 on core 0 observed: far from sufficient.
+        table.record(0, 0, "intreg", 5.0, 1.0)
+        proposal = policy.propose(ctx_for(s, BALANCED_READINGS, table))
+        assert proposal is not None
+        assert sorted(proposal) == [0, 1, 2, 3]
+        assert proposal != list(s.assignment)  # something moved
+        assert policy.profiling_moves == 1
+
+    def test_requires_table(self):
+        s = make_scheduler()
+        policy = SensorBasedMigration()
+        with pytest.raises(ValueError, match="thermal table"):
+            policy.propose(ctx_for(s, BALANCED_READINGS, table=None))
+
+
+class TestMatchingPhase:
+    def test_complementary_matching_from_table(self):
+        s = make_scheduler()
+        policy = SensorBasedMigration()
+        table = full_table(
+            {
+                0: (8.0, 0.5),   # gzip: int hog
+                1: (4.0, 0.6),   # twolf: milder int
+                2: (0.8, 5.0),   # ammp: fp hog
+                3: (0.9, 5.5),   # lucas: fp hog
+            }
+        )
+        proposal = policy.propose(
+            ctx_for(s, BALANCED_READINGS, table, urgent=True)
+        )
+        # Core 0 (int-critical, most imbalanced) gets an fp thread.
+        assert proposal[0] in (2, 3)
+        # Core 1 (fp-critical) gets an int thread.
+        assert proposal[1] in (0, 1)
+
+    def test_core_dependent_estimates_used(self):
+        """A thread can look cooler on a specific core (edge effects)."""
+        s = make_scheduler()
+        policy = SensorBasedMigration()
+        table = full_table({i: (1.0, 1.0) for i in range(4)})
+        # Thread 2 specifically runs cool on core 0's intreg.
+        table = ThreadCoreThermalTable(4, UNITS)
+        for pid in range(4):
+            for core in range(4):
+                int_val = 0.2 if (pid == 2 and core == 0) else 2.0 + 0.1 * pid
+                table.record(pid, core, "intreg", int_val, 1.0)
+                table.record(pid, core, "fpreg", 1.0, 1.0)
+        readings = [
+            {"intreg": 84.0, "fpreg": 70.0},  # strongly int-critical
+            {"intreg": 75.0, "fpreg": 74.0},
+            {"intreg": 75.0, "fpreg": 74.0},
+            {"intreg": 75.0, "fpreg": 74.0},
+        ]
+        proposal = policy.propose(ctx_for(s, readings, table, urgent=True))
+        assert proposal[0] == 2
+
+    def test_kind_tag(self):
+        assert SensorBasedMigration().kind == "sensor"

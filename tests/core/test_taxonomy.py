@@ -1,0 +1,78 @@
+"""Tests for the Table 2 taxonomy and policy factory."""
+
+import pytest
+
+from repro.core.counter_migration import CounterBasedMigration
+from repro.core.dvfs import DVFSPolicy
+from repro.core.sensor_migration import SensorBasedMigration
+from repro.core.stopgo import StopGoPolicy
+from repro.core.taxonomy import (
+    ALL_POLICY_SPECS,
+    BASELINE_SPEC,
+    MigrationKind,
+    PolicySpec,
+    Scope,
+    ThrottleKind,
+    build_policy,
+    spec_by_key,
+)
+
+DT = 100_000 / 3.6e9
+
+
+class TestEnumeration:
+    def test_twelve_combinations(self):
+        """Table 2 forms "12 possible thermal management schemes"."""
+        assert len(ALL_POLICY_SPECS) == 12
+        assert len({s.key for s in ALL_POLICY_SPECS}) == 12
+
+    def test_axes_cover_product(self):
+        throttles = {s.throttle for s in ALL_POLICY_SPECS}
+        scopes = {s.scope for s in ALL_POLICY_SPECS}
+        migrations = {s.migration for s in ALL_POLICY_SPECS}
+        assert throttles == set(ThrottleKind)
+        assert scopes == set(Scope)
+        assert migrations == set(MigrationKind)
+
+    def test_baseline_is_distributed_stopgo(self):
+        assert BASELINE_SPEC.is_baseline
+        assert BASELINE_SPEC in ALL_POLICY_SPECS
+        non_baseline = [s for s in ALL_POLICY_SPECS if not s.is_baseline]
+        assert len(non_baseline) == 11
+
+
+class TestNaming:
+    def test_paper_terminology(self):
+        spec = PolicySpec(ThrottleKind.DVFS, Scope.DISTRIBUTED, MigrationKind.SENSOR)
+        assert spec.name == "Dist. DVFS + sensor-based migration"
+        spec2 = PolicySpec(ThrottleKind.STOP_GO, Scope.GLOBAL, MigrationKind.NONE)
+        assert spec2.name == "Global stop-go"
+
+    def test_key_roundtrip(self):
+        for spec in ALL_POLICY_SPECS:
+            assert spec_by_key(spec.key) == spec
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            spec_by_key("turbo-boost")
+
+
+class TestFactory:
+    @pytest.mark.parametrize("spec", ALL_POLICY_SPECS, ids=lambda s: s.key)
+    def test_builds_correct_types(self, spec):
+        throttle, migration = build_policy(spec, n_cores=4, dt=DT)
+        if spec.throttle is ThrottleKind.STOP_GO:
+            assert isinstance(throttle, StopGoPolicy)
+        else:
+            assert isinstance(throttle, DVFSPolicy)
+        assert throttle.scope == spec.scope.value
+        if spec.migration is MigrationKind.NONE:
+            assert migration is None
+        elif spec.migration is MigrationKind.COUNTER:
+            assert isinstance(migration, CounterBasedMigration)
+        else:
+            assert isinstance(migration, SensorBasedMigration)
+
+    def test_threshold_propagates(self):
+        throttle, _ = build_policy(BASELINE_SPEC, 4, DT, threshold_c=100.0)
+        assert throttle.threshold_c == 100.0

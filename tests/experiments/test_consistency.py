@@ -1,0 +1,86 @@
+"""Cross-experiment consistency.
+
+Tables 5-8 and Figures 3/7 are views over one policy x workload grid;
+computing them in any order against the same configuration must produce
+mutually consistent numbers (same underlying cached runs).
+"""
+
+import pytest
+
+from repro.experiments import figure3, figure7, table5, table6, table7, table8
+from repro.experiments.common import clear_result_cache, default_config
+from repro.sim.workloads import ALL_WORKLOADS, get_workload
+
+CFG = default_config(duration_s=0.03)
+WORKLOADS = [get_workload(n) for n in ("workload1", "workload7", "workload10")]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_result_cache()
+    yield
+
+
+def test_table5_and_table8_agree():
+    rows = table5.compute(CFG, WORKLOADS)
+    grid = table8.compute(CFG, WORKLOADS)
+    for r in rows:
+        assert grid.relative[r.spec_key] == pytest.approx(
+            r.relative_throughput, rel=1e-12
+        ), r.spec_key
+
+
+def test_table6_and_table8_agree():
+    rows = table6.compute(CFG, WORKLOADS)
+    grid = table8.compute(CFG, WORKLOADS)
+    for r in rows:
+        assert grid.relative[r.spec_key] == pytest.approx(
+            r.relative_throughput, rel=1e-12
+        ), r.spec_key
+
+
+def test_table7_consistent_with_table6(  ):
+    rows6 = {r.spec_key: r for r in table6.compute(CFG, WORKLOADS)}
+    rows7 = table7.compute(CFG, WORKLOADS)
+    for r7 in rows7:
+        counter_key = r7.spec_key.replace("sensor", "counter")
+        expected = r7.bips / rows6[counter_key].bips
+        assert r7.speedup_over_counter == pytest.approx(expected, rel=1e-12)
+
+
+def test_figure3_means_match_table5_ratio_of_sums():
+    """Per-workload figure bars are consistent with the averaged table:
+    sum(policy bips) / sum(baseline bips) equals the table's relative."""
+    rows5 = {r.spec_key: r for r in table5.compute(CFG, WORKLOADS)}
+    bars = figure3.compute(CFG, WORKLOADS)
+    from repro.experiments.common import run_matrix
+    from repro.experiments.table5 import TABLE5_SPECS
+
+    grid = run_matrix(list(TABLE5_SPECS), WORKLOADS, CFG)
+    base_sum = sum(grid["distributed-stop-go-none"][w.name].bips for w in WORKLOADS)
+    for key in figure3.FIGURE3_KEYS:
+        policy_sum = sum(grid[key][w.name].bips for w in WORKLOADS)
+        assert rows5[key].relative_throughput == pytest.approx(
+            policy_sum / base_sum, rel=1e-12
+        )
+
+
+def test_figure7_deltas_match_tables():
+    rows6 = {r.spec_key: r for r in table6.compute(CFG, WORKLOADS)}
+    bars = figure7.compute(CFG, WORKLOADS)
+    # The average per-workload delta and the table's aggregate speedup
+    # must at least agree in sign regime (both are small numbers around 0).
+    avg_delta = sum(b.counter_delta_pct for b in bars) / len(bars)
+    aggregate = (
+        rows6["distributed-dvfs-counter"].speedup_over_base - 1.0
+    ) * 100.0
+    assert abs(avg_delta - aggregate) < 5.0
+
+
+def test_repeated_computation_identical():
+    """Computing the same table twice gives bit-identical rows."""
+    a = table5.compute(CFG, WORKLOADS)
+    b = table5.compute(CFG, WORKLOADS)
+    for ra, rb in zip(a, b):
+        assert ra.bips == rb.bips
+        assert ra.duty_cycle == rb.duty_cycle

@@ -1,0 +1,40 @@
+"""Tests for the terminal-chart layer in the figure renders."""
+
+import pytest
+
+from repro.experiments import figure3, figure5, figure7
+from repro.experiments.common import default_config
+from repro.sim.workloads import get_workload
+
+CFG = default_config(duration_s=0.02)
+WORKLOADS = [get_workload(n) for n in ("workload1", "workload7")]
+
+
+class TestFigure3Chart:
+    def test_bar_chart_appended(self):
+        text = figure3.render(figure3.compute(CFG, WORKLOADS))
+        assert "Dist. DVFS vs baseline" in text
+        assert "┤" in text
+        assert "│" in text or "█" * 5 in text  # baseline marker or full bar
+
+    def test_one_bar_per_workload(self):
+        text = figure3.render(figure3.compute(CFG, WORKLOADS))
+        chart_lines = [line for line in text.splitlines() if "┤" in line]
+        assert len(chart_lines) == len(WORKLOADS)
+
+
+class TestFigure7Chart:
+    def test_zero_marker_present(self):
+        text = figure7.render(figure7.compute(CFG, WORKLOADS))
+        assert "marks zero" in text
+
+
+class TestFigure5Sketch:
+    def test_multiseries_block(self):
+        data = figure5.compute(CFG)
+        text = figure5.render(data, n_rows=6)
+        assert "int reg (C)" in text
+        assert "freq scale" in text
+        assert "ms" in text.splitlines()[-1]
+        # Range annotations for each series.
+        assert text.count("[") >= 3

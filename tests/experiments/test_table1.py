@@ -1,0 +1,92 @@
+"""Tests for the Table 1 (mobile measurement) reproduction.
+
+The full-length run is benchmarked in benchmarks/; here we use shorter
+horizons that still capture the qualitative structure.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+# Shorter-but-representative settings: long enough to cover at least one
+# full phase period of the slowest oscillator (ammp: ~420 s stretched).
+DURATION = 470.0
+DT = 20e-3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1.compute(duration_s=DURATION, dt=DT)
+
+
+class TestStructure:
+    def test_all_twelve_benchmarks(self, rows):
+        names = [r.benchmark for r in rows]
+        assert set(names) == set(table1.PAPER_STABLE) | set(table1.PAPER_RANGES)
+
+    def test_stable_vs_oscillating_split(self, rows):
+        stable = {r.benchmark for r in rows if r.stable}
+        osc = {r.benchmark for r in rows if not r.stable}
+        assert stable == set(table1.PAPER_STABLE)
+        assert osc == set(table1.PAPER_RANGES)
+
+    def test_row_payloads(self, rows):
+        for r in rows:
+            if r.stable:
+                assert r.steady_c is not None and r.range_c is None
+            else:
+                assert r.range_c is not None and r.steady_c is None
+                lo, hi = r.range_c
+                assert lo <= hi
+
+
+class TestQualitativeShape:
+    def test_mcf_is_coolest(self, rows):
+        temps = {r.benchmark: r.steady_c for r in rows if r.stable}
+        assert temps["mcf"] == min(temps.values())
+
+    def test_gzip_and_sixtrack_hottest_stable(self, rows):
+        temps = {r.benchmark: r.steady_c for r in rows if r.stable}
+        top_two = sorted(temps, key=temps.get, reverse=True)[:2]
+        assert set(top_two) == {"gzip", "sixtrack"}
+
+    def test_temperatures_in_measured_band(self, rows):
+        """All readings within a few degrees of the paper's 59-72 span."""
+        for r in rows:
+            values = [r.steady_c] if r.stable else list(r.range_c)
+            for v in values:
+                assert 52 <= v <= 80, (r.benchmark, v)
+
+    def test_oscillators_swing_multiple_degrees(self, rows):
+        for r in rows:
+            if not r.stable:
+                lo, hi = r.range_c
+                assert hi - lo >= 2, r.benchmark
+
+    def test_steady_benchmarks_really_steady(self):
+        readings = table1._simulate_benchmark(
+            "gzip", DURATION, DT, table1.MOBILE_PACKAGE,
+            table1.MOBILE_POWER_SCALE, seed=1,
+        )
+        settle = readings[len(readings) // 3:]
+        assert settle.max() - settle.min() <= 3.0
+
+
+class TestProtocol:
+    def test_quantised_to_whole_degrees(self):
+        readings = table1._simulate_benchmark(
+            "parser", 50.0, DT, table1.MOBILE_PACKAGE,
+            table1.MOBILE_POWER_SCALE, seed=0,
+        )
+        assert (readings == readings.round()).all()
+
+    def test_render_has_both_subtables(self, rows):
+        text = table1.render(rows)
+        assert "Table 1a" in text
+        assert "Table 1b" in text
+
+    def test_subset_computation(self):
+        rows = table1.compute(
+            duration_s=50.0, dt=DT, benchmarks=["gzip", "mcf"]
+        )
+        assert [r.benchmark for r in rows] == ["gzip", "mcf"]

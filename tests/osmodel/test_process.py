@@ -1,0 +1,51 @@
+"""Tests for the process abstraction."""
+
+import pytest
+
+from repro.osmodel.process import Process
+from repro.uarch.tracegen import generate_trace
+
+
+def make_process(pid=0, name="gzip"):
+    trace = generate_trace(name, duration_s=0.005)
+    return Process(pid=pid, benchmark=name, trace=trace)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = make_process()
+        assert p.position == 0.0
+        assert p.migrations == 0
+
+    def test_benchmark_trace_mismatch_rejected(self):
+        trace = generate_trace("gzip", duration_s=0.005)
+        with pytest.raises(ValueError, match="does not match"):
+            Process(pid=0, benchmark="mcf", trace=trace)
+
+    def test_negative_pid_rejected(self):
+        trace = generate_trace("gzip", duration_s=0.005)
+        with pytest.raises(ValueError):
+            Process(pid=-1, benchmark="gzip", trace=trace)
+
+
+class TestProgress:
+    def test_advance(self):
+        p = make_process()
+        p.advance(1.5)
+        p.advance(0.25)
+        assert p.position == pytest.approx(1.75)
+
+    def test_cannot_go_backwards(self):
+        p = make_process()
+        with pytest.raises(ValueError):
+            p.advance(-0.1)
+
+    def test_completed_passes(self):
+        p = make_process()
+        n = p.trace.n_samples
+        assert p.completed_passes == 0
+        p.advance(n * 2.5)
+        assert p.completed_passes == 2
+
+    def test_repr_readable(self):
+        assert "gzip" in repr(make_process())

@@ -1,0 +1,100 @@
+"""Tests for the scheduler and migration mechanics."""
+
+import pytest
+
+from repro.osmodel.process import Process
+from repro.osmodel.scheduler import Scheduler
+from repro.uarch.tracegen import generate_trace
+
+NAMES = ("gzip", "twolf", "ammp", "lucas")
+
+
+def make_scheduler():
+    processes = [
+        Process(pid=i, benchmark=n, trace=generate_trace(n, duration_s=0.005))
+        for i, n in enumerate(NAMES)
+    ]
+    return Scheduler(processes, n_cores=4)
+
+
+class TestConstruction:
+    def test_identity_assignment(self):
+        s = make_scheduler()
+        assert s.assignment == [0, 1, 2, 3]
+        assert s.process_on(2).benchmark == "ammp"
+
+    def test_process_count_must_match_cores(self):
+        processes = [
+            Process(pid=0, benchmark="gzip", trace=generate_trace("gzip", duration_s=0.005))
+        ]
+        with pytest.raises(ValueError):
+            Scheduler(processes, n_cores=4)
+
+    def test_duplicate_pids_rejected(self):
+        t = generate_trace("gzip", duration_s=0.005)
+        processes = [Process(pid=0, benchmark="gzip", trace=t) for _ in range(2)]
+        with pytest.raises(ValueError):
+            Scheduler(processes, n_cores=2)
+
+
+class TestQueries:
+    def test_core_of(self):
+        s = make_scheduler()
+        assert s.core_of(3) == 3
+        with pytest.raises(KeyError):
+            s.core_of(99)
+
+    def test_process_lookup(self):
+        s = make_scheduler()
+        assert s.process(1).benchmark == "twolf"
+        with pytest.raises(KeyError):
+            s.process(99)
+
+    def test_processes_in_pid_order(self):
+        s = make_scheduler()
+        assert [p.pid for p in s.processes] == [0, 1, 2, 3]
+
+
+class TestMigration:
+    def test_swap(self):
+        s = make_scheduler()
+        record = s.apply_assignment([1, 0, 2, 3], time_s=0.01)
+        assert record is not None
+        assert sorted(record.cores_involved) == [0, 1]
+        assert set(record.moves) == {0, 1}
+        assert s.process_on(0).benchmark == "twolf"
+        assert s.process(0).migrations == 1
+        assert s.process(2).migrations == 0
+
+    def test_four_way_rotation(self):
+        """"as complex as a four-way rotation" (Section 6.1)."""
+        s = make_scheduler()
+        record = s.apply_assignment([3, 0, 1, 2], time_s=0.01)
+        assert len(record.cores_involved) == 4
+        assert s.total_migrations == 4
+
+    def test_noop_returns_none(self):
+        s = make_scheduler()
+        assert s.apply_assignment([0, 1, 2, 3], time_s=0.01) is None
+        assert s.migration_history == []
+
+    def test_non_permutation_rejected(self):
+        s = make_scheduler()
+        with pytest.raises(ValueError, match="permutation"):
+            s.apply_assignment([0, 0, 2, 3], time_s=0.01)
+        with pytest.raises(ValueError):
+            s.apply_assignment([0, 1, 2], time_s=0.01)
+
+    def test_history_accumulates(self):
+        s = make_scheduler()
+        s.apply_assignment([1, 0, 2, 3], time_s=0.01)
+        s.apply_assignment([1, 0, 3, 2], time_s=0.02)
+        assert len(s.migration_history) == 2
+        assert s.total_migrations == 4
+        assert s.migration_history[1].time_s == pytest.approx(0.02)
+
+    def test_uninvolved_cores_not_penalised(self):
+        s = make_scheduler()
+        record = s.apply_assignment([1, 0, 2, 3], time_s=0.01)
+        assert 2 not in record.cores_involved
+        assert 3 not in record.cores_involved

@@ -1,0 +1,160 @@
+"""Tests for the thread-core thermal trend table (Figure 6)."""
+
+import pytest
+
+from repro.osmodel.thermal_table import ThreadCoreThermalTable
+
+UNITS = ("intreg", "fpreg")
+
+
+def make_table(n_cores=4):
+    return ThreadCoreThermalTable(n_cores, UNITS)
+
+
+class TestRecording:
+    def test_basic_record_and_estimate(self):
+        t = make_table()
+        t.record(0, 1, "intreg", observation=10.0, avg_scale=1.0)
+        assert t.estimate(0, 1, "intreg") == pytest.approx(10.0)
+        assert t.n_observations() == 1
+
+    def test_cubic_normalisation(self):
+        """An observation at half frequency is scaled by 8x (cubic)."""
+        t = make_table()
+        t.record(0, 1, "intreg", observation=1.0, avg_scale=0.5)
+        assert t.estimate(0, 1, "intreg") == pytest.approx(8.0)
+
+    def test_linear_normalisation_for_stopgo(self):
+        t = make_table()
+        t.record(0, 1, "intreg", observation=1.0, avg_scale=0.5, exponent=1.0)
+        assert t.estimate(0, 1, "intreg") == pytest.approx(2.0)
+
+    def test_running_mean(self):
+        t = make_table()
+        t.record(0, 0, "fpreg", 4.0, 1.0)
+        t.record(0, 0, "fpreg", 8.0, 1.0)
+        assert t.estimate(0, 0, "fpreg") == pytest.approx(6.0)
+
+    def test_scale_floor_guards_division(self):
+        t = make_table()
+        t.record(0, 0, "intreg", 1.0, avg_scale=0.0)  # clamped to 0.05
+        assert t.estimate(0, 0, "intreg") == pytest.approx(1.0 / 0.05 ** 3)
+
+    def test_validation(self):
+        t = make_table()
+        with pytest.raises(KeyError):
+            t.record(0, 0, "dcache", 1.0, 1.0)
+        with pytest.raises(IndexError):
+            t.record(0, 9, "intreg", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            t.record(0, 0, "intreg", 1.0, 1.0, exponent=-1.0)
+        with pytest.raises(KeyError):
+            t.estimate(0, 0, "dcache")
+
+
+class TestSufficiency:
+    """The Figure 6 decision: enough data to estimate all combinations?"""
+
+    def test_empty_table_insufficient(self):
+        assert not make_table().is_sufficient([0, 1, 2, 3])
+
+    def test_needs_two_threads_per_core(self):
+        t = make_table(n_cores=2)
+        t.record(0, 0, "intreg", 1.0, 1.0)
+        t.record(0, 1, "intreg", 1.0, 1.0)
+        t.record(1, 0, "intreg", 1.0, 1.0)
+        # Core 1 has seen only thread 0.
+        assert not t.is_sufficient([0, 1])
+        t.record(1, 1, "intreg", 1.0, 1.0)
+        assert t.is_sufficient([0, 1])
+
+    def test_every_thread_needs_data(self):
+        t = make_table(n_cores=2)
+        for pid in (0, 1):
+            for core in (0, 1):
+                t.record(pid, core, "intreg", 1.0, 1.0)
+        assert t.is_sufficient([0, 1])
+        assert not t.is_sufficient([0, 1, 2])  # thread 2 never observed
+
+    def test_profiling_suggestion_fills_gaps(self):
+        t = make_table(n_cores=2)
+        t.record(0, 0, "intreg", 1.0, 1.0)
+        suggestion = t.most_needed_profiling([0, 1])
+        assert suggestion is not None
+        pid, core = suggestion
+        # Thread 1 is unobserved; core 1 has no data at all.
+        assert pid == 1
+        assert core == 1
+
+    def test_no_suggestion_when_saturated(self):
+        t = make_table(n_cores=1)
+        t.record(0, 0, "intreg", 1.0, 1.0)
+        assert t.most_needed_profiling([0]) is None
+
+
+class TestProfilingCandidates:
+    def test_ordered_by_core_need(self):
+        t = make_table(n_cores=2)
+        # Core 0 has seen two threads; core 1 none.
+        t.record(0, 0, "intreg", 1.0, 1.0)
+        t.record(1, 0, "intreg", 1.0, 1.0)
+        candidates = t.profiling_candidates([0, 1, 2])
+        # The first suggestions target core 1 (fewest observed threads).
+        assert candidates[0][1] == 1
+
+    def test_least_observed_thread_first_within_core(self):
+        t = make_table(n_cores=1)
+        t.record(0, 0, "intreg", 1.0, 1.0)  # thread 0 observed
+        candidates = t.profiling_candidates([0, 1, 2])
+        # Threads 1 and 2 (never observed anywhere) come before... they
+        # are the only candidates (thread 0 already seen on core 0).
+        pids = [p for p, _c in candidates]
+        assert 0 not in pids
+        assert set(pids) == {1, 2}
+
+    def test_saturated_table_has_no_candidates(self):
+        t = make_table(n_cores=1)
+        for pid in (0, 1):
+            t.record(pid, 0, "intreg", 1.0, 1.0)
+        assert t.profiling_candidates([0, 1]) == []
+
+
+class TestEstimation:
+    def test_unobserved_thread_returns_none(self):
+        assert make_table().estimate(5, 0, "intreg") is None
+
+    def test_additive_model_uses_core_bias(self):
+        """A thread never seen on core 1 inherits core 1's bias measured
+        through other threads — the cross-estimation Figure 6 describes."""
+        t = make_table(n_cores=2)
+        # Thread 0: observed on both cores; core1 reads 2.0 hotter.
+        t.record(0, 0, "intreg", 5.0, 1.0)
+        t.record(0, 1, "intreg", 7.0, 1.0)
+        # Thread 1: observed only on core 0.
+        t.record(1, 0, "intreg", 3.0, 1.0)
+        est = t.estimate(1, 1, "intreg")
+        # Thread 1 mean = 3.0, core-1 bias = +1.0 (7 - thread0 mean 6).
+        assert est == pytest.approx(4.0)
+
+    def test_direct_observation_beats_model(self):
+        t = make_table(n_cores=2)
+        t.record(0, 0, "intreg", 5.0, 1.0)
+        t.record(0, 1, "intreg", 9.0, 1.0)
+        assert t.estimate(0, 1, "intreg") == pytest.approx(9.0)
+
+    def test_observed_queries(self):
+        t = make_table()
+        t.record(2, 3, "fpreg", 1.0, 1.0)
+        assert t.observed_cores_of(2) == [3]
+        assert t.observed_threads_on(3) == [2]
+        assert t.observed_cores_of(0) == []
+
+
+class TestValidationConstruction:
+    def test_requires_units(self):
+        with pytest.raises(ValueError):
+            ThreadCoreThermalTable(4, ())
+
+    def test_requires_cores(self):
+        with pytest.raises(ValueError):
+            ThreadCoreThermalTable(0, UNITS)

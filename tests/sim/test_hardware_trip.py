@@ -1,0 +1,76 @@
+"""Tests for the PROCHOT-style hardware failsafe and sensor-bias faults."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.taxonomy import spec_by_key
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.workloads import get_workload
+
+W3 = get_workload("workload3")
+DDV = spec_by_key("distributed-dvfs-none")
+BASE = SimulationConfig(duration_s=0.05)
+
+
+class TestSensorBias:
+    def test_low_reading_sensor_overheats_chip(self):
+        """A sensor reading low is the fault closed-loop DTM cannot see:
+        the controller regulates the reading, the silicon overshoots."""
+        biased = run_workload(W3, DDV, replace(BASE, sensor_offset_c=-3.0))
+        assert biased.emergency_s > 0
+        assert biased.max_temp_c > 84.2 + 0.35
+
+    def test_high_reading_sensor_is_conservative(self):
+        cautious = run_workload(W3, DDV, replace(BASE, sensor_offset_c=3.0))
+        clean = run_workload(W3, DDV, BASE)
+        assert cautious.emergency_s == 0.0
+        assert cautious.bips < clean.bips
+
+    def test_offset_zero_is_default_behaviour(self):
+        a = run_workload(W3, DDV, BASE)
+        b = run_workload(W3, DDV, replace(BASE, sensor_offset_c=0.0))
+        assert a.bips == b.bips
+
+
+class TestHardwareTrip:
+    def test_trip_restores_safety_under_biased_sensors(self):
+        cfg = replace(BASE, sensor_offset_c=-3.0, hardware_trip=True)
+        result = run_workload(W3, DDV, cfg)
+        assert result.prochot_events > 0
+        assert result.emergency_s == 0.0
+        assert result.max_temp_c <= 84.2 + 0.35
+
+    def test_trip_costs_throughput(self):
+        biased = run_workload(W3, DDV, replace(BASE, sensor_offset_c=-3.0))
+        tripped = run_workload(
+            W3, DDV, replace(BASE, sensor_offset_c=-3.0, hardware_trip=True)
+        )
+        assert tripped.bips < biased.bips
+
+    def test_trip_inert_with_good_sensors(self):
+        """With calibrated sensors the PI keeps silicon below the trip
+        level, so the failsafe never fires and costs nothing."""
+        clean = run_workload(W3, DDV, BASE)
+        with_trip = run_workload(W3, DDV, replace(BASE, hardware_trip=True))
+        assert with_trip.prochot_events == 0
+        assert with_trip.bips == pytest.approx(clean.bips)
+
+    def test_trip_protects_unthrottled_chip(self):
+        """Even with NO policy at all, the hardware trip bounds silicon
+        temperature (the pure-failsafe operating mode)."""
+        result = run_workload(W3, None, replace(BASE, hardware_trip=True))
+        assert result.prochot_events > 0
+        assert result.max_temp_c <= 84.2 + 0.35
+
+    def test_prochot_zero_when_disabled(self):
+        assert run_workload(W3, DDV, BASE).prochot_events == 0
+
+    def test_trip_works_under_stopgo_too(self):
+        cfg = replace(
+            BASE, sensor_offset_c=-3.0, hardware_trip=True
+        )
+        result = run_workload(
+            W3, spec_by_key("distributed-stop-go-none"), cfg
+        )
+        assert result.emergency_s == 0.0

@@ -1,0 +1,112 @@
+"""Tests for the BIPS / adjusted-duty-cycle accounting."""
+
+import pytest
+
+from repro.sim.metrics import EMERGENCY_TOLERANCE_C, MetricsAccumulator
+
+
+def make(n_cores=4, threshold=84.2):
+    return MetricsAccumulator(n_cores=n_cores, threshold_c=threshold)
+
+
+def step(m, dt=1e-3, work=None, stall=None, frozen=None, instr=None, temp=70.0):
+    n = m.n_cores
+    m.record_step(
+        dt,
+        work if work is not None else [dt] * n,
+        stall if stall is not None else [0.0] * n,
+        frozen if frozen is not None else [False] * n,
+        instr if instr is not None else [1000.0] * n,
+        temp,
+    )
+
+
+class TestDutyCycle:
+    def test_full_speed_is_one(self):
+        m = make()
+        for _ in range(10):
+            step(m)
+        assert m.duty_cycle == pytest.approx(1.0)
+
+    def test_paper_example_30_percent(self):
+        """"if all cores run at 30% of maximum speed for an entire
+        execution this amounts to a duty cycle of 30%"."""
+        m = make()
+        for _ in range(10):
+            step(m, work=[0.3e-3] * 4)
+        assert m.duty_cycle == pytest.approx(0.30)
+
+    def test_paper_example_35_percent(self):
+        """"half the time at 30% ... other half at 40% ... 35%"."""
+        m = make()
+        for _ in range(5):
+            step(m, work=[0.3e-3] * 4)
+        for _ in range(5):
+            step(m, work=[0.4e-3] * 4)
+        assert m.duty_cycle == pytest.approx(0.35)
+
+    def test_overheads_lower_duty(self):
+        """Stall time counts as zero work (PLL/migration overheads)."""
+        m = make()
+        step(m, work=[0.5e-3] * 4, stall=[0.5e-3] * 4)
+        assert m.duty_cycle == pytest.approx(0.5)
+        assert m.stall_time_s == pytest.approx(4 * 0.5e-3)
+
+    def test_per_core_average(self):
+        m = make(n_cores=2)
+        step(m, work=[1e-3, 0.0], frozen=[False, True])
+        assert m.duty_cycle == pytest.approx(0.5)
+        assert m.frozen_time_s == pytest.approx(1e-3)
+
+
+class TestBips:
+    def test_simple(self):
+        m = make()
+        for _ in range(100):
+            step(m, dt=1e-3, instr=[250_000.0] * 4)
+        # 4 cores x 250k inst / ms = 1e9 inst/s = 1 BIPS.
+        assert m.bips == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        m = make()
+        assert m.bips == 0.0
+        assert m.duty_cycle == 0.0
+
+    def test_per_core_attribution(self):
+        m = make(n_cores=2)
+        step(m, instr=[100.0, 900.0])
+        assert m.per_core_instructions == [100.0, 900.0]
+        assert m.instructions == 1000.0
+
+
+class TestEmergencies:
+    def test_below_threshold_clean(self):
+        m = make()
+        step(m, temp=84.2)
+        assert not m.had_emergency
+
+    def test_tolerance_band(self):
+        m = make()
+        step(m, temp=84.2 + EMERGENCY_TOLERANCE_C - 0.01)
+        assert not m.had_emergency
+        step(m, temp=84.2 + EMERGENCY_TOLERANCE_C + 0.01)
+        assert m.had_emergency
+        assert m.emergency_s == pytest.approx(1e-3)
+
+    def test_max_temp_tracked(self):
+        m = make()
+        step(m, temp=70.0)
+        step(m, temp=83.0)
+        step(m, temp=79.0)
+        assert m.max_temp_c == pytest.approx(83.0)
+
+
+class TestValidation:
+    def test_core_count(self):
+        with pytest.raises(ValueError):
+            MetricsAccumulator(n_cores=0, threshold_c=84.2)
+
+    def test_wrong_width(self):
+        m = make(n_cores=4)
+        with pytest.raises(ValueError):
+            m.record_step(1e-3, [0.0], [0.0], [False], [0.0], 50.0)

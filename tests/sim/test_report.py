@@ -1,0 +1,89 @@
+"""Tests for result serialisation and reporting."""
+
+import pytest
+
+from repro.sim.report import (
+    comparison_report,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.sim.results import RunResult
+
+
+def make_result(policy="Dist. stop-go", workload="w1", bips=5.0):
+    return RunResult(
+        policy=policy,
+        workload=workload,
+        benchmarks=("a", "b", "c", "d"),
+        duration_s=0.5,
+        bips=bips,
+        duty_cycle=0.5,
+        instructions=bips * 0.5e9,
+        per_core_instructions=(1.0, 2.0, 3.0, 4.0),
+        max_temp_c=84.0,
+        emergency_s=0.0,
+        migrations=2,
+        dvfs_transitions=10,
+        stopgo_trips=3,
+    )
+
+
+class TestDictRoundTrip:
+    def test_roundtrip(self):
+        original = make_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored == original
+
+    def test_tuples_restored(self):
+        restored = result_from_dict(result_to_dict(make_result()))
+        assert isinstance(restored.benchmarks, tuple)
+        assert isinstance(restored.per_core_instructions, tuple)
+
+    def test_version_checked(self):
+        data = result_to_dict(make_result())
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path):
+        results = [make_result(bips=5.0), make_result("Dist. DVFS", bips=12.0)]
+        path = save_results(results, tmp_path / "out.json")
+        loaded = load_results(path)
+        assert loaded == results
+
+    def test_suffix_appended(self, tmp_path):
+        path = save_results([make_result()], tmp_path / "out")
+        assert path.suffix == ".json"
+
+
+class TestComparisonReport:
+    def test_normalised_to_baseline(self):
+        results = [
+            make_result("Dist. stop-go", bips=5.0),
+            make_result("Dist. DVFS", bips=12.5),
+        ]
+        text = comparison_report(results)
+        assert "2.50X" in text
+        assert "1.00X" in text
+
+    def test_multiple_runs_averaged(self):
+        results = [
+            make_result("Dist. stop-go", "w1", bips=4.0),
+            make_result("Dist. stop-go", "w2", bips=6.0),
+            make_result("Dist. DVFS", "w1", bips=10.0),
+        ]
+        text = comparison_report(results)
+        assert "5.00" in text  # averaged baseline
+        assert "2.00X" in text
+
+    def test_missing_baseline_drops_column(self):
+        text = comparison_report([make_result("Dist. DVFS", bips=10.0)])
+        assert "vs baseline" not in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_report([])

@@ -1,0 +1,73 @@
+"""Tests for the generic sweep helpers."""
+
+import pytest
+
+from repro.core.taxonomy import spec_by_key
+from repro.sim.engine import SimulationConfig
+from repro.sim.sweep import best_point, sweep_config_field, sweep_policies
+from repro.sim.workloads import get_workload
+
+CFG = SimulationConfig(duration_s=0.02)
+W7 = get_workload("workload7")
+DDV = spec_by_key("distributed-dvfs-none")
+
+
+class TestSweepConfigField:
+    def test_threshold_sweep_monotone(self):
+        points = sweep_config_field(
+            "threshold_c", [84.2, 100.0], DDV, [W7], CFG
+        )
+        assert len(points) == 2
+        assert points[1].mean_duty_cycle >= points[0].mean_duty_cycle
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SimulationConfig field"):
+            sweep_config_field("clock_speed", [1.0], DDV, [W7], CFG)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_config_field("threshold_c", [], DDV, [W7], CFG)
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_config_field("threshold_c", [84.2], DDV, [], CFG)
+
+    def test_point_aggregates(self):
+        (point,) = sweep_config_field("threshold_c", [84.2], DDV, [W7], CFG)
+        r = point.results["workload7"]
+        assert point.mean_bips == pytest.approx(r.bips)
+        assert point.mean_duty_cycle == pytest.approx(r.duty_cycle)
+        assert point.total_emergency_s == pytest.approx(r.emergency_s)
+
+
+class TestSweepPolicies:
+    def test_policy_sweep(self):
+        points = sweep_policies(
+            [None, spec_by_key("distributed-stop-go-none"), DDV], [W7], CFG
+        )
+        values = [p.value for p in points]
+        assert values == ["unthrottled", "distributed-stop-go-none",
+                          "distributed-dvfs-none"]
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_policies([], [W7], CFG)
+
+
+class TestBestPoint:
+    def test_safe_point_preferred(self):
+        points = sweep_policies(
+            [None, DDV], [W7], CFG
+        )
+        # Unthrottled overheats; DVFS is safe and must win by default.
+        best = best_point(points)
+        assert best.value == "distributed-dvfs-none"
+
+    def test_unsafe_allowed_when_requested(self):
+        points = sweep_policies([None, DDV], [W7], CFG)
+        best = best_point(points, require_safe=False)
+        assert best.value == "unthrottled"  # raw throughput winner
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_point([])

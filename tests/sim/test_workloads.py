@@ -1,0 +1,61 @@
+"""Tests for the Table 4 workload definitions."""
+
+import pytest
+
+from repro.sim.workloads import (
+    ALL_WORKLOADS,
+    EXPECTED_MIX_LABELS,
+    Workload,
+    get_workload,
+    workload_names,
+)
+
+
+class TestTable4:
+    def test_twelve_workloads(self):
+        assert len(ALL_WORKLOADS) == 12
+
+    def test_four_programs_each(self):
+        for w in ALL_WORKLOADS:
+            assert len(w.benchmarks) == 4
+
+    def test_exact_benchmark_lists(self):
+        """Spot-check rows of Table 4 verbatim."""
+        assert get_workload("workload1").benchmarks == ("gcc", "gzip", "mcf", "vpr")
+        assert get_workload("workload7").benchmarks == (
+            "gzip", "twolf", "ammp", "lucas",
+        )
+        assert get_workload("workload12").benchmarks == (
+            "art", "lucas", "mgrid", "sixtrack",
+        )
+
+    def test_mix_labels_match_table4(self):
+        """The int/fp composition column of Table 4."""
+        for w in ALL_WORKLOADS:
+            assert w.mix_label == EXPECTED_MIX_LABELS[w.name], w.name
+
+    def test_spectrum_covers_all_mixes(self):
+        labels = {w.mix_label for w in ALL_WORKLOADS}
+        assert labels == {"IIII", "IIIF", "IIFF", "IFFF", "FFFF"}
+
+    def test_label_format(self):
+        w = get_workload("workload7")
+        assert w.label == "gzip-twolf-ammp-lucas (IIFF)"
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert get_workload("workload3").name == "workload3"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("workload99")
+
+    def test_names_helper(self):
+        names = workload_names()
+        assert names[0] == "workload1"
+        assert len(names) == 12
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            Workload("bad", ("gzip", "gzip", "gzip", "quake"))

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "workload7" in out
+        assert "distributed-dvfs-sensor" in out
+        assert "gzip" in out
+        assert "<- baseline" in out
+
+
+class TestRun:
+    def test_run_policy(self, capsys):
+        rc = main(
+            ["run", "-w", "workload7", "-p", "distributed-dvfs-none",
+             "-d", "0.01"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BIPS" in out
+        assert "workload7" in out
+
+    def test_run_unthrottled(self, capsys):
+        assert main(["run", "-w", "workload1", "-p", "none", "-d", "0.005"]) == 0
+        assert "unthrottled" in capsys.readouterr().out
+
+    def test_run_with_seed(self, capsys):
+        main(["run", "-d", "0.005", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["run", "-d", "0.005", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "-w", "workload99", "-d", "0.005"])
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "-p", "overclock", "-d", "0.005"])
+
+
+class TestCompare:
+    def test_compare_and_save(self, capsys, tmp_path):
+        out_file = tmp_path / "cmp.json"
+        rc = main(
+            ["compare", "-w", "workload1", "-d", "0.005", "-o", str(out_file)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "All 12 policies" in out
+        assert "vs baseline" in out
+        payload = json.loads(out_file.read_text())
+        assert len(payload["results"]) == 12
+
+
+class TestTrace:
+    def test_trace_generation(self, capsys, tmp_path):
+        out_file = tmp_path / "mcf_trace"
+        rc = main(["trace", "mcf", "-o", str(out_file), "-d", "0.005"])
+        assert rc == 0
+        assert (tmp_path / "mcf_trace.npz").exists()
+        assert "samples" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "doom", "-o", "/tmp/x"])
+
+
+class TestExperiment:
+    def test_experiment_with_duration(self, capsys):
+        rc = main(["experiment", "table5", "-d", "0.01"])
+        assert rc == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the first thing a new user executes; they must never rot.
+Each is run in-process (same interpreter, tiny horizons via argv) and its
+output spot-checked for the story it claims to tell.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv, capsys):
+    """Execute an example as __main__ with the given argv tail."""
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", ["0.01"], capsys)
+        assert "No DTM" in out
+        assert "2." in out or "1." in out  # a relative factor printed
+
+    def test_policy_tour(self, capsys):
+        out = run_example("policy_tour.py", ["workload1", "0.005"], capsys)
+        assert "Relative throughput" in out
+        assert out.count("X") >= 11  # the grid of factors
+
+    def test_controller_design(self, capsys):
+        out = run_example("controller_design.py", [], capsys)
+        assert "0.0107" in out
+        assert "left half plane: True" in out
+
+    def test_migration_anatomy(self, capsys):
+        out = run_example("migration_anatomy.py", ["0.03"], capsys)
+        assert "residence timeline" in out
+
+    def test_thermal_hotspots(self, capsys):
+        out = run_example("thermal_hotspots.py", [], capsys)
+        assert "critical hotspot" in out
+        assert "intreg" in out and "fpreg" in out
+
+    def test_asymmetric_cores(self, capsys):
+        out = run_example("asymmetric_cores.py", ["0.02"], capsys)
+        assert "Placement sensitivity" in out
+
+    def test_sensor_faults(self, capsys):
+        out = run_example("sensor_faults.py", ["0.02"], capsys)
+        assert "hardware trip" in out

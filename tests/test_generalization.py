@@ -1,0 +1,71 @@
+"""Generalisation: do the paper's conclusions survive off-Table-4 mixes?
+
+Table 4 is a hand-picked selection. These tests draw random four-program
+workloads from the 22 benchmarks and verify the taxonomy's core orderings
+hold on every one of them — the conclusions are properties of the policy
+space, not artifacts of the workload selection.
+"""
+
+import pytest
+
+from repro.core.taxonomy import spec_by_key
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.workloads import Workload, random_workload
+
+CFG = SimulationConfig(duration_s=0.05)
+SEEDS = (11, 23, 47)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def workload(request) -> Workload:
+    return random_workload(request.param)
+
+
+class TestRandomWorkloadGeneration:
+    def test_deterministic(self):
+        assert random_workload(5).benchmarks == random_workload(5).benchmarks
+
+    def test_distinct_programs(self):
+        for seed in range(20):
+            w = random_workload(seed)
+            assert len(set(w.benchmarks)) == 4
+
+    def test_custom_name(self):
+        assert random_workload(1, name="mix").name == "mix"
+
+
+class TestOrderingsGeneralise:
+    def test_dvfs_beats_stopgo(self, workload):
+        dvfs = run_workload(workload, spec_by_key("distributed-dvfs-none"), CFG)
+        stopgo = run_workload(
+            workload, spec_by_key("distributed-stop-go-none"), CFG
+        )
+        assert dvfs.bips > stopgo.bips, workload.label
+
+    def test_distributed_beats_global_stopgo(self, workload):
+        dist = run_workload(
+            workload, spec_by_key("distributed-stop-go-none"), CFG
+        )
+        glob = run_workload(workload, spec_by_key("global-stop-go-none"), CFG)
+        assert dist.bips >= glob.bips * 0.999, workload.label
+
+    def test_every_policy_safe(self, workload):
+        for key in (
+            "distributed-dvfs-none",
+            "distributed-stop-go-none",
+            "global-dvfs-none",
+            "distributed-dvfs-sensor",
+        ):
+            result = run_workload(workload, spec_by_key(key), CFG)
+            assert result.emergency_s == 0.0, (workload.label, key)
+
+    def test_migration_helps_stopgo(self, workload):
+        base = run_workload(
+            workload, spec_by_key("distributed-stop-go-none"), CFG
+        )
+        mig = run_workload(
+            workload, spec_by_key("distributed-stop-go-counter"), CFG
+        )
+        # Cool random mixes may not throttle at all (nothing to rescue);
+        # migration must never hurt materially and must help hot mixes.
+        assert mig.bips >= base.bips * 0.97, workload.label

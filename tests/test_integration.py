@@ -1,0 +1,148 @@
+"""End-to-end integration tests.
+
+These cross module boundaries deliberately: benchmark profiles feed trace
+generation, traces feed the engine, policies actuate against the thermal
+model, and the experiment harness aggregates — one failure anywhere shows
+up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALL_POLICY_SPECS,
+    SimulationConfig,
+    get_workload,
+    run_workload,
+    spec_by_key,
+)
+from repro.sim.engine import ThermalTimingSimulator
+
+W3 = get_workload("workload3")
+QUICK = SimulationConfig(duration_s=0.03)
+
+
+class TestAllTwelvePolicies:
+    """Every taxonomy cell runs end to end, safely, on one workload."""
+
+    @pytest.mark.parametrize("spec", ALL_POLICY_SPECS, ids=lambda s: s.key)
+    def test_policy_completes_and_is_safe(self, spec):
+        result = run_workload(W3, spec, QUICK)
+        assert result.bips > 0
+        assert 0.0 < result.duty_cycle <= 1.0
+        assert result.duration_s == pytest.approx(0.03, rel=0.01)
+        # Thermal envelope: threshold plus the emergency tolerance.
+        assert result.max_temp_c <= 84.2 + 0.35 + 0.2, spec.key
+
+
+class TestPhysicalConsistency:
+    def test_throttled_never_beats_unthrottled(self):
+        free = run_workload(W3, None, QUICK)
+        for key in ("distributed-dvfs-none", "distributed-stop-go-none"):
+            throttled = run_workload(W3, spec_by_key(key), QUICK)
+            assert throttled.bips <= free.bips * 1.001
+
+    def test_duty_cycle_tracks_throughput(self):
+        """Across policies, BIPS and duty cycle move together."""
+        keys = [
+            "global-stop-go-none",
+            "distributed-stop-go-none",
+            "global-dvfs-none",
+            "distributed-dvfs-none",
+        ]
+        results = [run_workload(W3, spec_by_key(k), QUICK) for k in keys]
+        bips = [r.bips for r in results]
+        duty = [r.duty_cycle for r in results]
+        assert np.corrcoef(bips, duty)[0, 1] > 0.9
+
+    def test_hotter_ambient_hurts(self):
+        from dataclasses import replace
+
+        from repro.thermal.package import ThermalPackage
+
+        cool_pkg = ThermalPackage(ambient_c=35.0)
+        hot_pkg = ThermalPackage(ambient_c=55.0)
+        cool = run_workload(
+            W3, spec_by_key("distributed-dvfs-none"),
+            replace(QUICK, package=cool_pkg),
+        )
+        hot = run_workload(
+            W3, spec_by_key("distributed-dvfs-none"),
+            replace(QUICK, package=hot_pkg),
+        )
+        assert hot.bips < cool.bips
+
+    def test_lower_threshold_hurts(self):
+        from dataclasses import replace
+
+        strict = run_workload(
+            W3, spec_by_key("distributed-dvfs-none"),
+            replace(QUICK, threshold_c=80.0),
+        )
+        relaxed = run_workload(
+            W3, spec_by_key("distributed-dvfs-none"),
+            replace(QUICK, threshold_c=95.0),
+        )
+        assert strict.bips < relaxed.bips
+        assert strict.max_temp_c <= 80.0 + 0.55
+
+
+class TestStateIsolation:
+    def test_simulators_do_not_share_state(self):
+        """Two simulators built from the same inputs stay independent."""
+        sim1 = ThermalTimingSimulator(
+            W3.benchmarks, spec_by_key("distributed-dvfs-none"), QUICK
+        )
+        sim2 = ThermalTimingSimulator(
+            W3.benchmarks, spec_by_key("distributed-dvfs-none"), QUICK
+        )
+        r1 = sim1.run()
+        # sim1's run must not have perturbed sim2 (traces are shared
+        # read-only; processes and thermal state are per-simulator).
+        r2 = sim2.run()
+        assert r1.bips == pytest.approx(r2.bips)
+
+    def test_processes_reset_between_runs(self):
+        sim = ThermalTimingSimulator(
+            W3.benchmarks, spec_by_key("distributed-stop-go-none"), QUICK
+        )
+        sim.run()
+        positions = [p.position for p in sim.scheduler.processes]
+        assert all(pos > 0 for pos in positions)  # the run made progress
+
+
+class TestCounterFlowEndToEnd:
+    def test_counters_populated_through_engine(self):
+        sim = ThermalTimingSimulator(
+            W3.benchmarks, spec_by_key("distributed-dvfs-counter"), QUICK
+        )
+        sim.run()
+        for proc in sim.scheduler.processes:
+            assert proc.counters.instructions > 0
+            assert proc.counters.adjusted_cycles > 0
+            assert proc.counters.adjusted_cycles <= proc.counters.cycles
+
+    def test_thermal_table_populated_for_sensor_policy(self):
+        sim = ThermalTimingSimulator(
+            W3.benchmarks, spec_by_key("distributed-dvfs-sensor"), QUICK
+        )
+        sim.run()
+        assert sim.thermal_table.n_observations() > 0
+
+    def test_int_thread_counters_lean_int(self):
+        sim = ThermalTimingSimulator(
+            ("gzip", "gzip", "sixtrack", "sixtrack"),
+            spec_by_key("distributed-dvfs-none"),
+            QUICK,
+        )
+        sim.run()
+        gzip_proc = sim.scheduler.process(0)
+        six_proc = sim.scheduler.process(2)
+        assert (
+            gzip_proc.counters.int_rf_per_adjusted_cycle
+            > gzip_proc.counters.fp_rf_per_adjusted_cycle
+        )
+        assert (
+            six_proc.counters.fp_rf_per_adjusted_cycle
+            > six_proc.counters.int_rf_per_adjusted_cycle
+        )

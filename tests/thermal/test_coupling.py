@@ -1,0 +1,107 @@
+"""Tests for leakage-temperature coupling."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.coupling import (
+    LeakageCouplingError,
+    coupled_steady_state,
+    initialize_coupled_steady,
+    loop_gain_estimate,
+)
+from repro.thermal.layouts import build_cmp_floorplan
+from repro.thermal.leakage import LeakageModel
+from repro.thermal.model import ThermalModel
+from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
+
+
+@pytest.fixture()
+def setup():
+    fp = build_cmp_floorplan()
+    model = ThermalModel(fp, HIGH_PERFORMANCE_PACKAGE, 1e-3)
+    leakage = LeakageModel(fp, total_reference_w=32.0)
+    return model, leakage
+
+
+class TestFixedPoint:
+    def test_converges_and_is_self_consistent(self, setup):
+        model, leakage = setup
+        n = model.network.n_blocks
+        p = np.full(n, 0.5)
+        temps, iters = coupled_steady_state(model, leakage, p)
+        assert iters < 20
+        # The returned point satisfies T = steady(P + leak(T)).
+        check = model.steady_state(p + leakage.power(temps[:n]))
+        np.testing.assert_allclose(check, temps, atol=1e-5)
+
+    def test_leakage_raises_temperature(self, setup):
+        model, leakage = setup
+        n = model.network.n_blocks
+        p = np.full(n, 0.5)
+        without = model.steady_state(p)
+        with_leak, _ = coupled_steady_state(model, leakage, p)
+        assert np.all(with_leak > without)
+
+    def test_zero_dynamic_power_still_warm(self, setup):
+        """Leakage alone keeps the chip above ambient."""
+        model, leakage = setup
+        n = model.network.n_blocks
+        temps, _ = coupled_steady_state(model, leakage, np.zeros(n))
+        assert temps[:n].min() > model.network.ambient_c + 0.5
+
+    def test_initialize_sets_model_state(self, setup):
+        model, leakage = setup
+        n = model.network.n_blocks
+        temps = initialize_coupled_steady(model, leakage, np.full(n, 0.3))
+        np.testing.assert_array_equal(model.temperatures, temps)
+
+    def test_validation(self, setup):
+        model, leakage = setup
+        with pytest.raises(ValueError):
+            coupled_steady_state(model, leakage, np.zeros(3))
+        with pytest.raises(ValueError):
+            coupled_steady_state(
+                model, leakage, np.zeros(model.network.n_blocks), tolerance_c=0.0
+            )
+
+
+class TestRunaway:
+    def test_pathological_leakage_detected(self, setup):
+        """A deliberately unstable configuration raises instead of
+        silently returning garbage."""
+        model, _ = setup
+        fp = model.floorplan
+        n = model.network.n_blocks
+        # Enormous leakage + steep exponent: loop gain far above 1, and an
+        # evaluation clamp too high to save it.
+        hot_leak = LeakageModel(fp, total_reference_w=600.0, beta=0.08)
+        hot_leak.max_eval_temp_c = 10_000.0
+        with np.errstate(over="ignore"):  # the overflow IS the scenario
+            with pytest.raises(LeakageCouplingError):
+                coupled_steady_state(
+                    model, hot_leak, np.full(n, 2.0), max_iterations=40
+                )
+
+    def test_clamp_bounds_the_operating_envelope(self, setup):
+        """With the default evaluation clamp, even very hot operating
+        points converge (the empirical fit saturates instead of running
+        away)."""
+        model, leakage = setup
+        n = model.network.n_blocks
+        temps, _ = coupled_steady_state(model, leakage, np.full(n, 3.0))
+        assert np.isfinite(temps).all()
+
+
+class TestLoopGain:
+    def test_operating_range_gain_below_one(self, setup):
+        model, leakage = setup
+        n = model.network.n_blocks
+        temps = np.full(n, 85.0)
+        assert loop_gain_estimate(model, leakage, temps) < 1.0
+
+    def test_gain_grows_with_temperature(self, setup):
+        model, leakage = setup
+        n = model.network.n_blocks
+        cool = loop_gain_estimate(model, leakage, np.full(n, 50.0))
+        hot = loop_gain_estimate(model, leakage, np.full(n, 120.0))
+        assert hot > cool

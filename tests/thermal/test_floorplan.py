@@ -1,0 +1,152 @@
+"""Tests for floorplan geometry and adjacency."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.thermal.floorplan import Block, Floorplan
+
+
+class TestBlock:
+    def test_basic_geometry(self):
+        b = Block("a", 1.0, 2.0, 3.0, 4.0)
+        assert b.x2 == pytest.approx(4.0)
+        assert b.y2 == pytest.approx(6.0)
+        assert b.area_mm2 == pytest.approx(12.0)
+        assert b.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Block("a", 0, 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Block("a", 0, 0, 1.0, -1.0)
+
+    def test_translation(self):
+        b = Block("a", 0, 0, 1, 1).translated(2, 3, rename="b")
+        assert (b.name, b.x, b.y) == ("b", 2, 3)
+
+    def test_overlap_detection(self):
+        a = Block("a", 0, 0, 2, 2)
+        assert a.overlaps(Block("b", 1, 1, 2, 2))
+        assert not a.overlaps(Block("b", 2, 0, 2, 2))  # touching edges only
+        assert not a.overlaps(Block("b", 5, 5, 1, 1))
+
+    def test_shared_edge_vertical(self):
+        a = Block("a", 0, 0, 2, 4)
+        b = Block("b", 2, 1, 2, 2)
+        length, da, db = a.shared_edge(b)
+        assert length == pytest.approx(2.0)  # y-overlap of [1,3] within [0,4]
+        assert da == pytest.approx(1.0)  # half of a's width
+        assert db == pytest.approx(1.0)
+
+    def test_shared_edge_horizontal(self):
+        a = Block("a", 0, 0, 4, 1)
+        b = Block("b", 1, 1, 2, 3)
+        length, da, db = a.shared_edge(b)
+        assert length == pytest.approx(2.0)
+        assert da == pytest.approx(0.5)  # half of a's height
+        assert db == pytest.approx(1.5)
+
+    def test_no_shared_edge(self):
+        a = Block("a", 0, 0, 1, 1)
+        assert a.shared_edge(Block("b", 5, 5, 1, 1))[0] == 0.0
+
+    def test_corner_touch_is_not_adjacency(self):
+        a = Block("a", 0, 0, 1, 1)
+        b = Block("b", 1, 1, 1, 1)
+        assert a.shared_edge(b)[0] == 0.0
+
+
+class TestFloorplan:
+    def _two_by_two(self):
+        return Floorplan(
+            [
+                Block("sw", 0, 0, 1, 1),
+                Block("se", 1, 0, 1, 1),
+                Block("nw", 0, 1, 1, 1),
+                Block("ne", 1, 1, 1, 1),
+            ]
+        )
+
+    def test_lookup(self):
+        fp = self._two_by_two()
+        assert fp.block("se").x == 1
+        assert fp.index("nw") == 2
+        assert "ne" in fp
+        assert len(fp) == 4
+
+    def test_unknown_block(self):
+        with pytest.raises(KeyError):
+            self._two_by_two().block("zz")
+        with pytest.raises(KeyError):
+            self._two_by_two().index("zz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Floorplan([Block("a", 0, 0, 1, 1), Block("a", 2, 0, 1, 1)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Floorplan([Block("a", 0, 0, 2, 2), Block("b", 1, 1, 2, 2)])
+
+    def test_adjacent_pairs_of_grid(self):
+        fp = self._two_by_two()
+        pairs = fp.adjacent_pairs()
+        # A 2x2 grid has 4 adjacencies (no diagonals).
+        assert len(pairs) == 4
+        for i, j, length, di, dj in pairs:
+            assert i < j
+            assert length == pytest.approx(1.0)
+            assert di == pytest.approx(0.5)
+            assert dj == pytest.approx(0.5)
+
+    def test_bounding_box_and_area(self):
+        fp = self._two_by_two()
+        assert fp.bounding_box == (0, 0, 2, 2)
+        assert fp.total_area_mm2 == pytest.approx(4.0)
+
+    def test_merge(self):
+        fp = self._two_by_two()
+        other = Floorplan([Block("x", 5, 5, 1, 1)])
+        merged = fp.merged_with(other)
+        assert len(merged) == 5
+
+
+@st.composite
+def grid_floorplans(draw):
+    """Random floorplans formed by subdividing a rectangle into a grid.
+
+    Construction guarantees no overlaps, so the Floorplan validator must
+    accept every instance.
+    """
+    nx = draw(st.integers(min_value=1, max_value=4))
+    ny = draw(st.integers(min_value=1, max_value=4))
+    widths = [draw(st.floats(min_value=0.5, max_value=3.0)) for _ in range(nx)]
+    heights = [draw(st.floats(min_value=0.5, max_value=3.0)) for _ in range(ny)]
+    blocks = []
+    y = 0.0
+    for row, h in enumerate(heights):
+        x = 0.0
+        for col, w in enumerate(widths):
+            blocks.append(Block(f"b{row}_{col}", x, y, w, h))
+            x += w
+        y += h
+    return Floorplan(blocks), nx, ny
+
+
+@given(grid_floorplans())
+def test_grid_adjacency_count_property(data):
+    """A full nx x ny grid has exactly nx*(ny-1) + ny*(nx-1) adjacencies."""
+    fp, nx, ny = data
+    expected = nx * (ny - 1) + ny * (nx - 1)
+    assert len(fp.adjacent_pairs()) == expected
+
+
+@given(grid_floorplans())
+def test_shared_edges_symmetric_property(data):
+    fp, _nx, _ny = data
+    for i, j, length, di, dj in fp.adjacent_pairs():
+        back_length, dj2, di2 = fp.blocks[j].shared_edge(fp.blocks[i])
+        assert back_length == pytest.approx(length)
+        assert di2 == pytest.approx(di)
+        assert dj2 == pytest.approx(dj)

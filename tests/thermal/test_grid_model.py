@@ -1,0 +1,178 @@
+"""Tests for the grid-mode thermal solver, including the block-vs-grid
+accuracy cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.grid_model import GridThermalModel
+from repro.thermal.layouts import build_cmp_floorplan
+from repro.thermal.model import ThermalModel
+from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    return build_cmp_floorplan()
+
+
+@pytest.fixture(scope="module")
+def grid(floorplan):
+    return GridThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, nx=32, ny=24)
+
+
+@pytest.fixture(scope="module")
+def block_model(floorplan):
+    return ThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, 1e-3)
+
+
+def gzip_like_power(floorplan):
+    """A hot-intreg power vector on core 0."""
+    p = np.zeros(len(floorplan))
+    powers = {
+        "core0.intreg": 6.0, "core0.fxu": 4.0, "core0.decode": 3.5,
+        "core0.iq": 3.0, "core0.dcache": 3.0, "core0.icache": 2.5,
+        "core0.lsu": 2.5, "core0.bpred": 1.5, "core0.bxu": 0.8,
+        "core0.fpreg": 0.4, "core0.fpu": 0.8, "l2_0": 1.5, "xbar": 0.8,
+    }
+    for name, w in powers.items():
+        p[floorplan.index(name)] = w
+    return p
+
+
+class TestConstruction:
+    def test_coverage_rows_sum_to_one(self, grid):
+        sums = grid._coverage.sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    def test_cell_power_conserved(self, grid, floorplan):
+        p = gzip_like_power(floorplan)
+        assert grid.cell_power(p).sum() == pytest.approx(p.sum())
+
+    def test_rejects_tiny_grid(self, floorplan):
+        with pytest.raises(ValueError):
+            GridThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, nx=1, ny=8)
+
+    def test_power_shape_validated(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_power(np.zeros(3))
+
+
+class TestPhysics:
+    def test_zero_power_is_ambient(self, grid, floorplan):
+        temps = grid.steady_state(np.zeros(len(floorplan)))
+        np.testing.assert_allclose(
+            temps, HIGH_PERFORMANCE_PACKAGE.ambient_c, atol=1e-7
+        )
+
+    def test_hotspot_is_where_power_is(self, grid, floorplan):
+        name, temp = grid.hotspot(gzip_like_power(floorplan))
+        assert name == "core0.intreg"
+        assert temp > HIGH_PERFORMANCE_PACKAGE.ambient_c + 10
+
+    def test_lateral_decay(self, grid, floorplan):
+        """Temperature decreases with distance from the heated core."""
+        temps = grid.block_temperatures(gzip_like_power(floorplan))
+        t = {b.name: temps[i] for i, b in enumerate(floorplan.blocks)}
+        assert t["core0.intreg"] > t["core1.intreg"] > t["core3.intreg"]
+
+
+class TestBlockModelCrossCheck:
+    """The headline purpose: quantify the block model's lumping error."""
+
+    def test_hotspot_agreement(self, grid, block_model, floorplan):
+        p = gzip_like_power(floorplan)
+        block_temps = block_model.steady_state(p)[: len(floorplan)]
+        grid_temps = grid.block_temperatures(p)
+        b_hot = int(np.argmax(block_temps))
+        g_hot = int(np.argmax(grid_temps))
+        assert floorplan.blocks[b_hot].name == floorplan.blocks[g_hot].name
+        # The block model runs HOT relative to the grid: lumping a block
+        # into one node under-represents lateral spreading out of small
+        # high-density blocks (the documented block-mode bias). The DTM
+        # study is unaffected — policies see consistent, conservative
+        # hotspots — but the bias must be bounded and one-sided.
+        assert block_temps[b_hot] >= grid_temps[g_hot] - 0.5
+        assert block_temps[b_hot] == pytest.approx(grid_temps[g_hot], abs=10.0)
+
+    def test_chip_average_agreement(self, grid, block_model, floorplan):
+        p = gzip_like_power(floorplan)
+        areas = np.array([b.area_mm2 for b in floorplan.blocks])
+        block_avg = float(
+            np.average(block_model.steady_state(p)[: len(floorplan)], weights=areas)
+        )
+        grid_avg = float(
+            np.average(grid.block_temperatures(p), weights=areas)
+        )
+        assert block_avg == pytest.approx(grid_avg, abs=2.0)
+
+    def test_grid_refinement_converges(self, floorplan):
+        # 16x12 is too coarse to resolve the register files; from 32x24
+        # on, refinement changes the hotspot by well under a degree.
+        p = gzip_like_power(floorplan)
+        mid = GridThermalModel(
+            floorplan, HIGH_PERFORMANCE_PACKAGE, nx=32, ny=24
+        ).hotspot(p)[1]
+        fine = GridThermalModel(
+            floorplan, HIGH_PERFORMANCE_PACKAGE, nx=48, ny=36
+        ).hotspot(p)[1]
+        assert mid == pytest.approx(fine, abs=1.0)
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self, floorplan):
+        grid = GridThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, nx=16, ny=12)
+        p = gzip_like_power(floorplan)
+        target = grid.steady_state(p)
+        t = grid.ambient_state()
+        for _ in range(600):
+            t = grid.transient_step(t, p, dt=0.1)
+        np.testing.assert_allclose(t, target, atol=0.1)
+
+    def test_heating_is_monotone(self, floorplan):
+        grid = GridThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, nx=16, ny=12)
+        p = gzip_like_power(floorplan)
+        t = grid.ambient_state()
+        hot_cells = grid.cell_power(p) > 0
+        prev_max = t.max()
+        for _ in range(10):
+            t = grid.transient_step(t, p, dt=1e-3)
+            assert t.max() >= prev_max - 1e-9
+            prev_max = t.max()
+
+    def test_unconditional_stability(self, floorplan):
+        """Implicit Euler: a huge step lands near steady state, no blowup."""
+        grid = GridThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, nx=16, ny=12)
+        p = gzip_like_power(floorplan)
+        t = grid.transient_step(grid.ambient_state(), p, dt=1e6)
+        np.testing.assert_allclose(t, grid.steady_state(p), atol=0.5)
+
+    def test_validation(self, grid, floorplan):
+        with pytest.raises(ValueError):
+            grid.transient_step(grid.ambient_state(), gzip_like_power(floorplan), dt=0.0)
+        with pytest.raises(ValueError):
+            grid.transient_step(np.zeros(3), gzip_like_power(floorplan), dt=1e-3)
+
+    def test_factorisation_cached_per_dt(self, floorplan):
+        grid = GridThermalModel(floorplan, HIGH_PERFORMANCE_PACKAGE, nx=8, ny=6)
+        p = gzip_like_power(floorplan)
+        t = grid.ambient_state()
+        grid.transient_step(t, p, dt=1e-3)
+        lu1 = grid._transient_lu
+        grid.transient_step(t, p, dt=1e-3)
+        assert grid._transient_lu is lu1
+        grid.transient_step(t, p, dt=2e-3)
+        assert grid._transient_lu is not lu1
+
+
+class TestTemperatureMap:
+    def test_map_renders(self, grid, floorplan):
+        text = grid.temperature_map(gzip_like_power(floorplan))
+        lines = text.splitlines()
+        assert len(lines) == grid.ny + 1  # rows + legend
+        assert all(len(line) == grid.nx for line in lines[:-1])
+        assert "C" in lines[-1]
+
+    def test_hot_region_uses_hot_glyphs(self, grid, floorplan):
+        text = grid.temperature_map(gzip_like_power(floorplan))
+        # The '@' (hottest glyph) appears somewhere on the heated die.
+        assert "@" in text

@@ -1,0 +1,99 @@
+"""Tests for the concrete chip layouts."""
+
+import pytest
+
+from repro.thermal.layouts import (
+    CORE_UNITS,
+    HOTSPOT_UNITS,
+    all_core_blocks,
+    build_cmp_floorplan,
+    build_core_floorplan,
+    build_mobile_floorplan,
+    core_block_name,
+    core_names,
+    hotspot_blocks,
+    parse_block_name,
+)
+
+
+class TestCoreFloorplan:
+    def test_contains_all_units(self):
+        fp = build_core_floorplan()
+        assert sorted(fp.names) == sorted(CORE_UNITS)
+
+    def test_covers_core_area(self):
+        size = 4.0
+        fp = build_core_floorplan(size)
+        assert fp.total_area_mm2 == pytest.approx(size * size)
+
+    def test_prefix_and_origin(self):
+        fp = build_core_floorplan(2.0, origin=(10.0, 20.0), prefix="c9.")
+        icache = fp.block("c9.icache")
+        assert icache.x >= 10.0 and icache.y >= 20.0
+
+    def test_register_files_are_small(self):
+        """The RFs must be the density hotspots: small area blocks."""
+        fp = build_core_floorplan()
+        for unit in HOTSPOT_UNITS:
+            assert fp.block(unit).area_mm2 < fp.block("fpu").area_mm2
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            build_core_floorplan(0.0)
+
+
+class TestCmpFloorplan:
+    def test_block_count(self):
+        fp = build_cmp_floorplan(4)
+        # 4 cores x 11 units + xbar + 4 L2 banks.
+        assert len(fp) == 4 * len(CORE_UNITS) + 1 + 4
+
+    def test_all_core_blocks_present(self):
+        fp = build_cmp_floorplan(4)
+        for c in range(4):
+            for name in all_core_blocks(c):
+                assert name in fp
+
+    def test_cores_sit_above_xbar_above_l2(self):
+        fp = build_cmp_floorplan(4)
+        xbar = fp.block("xbar")
+        l2 = fp.block("l2_0")
+        core_block = fp.block("core0.icache")
+        assert l2.y2 == pytest.approx(xbar.y)
+        assert core_block.y >= xbar.y2 - 1e-9
+
+    def test_cores_are_disjoint_columns(self):
+        fp = build_cmp_floorplan(4)
+        for c in range(3):
+            right = max(fp.block(n).x2 for n in all_core_blocks(c))
+            left = min(fp.block(n).x for n in all_core_blocks(c + 1))
+            assert right <= left + 1e-9
+
+    def test_scales_with_core_count(self):
+        assert len(build_cmp_floorplan(2)) == 2 * len(CORE_UNITS) + 1 + 2
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            build_cmp_floorplan(0)
+
+
+class TestMobileFloorplan:
+    def test_single_core_plus_l2(self):
+        fp = build_mobile_floorplan()
+        assert len(fp) == len(CORE_UNITS) + 1
+        assert "l2_0" in fp
+
+
+class TestNaming:
+    def test_roundtrip(self):
+        name = core_block_name(2, "fpreg")
+        assert name == "core2.fpreg"
+        assert parse_block_name(name) == (2, "fpreg")
+
+    def test_shared_blocks(self):
+        assert parse_block_name("xbar") == (-1, "xbar")
+        assert parse_block_name("l2_3") == (-1, "l2_3")
+
+    def test_helpers(self):
+        assert core_names(2) == ["core0", "core1"]
+        assert hotspot_blocks(1) == ["core1.intreg", "core1.fpreg"]

@@ -1,0 +1,101 @@
+"""Tests for the temperature-dependent leakage model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.layouts import build_cmp_floorplan
+from repro.thermal.leakage import DEFAULT_T_REF_C, LeakageModel
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    return build_cmp_floorplan()
+
+
+@pytest.fixture(scope="module")
+def model(floorplan):
+    return LeakageModel(floorplan, total_reference_w=32.0)
+
+
+class TestCalibration:
+    def test_total_at_reference_temperature(self, model, floorplan):
+        temps = np.full(len(floorplan), DEFAULT_T_REF_C)
+        assert model.total_power(temps) == pytest.approx(32.0)
+
+    def test_reference_apportioned_by_weighted_area(self, model, floorplan):
+        # The L2 banks are by far the largest blocks -> most reference W.
+        l2_idx = floorplan.index("l2_0")
+        rf_idx = floorplan.index("core0.intreg")
+        assert model.reference_w[l2_idx] > model.reference_w[rf_idx]
+
+    def test_rf_density_exceeds_logic_density(self, model, floorplan):
+        rf = floorplan.index("core0.intreg")
+        bxu = floorplan.index("core0.bxu")
+        rf_density = model.reference_w[rf] / floorplan.blocks[rf].area_mm2
+        bxu_density = model.reference_w[bxu] / floorplan.blocks[bxu].area_mm2
+        assert rf_density > bxu_density
+
+
+class TestTemperatureDependence:
+    def test_exponential_growth(self, model, floorplan):
+        n = len(floorplan)
+        cold = model.total_power(np.full(n, 45.0))
+        hot = model.total_power(np.full(n, 85.0))
+        assert hot > cold
+        # exp(0.028 * 40) ~ 3.07
+        assert hot / cold == pytest.approx(np.exp(0.028 * 40.0), rel=1e-6)
+
+    def test_per_block_independence(self, model, floorplan):
+        n = len(floorplan)
+        temps = np.full(n, 60.0)
+        base = model.power(temps)
+        temps2 = temps.copy()
+        temps2[0] += 20.0
+        changed = model.power(temps2)
+        assert changed[0] > base[0]
+        np.testing.assert_allclose(changed[1:], base[1:])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=20.0, max_value=120.0),
+       st.floats(min_value=0.1, max_value=50.0))
+def test_monotone_in_temperature(t, dt):
+    fp = build_cmp_floorplan()
+    model = LeakageModel(fp, total_reference_w=32.0)
+    n = len(fp)
+    low = model.total_power(np.full(n, t))
+    high = model.total_power(np.full(n, t + dt))
+    assert high > low
+
+
+class TestValidationAndScaling:
+    def test_shape_validation(self, model):
+        with pytest.raises(ValueError):
+            model.power(np.zeros(3))
+
+    def test_negative_reference_rejected(self, floorplan):
+        with pytest.raises(ValueError):
+            LeakageModel(floorplan, total_reference_w=-1.0)
+
+    def test_negative_beta_rejected(self, floorplan):
+        with pytest.raises(ValueError):
+            LeakageModel(floorplan, 10.0, beta=-0.1)
+
+    def test_voltage_scaling_quadratic(self, model):
+        scaled = model.scaled(0.5)
+        np.testing.assert_allclose(scaled, model.reference_w * 0.25)
+
+    def test_voltage_scaling_bounds(self, model):
+        with pytest.raises(ValueError):
+            model.scaled(0.0)
+        with pytest.raises(ValueError):
+            model.scaled(1.5)
+
+    def test_zero_beta_is_constant(self, floorplan):
+        flat = LeakageModel(floorplan, 10.0, beta=0.0)
+        n = len(floorplan)
+        assert flat.total_power(np.full(n, 40.0)) == pytest.approx(
+            flat.total_power(np.full(n, 100.0))
+        )

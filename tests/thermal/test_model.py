@@ -1,0 +1,170 @@
+"""Tests for the thermal solver (steady state + exponential transient)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.layouts import build_cmp_floorplan
+from repro.thermal.model import ThermalModel
+from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
+
+DT = 100_000 / 3.6e9
+
+
+def make_model() -> ThermalModel:
+    return ThermalModel(build_cmp_floorplan(), HIGH_PERFORMANCE_PACKAGE, DT)
+
+
+@pytest.fixture()
+def model():
+    return make_model()
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient(self, model):
+        temps = model.steady_state(np.zeros(model.network.n_blocks))
+        np.testing.assert_allclose(temps, model.network.ambient_c, atol=1e-8)
+
+    def test_positive_power_heats_above_ambient(self, model):
+        p = np.full(model.network.n_blocks, 0.5)
+        temps = model.steady_state(p)
+        assert np.all(temps > model.network.ambient_c)
+
+    def test_heated_block_is_hottest(self, model):
+        p = np.zeros(model.network.n_blocks)
+        target = model.network.index("core2.fpreg")
+        p[target] = 5.0
+        temps = model.steady_state(p)
+        assert int(np.argmax(temps[: model.network.n_blocks])) == target
+
+    def test_superposition(self, model):
+        """The network is linear: responses to powers add."""
+        n = model.network.n_blocks
+        rng = np.random.default_rng(0)
+        p1, p2 = rng.uniform(0, 2, n), rng.uniform(0, 2, n)
+        amb = model.steady_state(np.zeros(n))
+        t1 = model.steady_state(p1) - amb
+        t2 = model.steady_state(p2) - amb
+        t12 = model.steady_state(p1 + p2) - amb
+        np.testing.assert_allclose(t12, t1 + t2, rtol=1e-9, atol=1e-9)
+
+    def test_monotone_in_power(self, model):
+        n = model.network.n_blocks
+        low = model.steady_state(np.full(n, 0.5))
+        high = model.steady_state(np.full(n, 1.0))
+        assert np.all(high >= low - 1e-12)
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self, model):
+        n = model.network.n_blocks
+        p = np.full(n, 1.0)
+        target = model.steady_state(p)
+        for _ in range(200):
+            model.step(p, dt=1.0)  # 200 s total, >10x the sink constant
+        np.testing.assert_allclose(model.temperatures, target, atol=0.05)
+
+    def test_step_moves_toward_steady(self, model):
+        n = model.network.n_blocks
+        p = np.full(n, 2.0)
+        before = model.temperatures.copy()
+        after = model.step(p)
+        target = model.steady_state(p)
+        gap_before = np.abs(target - before)
+        gap_after = np.abs(target - after)
+        assert np.all(gap_after <= gap_before + 1e-12)
+
+    def test_exact_against_dense_euler(self, model):
+        """The exponential update matches a finely-stepped Euler solution."""
+        n = model.network.n_blocks
+        p = np.zeros(n)
+        p[model.network.index("core0.intreg")] = 4.0
+        u = model.network.input_vector(p)
+
+        # Reference: explicit Euler with a 1000x smaller step.
+        c_inv = 1.0 / model.network.capacitance
+        g = model.network.conductance
+        t_ref = np.full(model.network.n_nodes, model.network.ambient_c)
+        fine = DT / 1000.0
+        for _ in range(1000):
+            t_ref = t_ref + fine * c_inv * (u - g @ t_ref)
+
+        model.step(p)  # one exponential step of DT
+        np.testing.assert_allclose(model.temperatures, t_ref, atol=1e-4)
+
+    def test_run_returns_trajectory(self, model):
+        n = model.network.n_blocks
+        schedule = [np.full(n, 1.0)] * 5
+        traj = model.run(schedule)
+        assert traj.shape == (5, model.network.n_nodes)
+        # Heating run: temperatures increase monotonically.
+        assert np.all(np.diff(traj[:, 0]) > 0)
+
+    def test_propagator_cache_reuse(self, model):
+        model.step(np.zeros(model.network.n_blocks), dt=1e-3)
+        model.step(np.zeros(model.network.n_blocks), dt=1e-3)
+        assert len(model._propagators) == 2  # DT (constructor) + 1e-3
+
+    def test_unconditional_stability_large_step(self, model):
+        """Exponential integration cannot blow up even with huge steps."""
+        n = model.network.n_blocks
+        p = np.full(n, 2.0)
+        model.step(p, dt=100.0)
+        target = model.steady_state(p)
+        # expm over a stiff 1e6:1 eigenvalue spread carries small numerical
+        # residue; what matters is boundedness and closeness, not exactness.
+        np.testing.assert_allclose(model.temperatures, target, atol=0.05)
+
+
+class TestStateManagement:
+    def test_initialize_steady(self, model):
+        n = model.network.n_blocks
+        p = np.full(n, 1.5)
+        temps = model.initialize_steady(p)
+        np.testing.assert_allclose(temps, model.steady_state(p))
+
+    def test_set_temperatures_validation(self, model):
+        with pytest.raises(ValueError):
+            model.set_temperatures(np.zeros(3))
+
+    def test_queries(self, model):
+        p = np.zeros(model.network.n_blocks)
+        p[model.network.index("core1.intreg")] = 10.0
+        model.initialize_steady(p)
+        assert model.hottest_block() == "core1.intreg"
+        assert model.max_block_temperature() == pytest.approx(
+            model.temperature_of("core1.intreg")
+        )
+
+    def test_block_temperatures_shape(self, model):
+        assert model.block_temperatures().shape == (model.network.n_blocks,)
+
+
+class TestTimeConstants:
+    def test_block_constants_in_millisecond_range(self, model):
+        """The paper relies on ms-scale heating/cooling constants."""
+        tc = model.time_constants()
+        fastest_blocks = tc[0]
+        assert 1e-3 < fastest_blocks < 20e-3
+
+    def test_slowest_constant_is_package_scale(self, model):
+        tc = model.time_constants()
+        assert tc[-1] > 1.0  # heatsink: seconds to minutes
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            ThermalModel(build_cmp_floorplan(), HIGH_PERFORMANCE_PACKAGE, 0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.0, max_value=5.0))
+def test_steady_state_bounded_property(power_per_block):
+    """Uniform power yields temps between ambient and a physical bound."""
+    model = make_model()
+    n = model.network.n_blocks
+    temps = model.steady_state(np.full(n, power_per_block))
+    total = power_per_block * n
+    upper = model.network.ambient_c + total * 5.0 + 1e-9  # generous R bound
+    assert np.all(temps >= model.network.ambient_c - 1e-9)
+    assert np.all(temps <= upper)

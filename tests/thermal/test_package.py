@@ -1,0 +1,71 @@
+"""Tests for package and material parameters."""
+
+import pytest
+
+from repro.thermal.materials import COPPER, INTERFACE, SILICON, Material
+from repro.thermal.package import (
+    HIGH_PERFORMANCE_PACKAGE,
+    MOBILE_PACKAGE,
+    ThermalPackage,
+)
+
+
+class TestMaterials:
+    def test_standard_values_sane(self):
+        assert 80 < SILICON.conductivity < 160
+        assert COPPER.conductivity > SILICON.conductivity
+        assert INTERFACE.conductivity < SILICON.conductivity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Material("bad", conductivity=-1.0, volumetric_heat_capacity=1.0)
+        with pytest.raises(ValueError):
+            Material("bad", conductivity=1.0, volumetric_heat_capacity=0.0)
+
+
+class TestThermalPackage:
+    def test_defaults_valid(self):
+        pkg = ThermalPackage()
+        assert pkg.ambient_c == pytest.approx(45.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            ThermalPackage(die_thickness_m=0.0)
+        with pytest.raises(ValueError):
+            ThermalPackage(convection_resistance_k_per_w=-0.1)
+
+    def test_vertical_resistance_includes_tim(self):
+        pkg = ThermalPackage()
+        area = 1e-6
+        r_with = pkg.vertical_resistance_k_per_w(area)
+        no_tim = ThermalPackage(tim_thickness_m=1e-12)
+        assert r_with > no_tim.vertical_resistance_k_per_w(area)
+
+    def test_vertical_resistance_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            ThermalPackage().vertical_resistance_k_per_w(0.0)
+
+    def test_block_capacity_scales_with_area(self):
+        pkg = ThermalPackage()
+        assert pkg.block_heat_capacity_j_per_k(2e-6) == pytest.approx(
+            2.0 * pkg.block_heat_capacity_j_per_k(1e-6)
+        )
+
+    def test_spreader_capacity_from_geometry(self):
+        pkg = ThermalPackage()
+        volume = pkg.spreader_side_m ** 2 * pkg.spreader_thickness_m
+        expected = volume * COPPER.volumetric_heat_capacity
+        assert pkg.spreader_heat_capacity_j_per_k == pytest.approx(expected)
+
+    def test_mobile_package_cools_worse(self):
+        """Notebook cooling: higher external resistance than the desktop."""
+        hp = HIGH_PERFORMANCE_PACKAGE
+        mobile = MOBILE_PACKAGE
+        hp_total = hp.sink_resistance_k_per_w + hp.convection_resistance_k_per_w
+        mb_total = (
+            mobile.sink_resistance_k_per_w + mobile.convection_resistance_k_per_w
+        )
+        assert mb_total > 2 * hp_total
+
+    def test_mobile_chassis_cooler_than_server(self):
+        assert MOBILE_PACKAGE.ambient_c < HIGH_PERFORMANCE_PACKAGE.ambient_c

@@ -1,0 +1,101 @@
+"""Tests for the thermal RC-network builder."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.floorplan import Block, Floorplan
+from repro.thermal.layouts import build_cmp_floorplan
+from repro.thermal.package import ThermalPackage
+from repro.thermal.rc_network import build_rc_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_rc_network(build_cmp_floorplan(), ThermalPackage())
+
+
+class TestStructure:
+    def test_node_layout(self, network):
+        assert network.node_names[-2:] == ("spreader", "sink")
+        assert network.n_blocks == network.n_nodes - 2
+
+    def test_conductance_symmetric(self, network):
+        g = network.conductance
+        np.testing.assert_allclose(g, g.T, rtol=1e-12)
+
+    def test_off_diagonals_nonpositive(self, network):
+        g = network.conductance.copy()
+        np.fill_diagonal(g, 0.0)
+        assert np.all(g <= 0.0)
+
+    def test_diagonally_dominant_with_ambient_tie(self, network):
+        """Row sums are zero except the sink row, which carries g_amb."""
+        sums = network.conductance.sum(axis=1)
+        np.testing.assert_allclose(sums[:-1], 0.0, atol=1e-10)
+        assert sums[-1] == pytest.approx(network.ambient_conductance)
+
+    def test_capacitances_positive(self, network):
+        assert np.all(network.capacitance > 0)
+
+    def test_spreader_connects_to_every_block(self, network):
+        spreader = network.index("spreader")
+        for i in range(network.n_blocks):
+            assert network.conductance[i, spreader] < 0.0
+
+    def test_blocks_do_not_connect_to_sink_directly(self, network):
+        sink = network.index("sink")
+        for i in range(network.n_blocks):
+            assert network.conductance[i, sink] == pytest.approx(0.0)
+
+    def test_index_lookup(self, network):
+        assert network.node_names[network.index("core0.intreg")] == "core0.intreg"
+        with pytest.raises(KeyError):
+            network.index("nope")
+
+
+class TestInputVector:
+    def test_ambient_term_on_sink(self, network):
+        u = network.input_vector(np.zeros(network.n_blocks))
+        assert u[-1] == pytest.approx(
+            network.ambient_conductance * network.ambient_c
+        )
+        assert np.all(u[:-1] == 0.0)
+
+    def test_power_placement(self, network):
+        p = np.zeros(network.n_blocks)
+        p[3] = 7.5
+        u = network.input_vector(p)
+        assert u[3] == pytest.approx(7.5)
+
+    def test_shape_validation(self, network):
+        with pytest.raises(ValueError):
+            network.input_vector(np.zeros(network.n_blocks + 1))
+
+
+class TestAdjacencyPhysics:
+    def test_lateral_conductance_present_between_neighbours(self):
+        fp = Floorplan(
+            [Block("a", 0, 0, 1, 1), Block("b", 1, 0, 1, 1)]
+        )
+        net = build_rc_network(fp, ThermalPackage())
+        assert net.conductance[0, 1] < 0.0
+
+    def test_no_lateral_conductance_between_distant_blocks(self):
+        fp = Floorplan(
+            [Block("a", 0, 0, 1, 1), Block("b", 5, 0, 1, 1)]
+        )
+        net = build_rc_network(fp, ThermalPackage())
+        assert net.conductance[0, 1] == pytest.approx(0.0)
+
+    def test_bigger_block_has_bigger_capacitance(self):
+        fp = Floorplan(
+            [Block("small", 0, 0, 1, 1), Block("big", 2, 0, 3, 3)]
+        )
+        net = build_rc_network(fp, ThermalPackage())
+        assert net.capacitance[1] > net.capacitance[0]
+
+    def test_vertical_resistance_scales_inversely_with_area(self):
+        pkg = ThermalPackage()
+        r1 = pkg.vertical_resistance_k_per_w(1e-6)
+        r2 = pkg.vertical_resistance_k_per_w(2e-6)
+        assert r1 == pytest.approx(2.0 * r2)

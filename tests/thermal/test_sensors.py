@@ -1,0 +1,101 @@
+"""Tests for the thermal sensor model."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.layouts import build_cmp_floorplan
+from repro.thermal.model import ThermalModel
+from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
+from repro.thermal.sensors import SensorBank, ThermalSensor, ideal_sensor_bank
+from repro.util.rng import RngStream
+
+
+@pytest.fixture()
+def model():
+    m = ThermalModel(build_cmp_floorplan(), HIGH_PERFORMANCE_PACKAGE, 1e-3)
+    p = np.zeros(m.network.n_blocks)
+    p[m.network.index("core0.intreg")] = 6.0
+    m.initialize_steady(p)
+    return m
+
+
+class TestThermalSensor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalSensor("b", lag=1.0)
+        with pytest.raises(ValueError):
+            ThermalSensor("b", noise_std_c=-1.0)
+        with pytest.raises(ValueError):
+            ThermalSensor("b", quantization_c=-0.5)
+
+
+class TestSensorBank:
+    def test_ideal_reads_truth(self, model):
+        bank = ideal_sensor_bank(["core0.intreg", "core0.fpreg"])
+        readings = bank.read(model)
+        assert readings["core0.intreg"] == pytest.approx(
+            model.temperature_of("core0.intreg")
+        )
+
+    def test_offset_applied(self, model):
+        bank = SensorBank([ThermalSensor("core0.intreg", offset_c=2.5)])
+        truth = model.temperature_of("core0.intreg")
+        assert bank.read(model)["core0.intreg"] == pytest.approx(truth + 2.5)
+
+    def test_quantization(self, model):
+        bank = SensorBank([ThermalSensor("core0.intreg", quantization_c=1.0)])
+        reading = bank.read(model)["core0.intreg"]
+        assert reading == pytest.approx(round(reading))
+
+    def test_noise_deterministic_per_stream(self, model):
+        def fresh():
+            return SensorBank(
+                [ThermalSensor("core0.intreg", noise_std_c=0.5)],
+                rng=RngStream(42, "t"),
+            )
+
+        r1 = fresh().read(model)["core0.intreg"]
+        r2 = fresh().read(model)["core0.intreg"]
+        assert r1 == r2
+
+    def test_noise_varies_across_reads(self, model):
+        bank = SensorBank(
+            [ThermalSensor("core0.intreg", noise_std_c=0.5)],
+            rng=RngStream(42, "t"),
+        )
+        values = {bank.read(model)["core0.intreg"] for _ in range(5)}
+        assert len(values) > 1
+
+    def test_lag_smooths_step(self, model):
+        bank = SensorBank([ThermalSensor("core0.intreg", lag=0.9)])
+        first = bank.read(model)["core0.intreg"]
+        # Jump the silicon temperature; the lagged sensor follows slowly.
+        temps = model.temperatures.copy()
+        temps[model.network.index("core0.intreg")] += 10.0
+        model.set_temperatures(temps)
+        second = bank.read(model)["core0.intreg"]
+        assert first < second < first + 2.0
+
+    def test_last_reading_cached(self, model):
+        bank = ideal_sensor_bank(["core0.intreg"])
+        assert bank.last_reading == {}
+        bank.read(model)
+        assert "core0.intreg" in bank.last_reading
+
+    def test_reset_clears_state(self, model):
+        bank = SensorBank([ThermalSensor("core0.intreg", lag=0.9)])
+        bank.read(model)
+        bank.reset()
+        assert bank.last_reading == {}
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            SensorBank([])
+
+    def test_duplicate_sensors_rejected(self):
+        with pytest.raises(ValueError):
+            SensorBank([ThermalSensor("a"), ThermalSensor("a")])
+
+    def test_blocks_property(self):
+        bank = ideal_sensor_bank(["x", "y"])
+        assert bank.blocks == ["x", "y"]

@@ -1,0 +1,119 @@
+"""Tests for the 22 benchmark profiles and their paper-derived calibration."""
+
+import pytest
+
+from repro.uarch.benchmarks import (
+    ALL_BENCHMARKS,
+    SPECFP_BENCHMARKS,
+    SPECINT_BENCHMARKS,
+    BenchmarkProfile,
+    get_benchmark,
+    oscillating_benchmarks,
+    specfp_benchmarks,
+    specint_benchmarks,
+)
+from repro.uarch.isa import integer_mix
+from repro.uarch.phases import stable_phase
+
+
+class TestSuiteComposition:
+    def test_eleven_plus_eleven(self):
+        """The paper: "22 benchmarks including 11 SPECint ... 11 SPECfp"."""
+        assert len(SPECINT_BENCHMARKS) == 11
+        assert len(SPECFP_BENCHMARKS) == 11
+        assert len(ALL_BENCHMARKS) == 22
+
+    def test_suites_tagged_consistently(self):
+        for b in specint_benchmarks():
+            assert b.suite == "int"
+        for b in specfp_benchmarks():
+            assert b.suite == "fp"
+
+    def test_all_workload_programs_exist(self):
+        needed = {
+            "gcc", "gzip", "mcf", "vpr", "crafty", "eon", "parser",
+            "perlbmk", "bzip2", "twolf", "swim", "mgrid", "applu", "mesa",
+            "art", "facerec", "ammp", "lucas", "fma3d", "sixtrack",
+        }
+        assert needed <= set(ALL_BENCHMARKS)
+
+    def test_lookup_by_name(self):
+        assert get_benchmark("gzip").name == "gzip"
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("doom3")
+
+
+class TestPaperCalibration:
+    """Cross-benchmark relations the paper states explicitly."""
+
+    def test_mcf_is_by_far_the_coolest(self):
+        """mcf's low IPC under a small L2 keeps it cool (Section 2.1)."""
+        mcf = get_benchmark("mcf")
+        others = [b for b in ALL_BENCHMARKS.values() if b.name != "mcf"]
+        assert mcf.base_ipc < min(b.base_ipc for b in others)
+        assert mcf.is_memory_bound
+
+    def test_gzip_bzip2_hottest_integers(self):
+        """gzip and bzip2 are the hottest integer benchmarks [9]."""
+        ints = {b.name: b for b in SPECINT_BENCHMARKS}
+        hot = {"gzip", "bzip2"}
+        intensity = {
+            n: b.base_ipc * b.int_rf_accesses_per_instruction
+            for n, b in ints.items()
+        }
+        top_two = sorted(intensity, key=intensity.get, reverse=True)[:2]
+        assert set(top_two) == hot
+
+    def test_sixtrack_hottest_fp(self):
+        """sixtrack is one of the hottest FP benchmarks [15, 29]."""
+        fps = {b.name: b for b in SPECFP_BENCHMARKS}
+        intensity = {
+            n: b.base_ipc * b.fp_rf_accesses_per_instruction
+            for n, b in fps.items()
+        }
+        assert max(intensity, key=intensity.get) == "sixtrack"
+
+    def test_oscillating_set_matches_table_1b(self):
+        names = {b.name for b in oscillating_benchmarks()}
+        assert names == {"bzip2", "ammp", "facerec", "fma3d"}
+
+    def test_fp_benchmarks_still_use_integer_registers(self):
+        """"all floating point benchmarks make use of integer registers to
+        some extent" (Section 3.4)."""
+        for b in SPECFP_BENCHMARKS:
+            assert b.int_rf_accesses_per_instruction > 0.3
+
+    def test_int_benchmarks_barely_touch_fp_rf(self):
+        for b in SPECINT_BENCHMARKS:
+            assert (
+                b.fp_rf_accesses_per_instruction
+                < b.int_rf_accesses_per_instruction / 3
+            )
+
+
+class TestProfileValidation:
+    def _profile(self, **kw):
+        base = dict(
+            name="x", suite="int", base_ipc=1.0, mix=integer_mix(),
+            phase=stable_phase(),
+        )
+        base.update(kw)
+        return BenchmarkProfile(**base)
+
+    def test_bad_suite(self):
+        with pytest.raises(ValueError):
+            self._profile(suite="vector")
+
+    def test_bad_ipc(self):
+        with pytest.raises(ValueError):
+            self._profile(base_ipc=0.0)
+        with pytest.raises(ValueError):
+            self._profile(base_ipc=9.0)
+
+    def test_negative_intensity(self):
+        with pytest.raises(ValueError):
+            self._profile(int_rf_intensity=-0.1)
+
+    def test_negative_miss_rate(self):
+        with pytest.raises(ValueError):
+            self._profile(l1d_mpki=-1.0)

@@ -1,0 +1,130 @@
+"""Tests for the hybrid branch predictor."""
+
+import pytest
+
+from repro.uarch.branch import (
+    HybridPredictor,
+    SyntheticBranchStream,
+    _CounterTable,
+    branch_stall_cpi,
+)
+from repro.uarch.config import BranchPredictorConfig
+from repro.util.rng import RngStream
+
+
+class TestCounterTable:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            _CounterTable(1000)
+
+    def test_saturation(self):
+        t = _CounterTable(16)
+        for _ in range(10):
+            t.update(3, True)
+        assert t.counters[3] == 3
+        for _ in range(10):
+            t.update(3, False)
+        assert t.counters[3] == 0
+
+    def test_initialized_weakly_taken(self):
+        t = _CounterTable(16)
+        assert t.predict(0)  # counter starts at 2 -> predict taken
+
+
+class TestHybridPredictor:
+    def test_learns_always_taken(self):
+        p = HybridPredictor()
+        pc = 0x4000
+        for _ in range(10):
+            p.update(pc, True)
+        assert p.predict(pc)
+
+    def test_learns_always_not_taken(self):
+        p = HybridPredictor()
+        pc = 0x4000
+        for _ in range(10):
+            p.update(pc, False)
+        assert not p.predict(pc)
+
+    def test_statistics(self):
+        p = HybridPredictor()
+        for i in range(100):
+            p.update(0x100, True)
+        assert p.predictions == 100
+        assert p.misprediction_rate < 0.1
+
+    def test_reset_counters_keeps_training(self):
+        p = HybridPredictor()
+        for _ in range(50):
+            p.update(0x10, True)
+        p.reset_counters()
+        assert p.predictions == 0
+        assert p.predict(0x10)
+
+    def test_gshare_learns_alternating_pattern(self):
+        """History-based prediction: a strict T/NT alternation is learned
+        by gshare (bimodal alone would stay ~50%)."""
+        p = HybridPredictor(BranchPredictorConfig())
+        pc = 0x88
+        taken = True
+        # training
+        for _ in range(2000):
+            p.update(pc, taken)
+            taken = not taken
+        p.reset_counters()
+        for _ in range(500):
+            p.update(pc, taken)
+            taken = not taken
+        assert p.misprediction_rate < 0.05
+
+    def test_predictable_stream_low_misprediction(self):
+        p = HybridPredictor()
+        stream = SyntheticBranchStream(0.95, rng=RngStream(1, "b"))
+        for _ in range(4000):
+            pc, taken = stream.next_branch()
+            p.update(pc, taken)
+        p.reset_counters()
+        for _ in range(2000):
+            pc, taken = stream.next_branch()
+            p.update(pc, taken)
+        assert p.misprediction_rate < 0.10
+
+    def test_unpredictable_stream_high_misprediction(self):
+        p = HybridPredictor()
+        hard = SyntheticBranchStream(0.0, rng=RngStream(1, "b"))
+        for _ in range(4000):
+            pc, taken = hard.next_branch()
+            p.update(pc, taken)
+        assert p.misprediction_rate > 0.25
+
+    def test_predictability_is_monotone(self):
+        def rate(predictability):
+            p = HybridPredictor()
+            s = SyntheticBranchStream(predictability, rng=RngStream(7, "m"))
+            for _ in range(3000):
+                pc, taken = s.next_branch()
+                p.update(pc, taken)
+            return p.misprediction_rate
+
+        assert rate(0.9) < rate(0.4) < rate(0.0) + 0.2
+
+
+class TestAnalytic:
+    def test_branch_stall_cpi(self):
+        assert branch_stall_cpi(0.0) == 0.0
+        assert branch_stall_cpi(5.0) == pytest.approx(5.0 / 1000 * 12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            branch_stall_cpi(-1.0)
+
+
+class TestSyntheticStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticBranchStream(1.5)
+
+    def test_pcs_are_stable(self):
+        s = SyntheticBranchStream(0.5, rng=RngStream(2, "s"))
+        pcs = {s.next_branch()[0] for _ in range(1000)}
+        assert len(pcs) <= s.n_static

@@ -1,0 +1,167 @@
+"""Tests for the cache models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.caches import (
+    CacheHierarchy,
+    SetAssociativeCache,
+    WorkingSetAddressGenerator,
+    memory_stall_cpi,
+)
+from repro.uarch.config import CacheConfig, MachineConfig
+from repro.util.rng import RngStream
+
+
+def small_cache(size=1024, assoc=2, block=64):
+    return SetAssociativeCache(CacheConfig(size, assoc, block, 1))
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0x100)
+        assert c.access(0x100)
+        assert c.accesses == 2 and c.hits == 1
+
+    def test_same_block_hits(self):
+        c = small_cache(block=64)
+        c.access(0x100)
+        assert c.access(0x13F)  # same 64-byte block
+
+    def test_lru_eviction(self):
+        # 2-way cache: fill one set with 2 tags, then a third evicts the LRU.
+        c = small_cache(size=256, assoc=2, block=64)  # 2 sets
+        n_sets = c.config.n_sets
+        stride = 64 * n_sets  # same set, different tags
+        c.access(0)
+        c.access(stride)
+        c.access(0)            # make tag0 MRU
+        c.access(2 * stride)   # evicts tag1 (LRU)
+        assert c.access(0)     # still present
+        assert not c.access(stride)  # evicted
+
+    def test_working_set_fits_all_hits(self):
+        c = small_cache(size=4096, assoc=4, block=64)
+        addresses = list(range(0, 2048, 64))
+        for a in addresses:
+            c.access(a)
+        c.reset_counters()
+        for _ in range(3):
+            for a in addresses:
+                assert c.access(a)
+        assert c.miss_rate == 0.0
+
+    def test_flush(self):
+        c = small_cache()
+        c.access(0x100)
+        c.flush()
+        assert not c.access(0x100)
+
+    def test_miss_rate_zero_before_accesses(self):
+        assert small_cache().miss_rate == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=200))
+    def test_counters_consistent_property(self, n):
+        c = small_cache()
+        rng = RngStream(n, "cache")
+        for _ in range(n):
+            c.access(int(rng.integers(0, 1 << 20)))
+        assert c.accesses == n
+        assert 0 <= c.hits <= n
+        assert c.misses == n - c.hits
+
+
+class TestCacheHierarchy:
+    def test_l1_hit_latency(self):
+        h = CacheHierarchy(MachineConfig())
+        h.access(0x1000)  # cold
+        result = h.access(0x1000)
+        assert result.level == "l1"
+        assert result.latency_cycles == 1
+
+    def test_miss_path_latencies(self):
+        h = CacheHierarchy(MachineConfig())
+        first = h.access(0x2000)
+        assert first.level == "memory"
+        assert first.latency_cycles == 100
+
+    def test_l2_capacity_limited_to_quarter(self):
+        """The paper capacity-limits single-thread runs to 1/4 of the L2."""
+        cfg = MachineConfig()
+        h = CacheHierarchy(cfg, l2_share=0.25)
+        assert h.l2.config.size_bytes == cfg.l2.size_bytes // 4
+
+    def test_full_share(self):
+        cfg = MachineConfig()
+        h = CacheHierarchy(cfg, l2_share=1.0)
+        assert h.l2.config.size_bytes == cfg.l2.size_bytes
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(MachineConfig(), l2_share=0.0)
+
+    def test_flush_invalidates_both_levels(self):
+        h = CacheHierarchy(MachineConfig())
+        h.access(0x3000)
+        h.access(0x3000)
+        h.flush()
+        assert h.access(0x3000).level == "memory"
+
+
+class TestMemoryStallCpi:
+    def test_zero_misses_zero_stall(self):
+        assert memory_stall_cpi(0.0, 0.0, MachineConfig()) == 0.0
+
+    def test_l2_misses_cost_more_than_l1(self):
+        cfg = MachineConfig()
+        l1_only = memory_stall_cpi(10.0, 0.0, cfg)
+        l2_heavy = memory_stall_cpi(10.0, 10.0, cfg)
+        assert l2_heavy > l1_only
+
+    def test_mcf_like_stall_dominates(self):
+        """mcf-like miss rates push CPI up by multiple cycles/inst."""
+        cfg = MachineConfig()
+        stall = memory_stall_cpi(40.0, 12.0, cfg)
+        assert stall > 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            memory_stall_cpi(-1.0, 0.0, MachineConfig())
+
+
+class TestWorkingSetGenerator:
+    def test_sequential_mode_strides(self):
+        gen = WorkingSetAddressGenerator(
+            1024, random_fraction=0.0, stride_bytes=8, rng=RngStream(0, "a")
+        )
+        a1, a2 = gen.next_address(), gen.next_address()
+        assert a2 - a1 == 8
+
+    def test_wraps_within_working_set(self):
+        gen = WorkingSetAddressGenerator(
+            64, random_fraction=0.0, stride_bytes=8, rng=RngStream(0, "a")
+        )
+        for _ in range(100):
+            assert 0 <= gen.next_address() < 64
+
+    def test_larger_working_set_more_misses(self):
+        """Directional behaviour used to map profiles to address streams."""
+        def miss_rate(ws_bytes):
+            cache = small_cache(size=4096, assoc=2, block=64)
+            gen = WorkingSetAddressGenerator(
+                ws_bytes, random_fraction=0.5, rng=RngStream(3, str(ws_bytes))
+            )
+            for _ in range(4000):
+                cache.access(gen.next_address())
+            return cache.miss_rate
+
+        assert miss_rate(512 * 1024) > miss_rate(2 * 1024) + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkingSetAddressGenerator(0, 0.5)
+        with pytest.raises(ValueError):
+            WorkingSetAddressGenerator(1024, 1.5)

@@ -1,0 +1,95 @@
+"""Tests for the Table 3 machine configuration."""
+
+import pytest
+
+from repro.uarch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    default_machine_config,
+    mobile_machine_config,
+)
+
+
+class TestTable3Values:
+    """Every number here appears in the paper's Table 3."""
+
+    def test_global_parameters(self):
+        cfg = default_machine_config()
+        assert cfg.process_nm == 90
+        assert cfg.vdd == pytest.approx(1.0)
+        assert cfg.clock_hz == pytest.approx(3.6e9)
+        assert cfg.n_cores == 4
+
+    def test_core_resources(self):
+        core = default_machine_config().core
+        assert core.mem_int_queue == (2, 20)
+        assert core.fp_queue == (2, 5)
+        assert (core.n_fxu, core.n_fpu, core.n_lsu, core.n_bxu) == (2, 2, 2, 1)
+        assert (core.gpr, core.fpr, core.spr) == (120, 108, 90)
+
+    def test_branch_predictor(self):
+        bp = default_machine_config().core.branch_predictor
+        assert bp.bimodal_entries == 16 * 1024
+        assert bp.gshare_entries == 16 * 1024
+        assert bp.selector_entries == 16 * 1024
+
+    def test_memory_hierarchy(self):
+        cfg = default_machine_config()
+        assert (cfg.l1d.size_bytes, cfg.l1d.associativity) == (32 * 1024, 2)
+        assert (cfg.l1i.size_bytes, cfg.l1i.associativity) == (64 * 1024, 2)
+        assert cfg.l2.size_bytes == 4 * 1024 * 1024
+        assert cfg.l2.associativity == 4
+        assert cfg.l2.latency_cycles == 9
+        assert cfg.l1d.block_bytes == 128
+        assert cfg.memory_latency_cycles == 100
+
+    def test_dvfs_parameters(self):
+        dvfs = default_machine_config().dvfs
+        assert dvfs.transition_penalty_s == pytest.approx(10e-6)
+        assert dvfs.min_frequency_scale == pytest.approx(0.2)
+        assert dvfs.min_transition == pytest.approx(0.02)
+
+    def test_migration_penalty(self):
+        assert default_machine_config().migration_penalty_s == pytest.approx(100e-6)
+
+    def test_minimum_frequency_is_720mhz(self):
+        assert default_machine_config().min_frequency_hz == pytest.approx(720e6)
+
+
+class TestDerivedQuantities:
+    def test_sample_period(self):
+        cfg = default_machine_config()
+        assert cfg.sample_period_s == pytest.approx(100_000 / 3.6e9)
+        # The paper quotes "28 us" for this quantity.
+        assert cfg.sample_period_s == pytest.approx(28e-6, rel=0.01)
+
+    def test_cycle_time(self):
+        assert default_machine_config().cycle_time_s == pytest.approx(1 / 3.6e9)
+
+    def test_issue_width(self):
+        assert default_machine_config().core.issue_width == 7
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        c = CacheConfig(32 * 1024, 2, 128, 1)
+        assert c.n_sets == 128
+
+    def test_rejects_nondividing_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 128, 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 2, 128, 1)
+
+
+class TestMobileConfig:
+    def test_banias_like(self):
+        cfg = mobile_machine_config()
+        assert cfg.clock_hz == pytest.approx(1.5e9)
+        assert cfg.n_cores == 1
+        # The paper: "the Banias processor provides only 1 MB" of L2.
+        assert cfg.l2.size_bytes == 1024 * 1024

@@ -1,0 +1,103 @@
+"""Tests for per-thread performance counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uarch.counters import PerformanceCounters
+
+
+class TestAccumulation:
+    def test_basic_update(self):
+        c = PerformanceCounters()
+        c.update(1000, 2500, 100, nominal_cycles=500, frequency_scale=1.0)
+        assert c.instructions == 1000
+        assert c.adjusted_cycles == 500
+
+    def test_frequency_scaling_of_cycles(self):
+        """A window at 50% frequency contributes half the adjusted cycles —
+        the normalisation counter-based migration depends on."""
+        c = PerformanceCounters()
+        c.update(100, 200, 0, nominal_cycles=1000, frequency_scale=0.5)
+        assert c.cycles == 1000
+        assert c.adjusted_cycles == 500
+
+    def test_rates(self):
+        c = PerformanceCounters()
+        c.update(1000, 3000, 500, nominal_cycles=2000, frequency_scale=1.0)
+        assert c.int_rf_per_adjusted_cycle == pytest.approx(1.5)
+        assert c.fp_rf_per_adjusted_cycle == pytest.approx(0.25)
+        assert c.ipc == pytest.approx(0.5)
+
+    def test_rate_invariant_under_throttling(self):
+        """Accesses-per-adjusted-cycle should characterise the *thread*,
+        not the frequency it happened to run at."""
+        full = PerformanceCounters()
+        full.update(1000, 3000, 0, nominal_cycles=1000, frequency_scale=1.0)
+        # Same thread at 40% speed retires 40% of everything per wall cycle.
+        slow = PerformanceCounters()
+        slow.update(400, 1200, 0, nominal_cycles=1000, frequency_scale=0.4)
+        assert slow.int_rf_per_adjusted_cycle == pytest.approx(
+            full.int_rf_per_adjusted_cycle
+        )
+
+    def test_zero_cycles_safe(self):
+        c = PerformanceCounters()
+        assert c.ipc == 0.0
+        assert c.int_rf_per_adjusted_cycle == 0.0
+
+    def test_validation(self):
+        c = PerformanceCounters()
+        with pytest.raises(ValueError):
+            c.update(1, 1, 1, nominal_cycles=-1, frequency_scale=1.0)
+        with pytest.raises(ValueError):
+            c.update(1, 1, 1, nominal_cycles=1, frequency_scale=1.5)
+
+
+class TestIntensity:
+    def test_intensity_for_hotspots(self):
+        c = PerformanceCounters()
+        c.update(1000, 3000, 600, nominal_cycles=1000, frequency_scale=1.0)
+        assert c.intensity_for("intreg") == pytest.approx(3.0)
+        assert c.intensity_for("fpreg") == pytest.approx(0.6)
+
+    def test_intensity_fallback_is_ipc(self):
+        c = PerformanceCounters()
+        c.update(1000, 3000, 600, nominal_cycles=2000, frequency_scale=1.0)
+        assert c.intensity_for("dcache") == pytest.approx(c.ipc)
+
+
+class TestLifecycle:
+    def test_reset(self):
+        c = PerformanceCounters()
+        c.update(10, 20, 5, nominal_cycles=50, frequency_scale=1.0)
+        c.reset()
+        assert c.instructions == 0 and c.adjusted_cycles == 0
+
+    def test_copy_is_independent(self):
+        c = PerformanceCounters()
+        c.update(10, 20, 5, nominal_cycles=50, frequency_scale=1.0)
+        snap = c.copy()
+        c.update(10, 20, 5, nominal_cycles=50, frequency_scale=1.0)
+        assert snap.instructions == 10
+        assert c.instructions == 20
+
+
+@given(
+    windows=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6),   # instructions
+            st.floats(min_value=0, max_value=1e6),   # int rf
+            st.floats(min_value=0, max_value=1e6),   # fp rf
+            st.floats(min_value=0, max_value=1e6),   # cycles
+            st.floats(min_value=0.0, max_value=1.0),  # scale
+        ),
+        max_size=30,
+    )
+)
+def test_totals_are_sums_property(windows):
+    c = PerformanceCounters()
+    for instr, irf, frf, cyc, s in windows:
+        c.update(instr, irf, frf, nominal_cycles=cyc, frequency_scale=s)
+    assert c.instructions == pytest.approx(sum(w[0] for w in windows))
+    assert c.adjusted_cycles <= c.cycles + 1e-9

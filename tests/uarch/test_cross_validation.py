@@ -1,0 +1,90 @@
+"""Cross-validation: the cycle-level pipeline vs. the interval engine.
+
+The fast interval engine generates all production traces; the cycle-level
+pipeline is the reference implementation. They will not agree on absolute
+IPC (the pipeline is a simplified machine), but they must agree on the
+*structure* the thermal study depends on: which benchmarks are fast/slow,
+and which register file each benchmark stresses.
+"""
+
+import pytest
+
+from repro.uarch.benchmarks import get_benchmark
+from repro.uarch.config import MachineConfig
+from repro.uarch.interval_model import simulate_intervals
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.util.rng import RngStream
+
+BENCHMARKS = ("gzip", "mcf", "sixtrack", "swim", "crafty")
+
+
+@pytest.fixture(scope="module")
+def pipeline_stats():
+    out = {}
+    for name in BENCHMARKS:
+        core = OutOfOrderCore(get_benchmark(name), MachineConfig(), seed=0)
+        out[name] = core.run(15_000)
+    return out
+
+
+@pytest.fixture(scope="module")
+def interval_stats():
+    cfg = MachineConfig()
+    return {
+        name: simulate_intervals(
+            get_benchmark(name), cfg, 200, RngStream(0, "xval", name)
+        )
+        for name in BENCHMARKS
+    }
+
+
+def test_ipc_ordering_agrees(pipeline_stats, interval_stats):
+    """Sorting benchmarks by IPC gives the same extremes in both models."""
+    pipe_order = sorted(BENCHMARKS, key=lambda n: pipeline_stats[n].ipc)
+    interval_order = sorted(BENCHMARKS, key=lambda n: interval_stats[n].mean_ipc)
+    assert pipe_order[0] == interval_order[0] == "mcf"
+    # The fastest FP program appears in the top two of both models (exact
+    # top-two sets can differ: the pipeline is a simplified machine).
+    assert "sixtrack" in pipe_order[-2:]
+    assert "sixtrack" in interval_order[-2:]
+
+
+def test_rf_bias_agrees(pipeline_stats, interval_stats):
+    """Both models agree on which RF each benchmark leans on."""
+    for name in BENCHMARKS:
+        pipe = pipeline_stats[name]
+        pipe_bias = pipe.unit_accesses["intreg"] >= pipe.unit_accesses["fpreg"]
+        iv = interval_stats[name]
+        iv_bias = (
+            iv.unit_activity[:, iv.unit_index("intreg")].mean()
+            >= iv.unit_activity[:, iv.unit_index("fpreg")].mean()
+        )
+        assert pipe_bias == iv_bias, name
+
+
+def test_rf_intensity_correlates(pipeline_stats, interval_stats):
+    """Per-instruction int-RF access rates correlate across the models."""
+    import numpy as np
+
+    pipe = [
+        pipeline_stats[n].accesses_per_kinst("intreg") for n in BENCHMARKS
+    ]
+    iv = [
+        float(
+            interval_stats[n].int_rf_accesses.sum()
+            / interval_stats[n].instructions.sum()
+            * 1000.0
+        )
+        for n in BENCHMARKS
+    ]
+    r = np.corrcoef(pipe, iv)[0, 1]
+    assert r > 0.9
+
+
+def test_memory_boundedness_agrees(pipeline_stats):
+    """The pipeline's observed miss rates separate mcf from gzip the way
+    the profiles claim."""
+    assert (
+        pipeline_stats["mcf"].l1d_mpki
+        > 3 * pipeline_stats["gzip"].l1d_mpki
+    )

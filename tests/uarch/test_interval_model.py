@@ -1,0 +1,105 @@
+"""Tests for the vectorised interval engine."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.benchmarks import get_benchmark
+from repro.uarch.config import MachineConfig
+from repro.uarch.interval_model import (
+    MAX_ACTIVITY,
+    UNIT_CAPACITY,
+    UNIT_ORDER,
+    simulate_intervals,
+)
+from repro.util.rng import RngStream
+
+
+def stats_for(name, n=500, seed=0):
+    return simulate_intervals(
+        get_benchmark(name), MachineConfig(), n, RngStream(seed, "iv", name)
+    )
+
+
+class TestShapesAndBounds:
+    def test_shapes(self):
+        s = stats_for("gzip", n=123)
+        assert s.instructions.shape == (123,)
+        assert s.unit_activity.shape == (123, len(UNIT_ORDER))
+        assert s.l2_activity.shape == (123,)
+        assert s.n_intervals == 123
+
+    def test_activity_in_unit_interval(self):
+        s = stats_for("sixtrack")
+        assert np.all(s.unit_activity >= 0.0)
+        assert np.all(s.unit_activity <= MAX_ACTIVITY)
+        assert np.all(s.l2_activity <= MAX_ACTIVITY)
+
+    def test_instructions_positive_and_bounded(self):
+        cfg = MachineConfig()
+        s = stats_for("gzip")
+        assert np.all(s.instructions > 0)
+        assert np.all(
+            s.instructions <= cfg.core.issue_width * cfg.trace_sample_cycles
+        )
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            stats_for("gzip", n=0)
+
+    def test_unit_index(self):
+        s = stats_for("gzip", n=10)
+        assert s.unit_index("intreg") == UNIT_ORDER.index("intreg")
+        with pytest.raises(KeyError):
+            s.unit_index("alu9000")
+
+
+class TestMeanBehaviour:
+    def test_mean_ipc_tracks_profile(self):
+        for name in ("gzip", "mcf", "swim"):
+            profile = get_benchmark(name)
+            s = stats_for(name)
+            assert s.mean_ipc == pytest.approx(profile.base_ipc, rel=0.12)
+
+    def test_counters_proportional_to_instructions(self):
+        s = stats_for("gzip")
+        profile = get_benchmark("gzip")
+        ratio = s.int_rf_accesses / s.instructions
+        np.testing.assert_allclose(
+            ratio, profile.int_rf_accesses_per_instruction, rtol=1e-9
+        )
+
+    def test_oscillator_varies_more_than_stable(self):
+        stable = stats_for("gzip")
+        osc = stats_for("ammp")
+        cv_stable = stable.instructions.std() / stable.instructions.mean()
+        cv_osc = osc.instructions.std() / osc.instructions.mean()
+        assert cv_osc > 2 * cv_stable
+
+
+class TestCrossBenchmarkStructure:
+    def test_int_program_stresses_intreg(self):
+        s = stats_for("gzip")
+        i_int = s.unit_index("intreg")
+        i_fp = s.unit_index("fpreg")
+        assert s.unit_activity[:, i_int].mean() > 4 * s.unit_activity[:, i_fp].mean()
+
+    def test_fp_program_stresses_fpreg(self):
+        s = stats_for("sixtrack")
+        i_int = s.unit_index("intreg")
+        i_fp = s.unit_index("fpreg")
+        assert s.unit_activity[:, i_fp].mean() > s.unit_activity[:, i_int].mean()
+
+    def test_memory_bound_has_high_l2_activity(self):
+        assert stats_for("mcf").l2_activity.mean() > stats_for("gzip").l2_activity.mean()
+
+    def test_determinism(self):
+        a = stats_for("gcc", seed=5)
+        b = stats_for("gcc", seed=5)
+        np.testing.assert_array_equal(a.instructions, b.instructions)
+        np.testing.assert_array_equal(a.unit_activity, b.unit_activity)
+
+
+class TestCapacities:
+    def test_every_unit_has_capacity(self):
+        for u in UNIT_ORDER:
+            assert UNIT_CAPACITY[u] > 0

@@ -1,0 +1,116 @@
+"""Tests for instruction classes and mixes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uarch.isa import (
+    EXECUTION_LATENCY,
+    FP_RF_ACCESSES,
+    INT_RF_ACCESSES,
+    InstructionClass,
+    InstructionMix,
+    floating_point_mix,
+    integer_mix,
+)
+
+
+class TestTables:
+    def test_every_class_has_latency_and_rf_costs(self):
+        for icls in InstructionClass:
+            assert icls in EXECUTION_LATENCY
+            assert icls in INT_RF_ACCESSES
+            assert icls in FP_RF_ACCESSES
+
+    def test_long_latency_ops(self):
+        assert EXECUTION_LATENCY[InstructionClass.INT_MUL] > EXECUTION_LATENCY[
+            InstructionClass.INT_ALU
+        ]
+        assert EXECUTION_LATENCY[InstructionClass.FP_MUL] > 1
+
+    def test_rf_access_separation(self):
+        """Int ops touch the int RF, FP ops the FP RF — the asymmetry the
+        whole migration story rests on."""
+        assert INT_RF_ACCESSES[InstructionClass.INT_ALU] > 0
+        assert FP_RF_ACCESSES[InstructionClass.INT_ALU] == 0
+        assert FP_RF_ACCESSES[InstructionClass.FP_ALU] > 0
+        assert INT_RF_ACCESSES[InstructionClass.FP_ALU] == 0
+
+
+class TestInstructionMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            InstructionMix.from_dict({InstructionClass.INT_ALU: 0.5})
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix.from_dict(
+                {InstructionClass.INT_ALU: 1.5, InstructionClass.LOAD: -0.5}
+            )
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            InstructionMix(
+                (
+                    (InstructionClass.INT_ALU, 0.5),
+                    (InstructionClass.INT_ALU, 0.5),
+                )
+            )
+
+    def test_fraction_lookup(self):
+        mix = integer_mix()
+        assert mix.fraction(InstructionClass.LOAD) == pytest.approx(0.22)
+        assert mix.fraction(InstructionClass.FP_ALU) == 0.0
+
+    def test_aggregates(self):
+        mix = integer_mix(load=0.2, store=0.1, branch=0.15)
+        assert mix.load_store_fraction == pytest.approx(0.3)
+        assert mix.branch_fraction == pytest.approx(0.15)
+        assert mix.fp_fraction == 0.0
+
+    def test_rf_access_expectations(self):
+        mix = floating_point_mix()
+        assert mix.fp_rf_accesses_per_instruction() > 0
+        assert mix.int_rf_accesses_per_instruction() > 0  # loads/branches
+
+    def test_int_mix_more_int_intensive_than_fp_mix(self):
+        assert (
+            integer_mix().int_rf_accesses_per_instruction()
+            > floating_point_mix().int_rf_accesses_per_instruction()
+        )
+        assert (
+            floating_point_mix().fp_rf_accesses_per_instruction()
+            > integer_mix().fp_rf_accesses_per_instruction()
+        )
+
+
+class TestMixBuilders:
+    def test_integer_mix_sums(self):
+        mix = integer_mix()
+        assert sum(f for _c, f in mix) == pytest.approx(1.0)
+
+    def test_fp_mix_sums(self):
+        mix = floating_point_mix()
+        assert sum(f for _c, f in mix) == pytest.approx(1.0)
+
+    def test_fp_mix_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            floating_point_mix(fp=0.8, load=0.3, store=0.2, branch=0.2)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.3),
+        st.floats(min_value=0.0, max_value=0.2),
+        st.floats(min_value=0.0, max_value=0.25),
+    )
+    def test_integer_mix_always_valid_property(self, load, store, branch):
+        mix = integer_mix(load=load, store=store, branch=branch, int_mul=0.02)
+        assert sum(f for _c, f in mix) == pytest.approx(1.0)
+        assert all(f >= 0 for _c, f in mix)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_fp_mix_split_property(self, fp, mul_share):
+        mix = floating_point_mix(fp=fp, fp_mul_share=mul_share)
+        assert mix.fp_fraction == pytest.approx(fp)

@@ -1,0 +1,116 @@
+"""Tests for phase-behaviour generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.phases import (
+    SHAPES,
+    PhaseSpec,
+    oscillating_phase,
+    stable_phase,
+)
+from repro.util.rng import RngStream
+
+
+def rng():
+    return RngStream(1, "phase-test")
+
+
+class TestValidation:
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError, match="unknown phase shape"):
+            PhaseSpec(shape="triangle")
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(shape="sine", period_s=0.0)
+
+    def test_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(shape="sine", amplitude=1.0)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(jitter=-0.1)
+
+    def test_modulation_arg_validation(self):
+        spec = stable_phase()
+        with pytest.raises(ValueError):
+            spec.modulation(0, 1e-3, rng())
+        with pytest.raises(ValueError):
+            spec.modulation(10, 0.0, rng())
+
+
+class TestShapes:
+    def test_constant_is_one(self):
+        spec = PhaseSpec(shape="constant", jitter=0.0)
+        m = spec.modulation(100, 1e-3, rng())
+        np.testing.assert_allclose(m, 1.0)
+
+    def test_sine_period(self):
+        spec = PhaseSpec(shape="sine", period_s=0.01, amplitude=0.3, jitter=0.0)
+        m = spec.modulation(1000, 1e-4, rng())  # 10 periods
+        # Autocorrelation at one period should be near-perfect.
+        period_samples = 100
+        a, b = m[:-period_samples], m[period_samples:]
+        corr = np.corrcoef(a, b)[0, 1]
+        assert corr > 0.99
+
+    def test_square_two_levels(self):
+        spec = PhaseSpec(shape="square", period_s=0.01, amplitude=0.25, jitter=0.0)
+        m = spec.modulation(500, 1e-4, rng())
+        levels = np.unique(np.round(m, 6))
+        assert len(levels) == 2
+        np.testing.assert_allclose(sorted(levels), [0.75, 1.25])
+
+    def test_sawtooth_ramps(self):
+        spec = PhaseSpec(shape="sawtooth", period_s=0.01, amplitude=0.2, jitter=0.0)
+        m = spec.modulation(100, 1e-4, rng())  # one period
+        # Mostly increasing within a period.
+        assert np.sum(np.diff(m) > 0) > 90
+
+    def test_random_walk_bounded(self):
+        spec = PhaseSpec(shape="random_walk", amplitude=0.1, jitter=0.0)
+        m = spec.modulation(5000, 1e-4, rng())
+        assert m.min() >= 0.9 - 1e-9
+        assert m.max() <= 1.1 + 1e-9
+
+
+class TestDeterminism:
+    def test_same_stream_same_waveform(self):
+        spec = oscillating_phase("sine", 0.05, 0.3)
+        a = spec.modulation(200, 1e-3, RngStream(5, "s"))
+        b = spec.modulation(200, 1e-3, RngStream(5, "s"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_stream_different_jitter(self):
+        spec = stable_phase(jitter=0.05)
+        a = spec.modulation(200, 1e-3, RngStream(5, "s"))
+        b = spec.modulation(200, 1e-3, RngStream(6, "s"))
+        assert not np.array_equal(a, b)
+
+
+class TestOscillationFlag:
+    def test_table_1b_distinction(self):
+        assert oscillating_phase("sine", 0.05, 0.3).is_oscillating
+        assert not stable_phase().is_oscillating
+        # Tiny-amplitude sine does not count as a Table 1b oscillator.
+        assert not PhaseSpec(shape="sine", amplitude=0.01).is_oscillating
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.sampled_from(SHAPES),
+    amplitude=st.floats(min_value=0.0, max_value=0.6),
+    jitter=st.floats(min_value=0.0, max_value=0.1),
+    n=st.integers(min_value=1, max_value=400),
+)
+def test_modulation_always_positive_property(shape, amplitude, jitter, n):
+    """Whatever the parameters, activity modulation stays >= 0.05."""
+    spec = PhaseSpec(shape=shape, period_s=0.02, amplitude=amplitude, jitter=jitter)
+    m = spec.modulation(n, 1e-3, RngStream(9, shape))
+    assert m.shape == (n,)
+    assert np.all(m >= 0.05)
+    assert np.all(np.isfinite(m))

@@ -1,0 +1,129 @@
+"""Tests for the cycle-level out-of-order core model."""
+
+import pytest
+
+from repro.uarch.benchmarks import get_benchmark
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import COUNTED_UNITS, OutOfOrderCore, SyntheticProgram
+from repro.util.rng import RngStream
+
+
+def run_core(name, cycles=20_000, seed=0):
+    core = OutOfOrderCore(get_benchmark(name), MachineConfig(), seed=seed)
+    return core.run(cycles)
+
+
+class TestBasicExecution:
+    def test_retires_instructions(self):
+        stats = run_core("gzip", cycles=5_000)
+        assert stats.instructions > 0
+        assert stats.cycles == 5_000
+
+    def test_ipc_bounded_by_machine_width(self):
+        stats = run_core("gzip")
+        assert 0 < stats.ipc <= MachineConfig().core.retire_width
+
+    def test_run_instructions_mode(self):
+        core = OutOfOrderCore(get_benchmark("crafty"), seed=1)
+        stats = core.run_instructions(2_000)
+        assert stats.instructions >= 2_000
+
+    def test_rejects_bad_args(self):
+        core = OutOfOrderCore(get_benchmark("gzip"))
+        with pytest.raises(ValueError):
+            core.run(0)
+        with pytest.raises(ValueError):
+            core.run_instructions(-5)
+
+    def test_deterministic_given_seed(self):
+        a = run_core("parser", cycles=5_000, seed=3)
+        b = run_core("parser", cycles=5_000, seed=3)
+        assert a.instructions == b.instructions
+        assert a.unit_accesses == b.unit_accesses
+
+    def test_seeds_differ(self):
+        a = run_core("parser", cycles=5_000, seed=3)
+        b = run_core("parser", cycles=5_000, seed=4)
+        assert a.instructions != b.instructions
+
+
+class TestWorkloadContrast:
+    """The pipeline must reproduce the cross-benchmark structure the
+    interval engine assumes."""
+
+    def test_memory_bound_mcf_has_low_ipc(self):
+        gzip = run_core("gzip")
+        mcf = run_core("mcf")
+        assert mcf.ipc < gzip.ipc * 0.65
+
+    def test_mcf_misses_more(self):
+        gzip = run_core("gzip")
+        mcf = run_core("mcf")
+        assert mcf.l1d_mpki > gzip.l1d_mpki
+
+    def test_int_program_exercises_int_rf(self):
+        stats = run_core("gzip")
+        assert stats.accesses_per_kinst("intreg") > 5 * stats.accesses_per_kinst(
+            "fpreg"
+        )
+
+    def test_fp_program_exercises_fp_rf(self):
+        stats = run_core("sixtrack")
+        assert stats.accesses_per_kinst("fpreg") > stats.accesses_per_kinst(
+            "intreg"
+        ) / 2
+        assert stats.unit_accesses["fpu"] > 0
+
+    def test_int_program_leaves_fpu_idle(self):
+        stats = run_core("gzip")
+        assert stats.unit_accesses["fpu"] == 0
+
+
+class TestStructuralAccounting:
+    def test_all_counted_units_present(self):
+        stats = run_core("gcc", cycles=5_000)
+        assert set(stats.unit_accesses) == set(COUNTED_UNITS)
+
+    def test_issued_equals_queue_inserts(self):
+        stats = run_core("gcc", cycles=5_000)
+        issued = (
+            stats.unit_accesses["fxu"]
+            + stats.unit_accesses["fpu"]
+            + stats.unit_accesses["lsu"]
+            + stats.unit_accesses["bxu"]
+        )
+        assert issued == pytest.approx(stats.unit_accesses["iq"])
+
+    def test_memory_ops_touch_dcache(self):
+        stats = run_core("gcc", cycles=5_000)
+        assert stats.unit_accesses["dcache"] == pytest.approx(
+            stats.unit_accesses["lsu"]
+        )
+
+    def test_retired_never_exceeds_dispatched(self):
+        stats = run_core("gcc", cycles=5_000)
+        assert stats.instructions <= stats.unit_accesses["decode"]
+
+
+class TestSyntheticProgram:
+    def test_mix_sampling_matches_fractions(self):
+        profile = get_benchmark("gzip")
+        prog = SyntheticProgram(profile, RngStream(0, "p"))
+        from collections import Counter
+
+        counts = Counter(prog.next_class() for _ in range(20_000))
+        for icls, frac in profile.mix:
+            observed = counts[icls] / 20_000
+            assert observed == pytest.approx(frac, abs=0.02)
+
+    def test_dependence_distance_positive(self):
+        prog = SyntheticProgram(get_benchmark("gzip"), RngStream(0, "p"))
+        distances = [prog.dependence_distance() for _ in range(1000)]
+        assert min(distances) >= 1
+
+    def test_higher_ipc_profile_longer_dependences(self):
+        hi = SyntheticProgram(get_benchmark("gzip"), RngStream(0, "p"))
+        lo = SyntheticProgram(get_benchmark("mcf"), RngStream(0, "p"))
+        hi_mean = sum(hi.dependence_distance() for _ in range(3000)) / 3000
+        lo_mean = sum(lo.dependence_distance() for _ in range(3000)) / 3000
+        assert hi_mean > lo_mean

@@ -1,0 +1,112 @@
+"""Tests for the PowerTimer-style power model."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.benchmarks import get_benchmark
+from repro.uarch.config import MachineConfig
+from repro.uarch.interval_model import UNIT_ORDER, simulate_intervals
+from repro.uarch.power import (
+    IDLE_POWER_FRACTION,
+    UNIT_IDLE_FRACTION,
+    UNIT_PEAK_DYNAMIC_W,
+    PowerModel,
+    dynamic_power_scale,
+    leakage_voltage_scale,
+)
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel(MachineConfig())
+
+
+def stats(name):
+    return simulate_intervals(
+        get_benchmark(name), MachineConfig(), 300, RngStream(0, "pw", name)
+    )
+
+
+class TestUnitPower:
+    def test_every_unit_has_a_peak(self):
+        assert set(UNIT_PEAK_DYNAMIC_W) == set(UNIT_ORDER)
+
+    def test_power_between_floor_and_peak(self, model):
+        p = model.core_unit_power(stats("gzip"))
+        peaks = model.unit_peaks
+        floors = np.array(
+            [UNIT_IDLE_FRACTION.get(u, IDLE_POWER_FRACTION) for u in UNIT_ORDER]
+        )
+        assert np.all(p >= peaks * floors - 1e-12)
+        assert np.all(p <= peaks + 1e-12)
+
+    def test_register_files_dominate_density(self, model):
+        """The RFs must be the hotspots: highest W/mm^2 on a hot program."""
+        from repro.thermal.layouts import build_core_floorplan
+
+        fp = build_core_floorplan()
+        p = model.core_unit_power(stats("gzip")).mean(axis=0)
+        density = {
+            u: p[i] / fp.block(u).area_mm2 for i, u in enumerate(UNIT_ORDER)
+        }
+        assert max(density, key=density.get) == "intreg"
+
+    def test_hot_program_draws_more_than_cool(self, model):
+        hot = model.core_unit_power(stats("gzip")).sum(axis=1).mean()
+        cool = model.core_unit_power(stats("mcf")).sum(axis=1).mean()
+        assert hot > 1.8 * cool
+
+    def test_core_budget_sane(self, model):
+        """Hot benchmark ~25-35 W of core dynamic power (docstring claim)."""
+        total = model.core_unit_power(stats("gzip")).sum(axis=1).mean()
+        assert 22.0 < total < 38.0
+
+    def test_scale_parameter(self):
+        base = PowerModel(MachineConfig())
+        doubled = PowerModel(MachineConfig(), scale=2.0)
+        np.testing.assert_allclose(doubled.unit_peaks, 2.0 * base.unit_peaks)
+        assert doubled.reference_leakage_w == pytest.approx(
+            2.0 * base.reference_leakage_w
+        )
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(MachineConfig(), scale=0.0)
+
+
+class TestSharedStructures:
+    def test_l2_bank_power_tracks_activity(self, model):
+        s_hot = stats("mcf")   # memory bound -> busy L2
+        s_cold = stats("gzip")
+        assert model.l2_bank_power(s_hot).mean() > model.l2_bank_power(s_cold).mean()
+
+    def test_xbar_power_bounds(self, model):
+        low = model.xbar_power(np.zeros(5))
+        high = model.xbar_power(np.ones(5))
+        assert np.all(low < high)
+        assert np.all(high <= 2.75 + 1e-9)
+
+
+class TestDVFSScaling:
+    def test_cubic_dynamic(self):
+        assert dynamic_power_scale(1.0) == 1.0
+        assert dynamic_power_scale(0.5) == pytest.approx(0.125)
+        assert dynamic_power_scale(0.0) == 0.0
+
+    def test_quadratic_leakage(self):
+        assert leakage_voltage_scale(0.5) == pytest.approx(0.25)
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            dynamic_power_scale(1.5)
+        with pytest.raises(ValueError):
+            leakage_voltage_scale(-0.1)
+
+    def test_cubic_beats_linear_work_tradeoff(self):
+        """The DVFS advantage: at half speed, work halves but power drops
+        to an eighth — the asymmetry behind the paper's 2.5X result."""
+        s = 0.5
+        work_ratio = s
+        power_ratio = dynamic_power_scale(s)
+        assert power_ratio < work_ratio ** 2

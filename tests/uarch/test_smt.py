@@ -1,0 +1,103 @@
+"""Tests for the SMT workload-merge model."""
+
+import pytest
+
+from repro.uarch.benchmarks import get_benchmark
+from repro.uarch.smt import (
+    SMT_EFFICIENCY,
+    SMT_IPC_CAP,
+    merge_profiles,
+    smt_speedup,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return get_benchmark("gzip"), get_benchmark("swim")
+
+
+class TestThroughput:
+    def test_pair_outruns_either_thread(self, pair):
+        a, b = pair
+        merged = merge_profiles(a, b)
+        assert merged.base_ipc > max(a.base_ipc, b.base_ipc)
+
+    def test_pair_below_sum(self, pair):
+        a, b = pair
+        merged = merge_profiles(a, b)
+        assert merged.base_ipc < a.base_ipc + b.base_ipc
+
+    def test_efficiency_model(self, pair):
+        a, b = pair
+        merged = merge_profiles(a, b)
+        expected = min(SMT_IPC_CAP, (a.base_ipc + b.base_ipc) * SMT_EFFICIENCY)
+        assert merged.base_ipc == pytest.approx(expected)
+
+    def test_cap_binds_for_hot_pair(self):
+        # At perfect sharing efficiency the fetch-path cap becomes the
+        # limiter for a hot pair (1.9 + 1.9 = 3.8 > 3.2).
+        a, b = get_benchmark("gzip"), get_benchmark("sixtrack")
+        merged = merge_profiles(a, b, efficiency=1.0)
+        assert merged.base_ipc == pytest.approx(SMT_IPC_CAP)
+
+    def test_speedup_over_timeslicing(self, pair):
+        # SMT must beat running the two threads alternately on one core.
+        assert smt_speedup(*pair) > 1.0
+
+    def test_bad_efficiency_rejected(self, pair):
+        with pytest.raises(ValueError):
+            merge_profiles(*pair, efficiency=0.0)
+
+
+class TestResourceBlending:
+    def test_both_register_files_pressured(self):
+        """The SMT thermal hazard: an int+fp pair stresses both RFs."""
+        merged = merge_profiles(get_benchmark("gzip"), get_benchmark("sixtrack"))
+        gzip = get_benchmark("gzip")
+        sixtrack = get_benchmark("sixtrack")
+        assert (
+            merged.int_rf_accesses_per_instruction
+            > sixtrack.int_rf_accesses_per_instruction
+        )
+        assert (
+            merged.fp_rf_accesses_per_instruction
+            > gzip.fp_rf_accesses_per_instruction
+        )
+
+    def test_per_instruction_rates_are_blends(self, pair):
+        a, b = pair
+        merged = merge_profiles(a, b)
+        lo = min(a.int_rf_accesses_per_instruction, b.int_rf_accesses_per_instruction)
+        hi = max(a.int_rf_accesses_per_instruction, b.int_rf_accesses_per_instruction)
+        assert lo <= merged.int_rf_accesses_per_instruction <= hi
+
+    def test_mix_is_valid(self, pair):
+        merged = merge_profiles(*pair)
+        assert sum(f for _c, f in merged.mix) == pytest.approx(1.0)
+
+    def test_cache_contention_bump(self, pair):
+        a, b = pair
+        merged = merge_profiles(a, b)
+        weight_a = a.base_ipc / (a.base_ipc + b.base_ipc)
+        blended = weight_a * a.l1d_mpki + (1 - weight_a) * b.l1d_mpki
+        assert merged.l1d_mpki > blended
+
+
+class TestMetadata:
+    def test_name_composition(self, pair):
+        assert merge_profiles(*pair).name == "gzip+swim"
+        assert merge_profiles(*pair, name="pair0").name == "pair0"
+
+    def test_phase_damped(self):
+        ammp = get_benchmark("ammp")
+        gzip = get_benchmark("gzip")
+        merged = merge_profiles(gzip, ammp)
+        assert merged.phase.amplitude < ammp.phase.amplitude
+
+    def test_merged_profile_generates_traces(self, pair):
+        from repro.uarch.tracegen import generate_trace
+
+        merged = merge_profiles(*pair)
+        trace = generate_trace(merged, duration_s=0.005, use_cache=False)
+        assert trace.benchmark == "gzip+swim"
+        assert trace.mean_core_power_w > 0

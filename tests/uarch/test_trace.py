@@ -1,0 +1,110 @@
+"""Tests for the power-trace container."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.interval_model import UNIT_ORDER
+from repro.uarch.trace import PowerTrace
+
+
+def make_trace(n=10):
+    return PowerTrace(
+        benchmark="toy",
+        sample_period_s=28e-6,
+        sample_cycles=100_000,
+        unit_power=np.arange(n * len(UNIT_ORDER), dtype=float).reshape(
+            n, len(UNIT_ORDER)
+        ),
+        l2_activity=np.linspace(0, 1, n),
+        instructions=np.full(n, 150_000.0),
+        int_rf_accesses=np.full(n, 300_000.0),
+        fp_rf_accesses=np.full(n, 50_000.0),
+    )
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            PowerTrace(
+                benchmark="bad",
+                sample_period_s=1e-5,
+                sample_cycles=1,
+                unit_power=np.zeros((5, 3)),  # wrong unit count
+                l2_activity=np.zeros(5),
+                instructions=np.zeros(5),
+                int_rf_accesses=np.zeros(5),
+                fp_rf_accesses=np.zeros(5),
+            )
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PowerTrace(
+                benchmark="bad",
+                sample_period_s=1e-5,
+                sample_cycles=1,
+                unit_power=np.zeros((5, len(UNIT_ORDER))),
+                l2_activity=np.zeros(4),
+                instructions=np.zeros(5),
+                int_rf_accesses=np.zeros(5),
+                fp_rf_accesses=np.zeros(5),
+            )
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            PowerTrace(
+                benchmark="bad",
+                sample_period_s=0.0,
+                sample_cycles=1,
+                unit_power=np.zeros((5, len(UNIT_ORDER))),
+                l2_activity=np.zeros(5),
+                instructions=np.zeros(5),
+                int_rf_accesses=np.zeros(5),
+                fp_rf_accesses=np.zeros(5),
+            )
+
+
+class TestIndexing:
+    def test_duration(self):
+        t = make_trace(10)
+        assert t.n_samples == 10
+        assert t.duration_s == pytest.approx(10 * 28e-6)
+
+    def test_circular_replay(self):
+        """Traces restart at the beginning when exhausted (Section 3.3)."""
+        t = make_trace(10)
+        assert t.sample_index(0.5) == 0
+        assert t.sample_index(9.9) == 9
+        assert t.sample_index(10.1) == 0  # wrapped
+        assert t.sample_index(25.0) == 5
+
+    def test_power_lookup_wraps(self):
+        t = make_trace(10)
+        np.testing.assert_array_equal(
+            t.unit_power_at(3.0), t.unit_power_at(13.0)
+        )
+
+    def test_counters_at(self):
+        t = make_trace()
+        c = t.counters_at(2.5)
+        assert c["instructions"] == 150_000.0
+        assert c["int_rf_accesses"] == 300_000.0
+
+
+class TestSummaries:
+    def test_nominal_bips(self):
+        t = make_trace(10)
+        # 150k instructions per 28us sample.
+        expected = 150_000.0 / 28e-6 / 1e9
+        assert t.nominal_bips == pytest.approx(expected, rel=1e-6)
+
+    def test_mean_power(self):
+        t = make_trace(4)
+        assert t.mean_core_power_w == pytest.approx(
+            float(t.unit_power.sum(axis=1).mean())
+        )
+
+    def test_mean_unit_power(self):
+        t = make_trace(4)
+        assert t.mean_unit_power("icache") == pytest.approx(
+            float(t.unit_power[:, 0].mean())
+        )

@@ -1,0 +1,73 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.trace_io import FORMAT_VERSION, load_trace, save_trace
+from repro.uarch.tracegen import generate_trace
+
+
+@pytest.fixture()
+def trace():
+    return generate_trace("gzip", duration_s=0.005)
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "gzip.npz")
+        loaded = load_trace(path)
+        assert loaded.benchmark == trace.benchmark
+        assert loaded.sample_period_s == trace.sample_period_s
+        assert loaded.sample_cycles == trace.sample_cycles
+        np.testing.assert_array_equal(loaded.unit_power, trace.unit_power)
+        np.testing.assert_array_equal(loaded.instructions, trace.instructions)
+        np.testing.assert_array_equal(loaded.l2_activity, trace.l2_activity)
+        np.testing.assert_array_equal(
+            loaded.int_rf_accesses, trace.int_rf_accesses
+        )
+
+    def test_suffix_appended(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "gzip")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_loaded_trace_is_functional(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert loaded.nominal_bips == pytest.approx(trace.nominal_bips)
+        assert loaded.sample_index(loaded.n_samples + 2.0) == 2
+
+
+class TestVersioning:
+    def test_version_mismatch_rejected(self, trace, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = save_trace(trace, tmp_path / "t.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["format_version"] = FORMAT_VERSION + 1
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_trace(path)
+
+    def test_unit_order_mismatch_rejected(self, trace, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = save_trace(trace, tmp_path / "t.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["unit_order"] = list(reversed(meta["unit_order"]))
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="unit order"):
+            load_trace(path)

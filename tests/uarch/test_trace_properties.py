@@ -1,0 +1,71 @@
+"""Property-based tests over trace generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.benchmarks import ALL_BENCHMARKS, get_benchmark
+from repro.uarch.config import MachineConfig
+from repro.uarch.tracegen import generate_trace
+
+NAMES = sorted(ALL_BENCHMARKS)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(NAMES),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_trace_physicality(name, seed):
+    """Any benchmark/seed produces a physically sensible trace."""
+    trace = generate_trace(name, duration_s=0.003, seed=seed, use_cache=False)
+    assert np.all(trace.unit_power >= 0)
+    assert np.all(np.isfinite(trace.unit_power))
+    assert np.all(trace.instructions > 0)
+    assert np.all(trace.l2_activity >= 0)
+    assert np.all(trace.l2_activity <= 1.0)
+    cfg = MachineConfig()
+    assert np.all(
+        trace.instructions <= cfg.core.issue_width * cfg.trace_sample_cycles
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(NAMES),
+    position=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+)
+def test_circular_indexing_property(name, position):
+    """Any position maps into the trace; wrapping is exact modular."""
+    trace = generate_trace(name, duration_s=0.003)
+    idx = trace.sample_index(position)
+    assert 0 <= idx < trace.n_samples
+    assert idx == trace.sample_index(position + trace.n_samples)
+
+
+@settings(max_examples=10, deadline=None)
+@given(name=st.sampled_from(NAMES))
+def test_counters_scale_with_instructions(name):
+    """Register-file access counts are exact multiples of instruction
+    counts (the per-instruction rate is a profile constant)."""
+    trace = generate_trace(name, duration_s=0.003)
+    profile = get_benchmark(name)
+    np.testing.assert_allclose(
+        trace.int_rf_accesses,
+        trace.instructions * profile.int_rf_accesses_per_instruction,
+        rtol=1e-9,
+    )
+    np.testing.assert_allclose(
+        trace.fp_rf_accesses,
+        trace.instructions * profile.fp_rf_accesses_per_instruction,
+        rtol=1e-9,
+    )
+
+
+def test_all_22_benchmarks_generate():
+    """Every registered profile produces a valid short trace."""
+    for name in NAMES:
+        trace = generate_trace(name, duration_s=0.002)
+        assert trace.n_samples > 0
+        assert trace.mean_core_power_w > 1.0, name

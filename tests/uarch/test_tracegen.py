@@ -1,0 +1,76 @@
+"""Tests for trace generation and caching."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.benchmarks import get_benchmark
+from repro.uarch.config import MachineConfig
+from repro.uarch.tracegen import clear_trace_cache, generate_trace
+
+
+class TestGeneration:
+    def test_basic_trace(self):
+        t = generate_trace("gzip", duration_s=0.01)
+        cfg = MachineConfig()
+        assert t.benchmark == "gzip"
+        assert t.sample_period_s == pytest.approx(cfg.sample_period_s)
+        assert t.n_samples == pytest.approx(0.01 / cfg.sample_period_s, abs=1)
+
+    def test_accepts_profile_object(self):
+        t = generate_trace(get_benchmark("mcf"), duration_s=0.01)
+        assert t.benchmark == "mcf"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            generate_trace("quake3", duration_s=0.01)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace("gzip", duration_s=0.0)
+
+    def test_deterministic(self):
+        a = generate_trace("gcc", duration_s=0.01, seed=11, use_cache=False)
+        b = generate_trace("gcc", duration_s=0.01, seed=11, use_cache=False)
+        np.testing.assert_array_equal(a.unit_power, b.unit_power)
+
+    def test_seed_changes_trace(self):
+        a = generate_trace("gcc", duration_s=0.01, seed=11, use_cache=False)
+        b = generate_trace("gcc", duration_s=0.01, seed=12, use_cache=False)
+        assert not np.array_equal(a.unit_power, b.unit_power)
+
+    def test_power_scale(self):
+        a = generate_trace("gcc", duration_s=0.01, use_cache=False)
+        b = generate_trace("gcc", duration_s=0.01, power_scale=2.0, use_cache=False)
+        np.testing.assert_allclose(b.unit_power, 2.0 * a.unit_power, rtol=1e-12)
+        # Counters are performance data: power scaling must not touch them.
+        np.testing.assert_array_equal(b.instructions, a.instructions)
+
+    def test_nominal_bips_tracks_profile(self):
+        cfg = MachineConfig()
+        for name in ("gzip", "mcf"):
+            t = generate_trace(name, duration_s=0.02, use_cache=False)
+            expected = get_benchmark(name).base_ipc * cfg.clock_hz / 1e9
+            assert t.nominal_bips == pytest.approx(expected, rel=0.12)
+
+
+class TestCache:
+    def test_cache_returns_same_object(self):
+        clear_trace_cache()
+        a = generate_trace("vpr", duration_s=0.005)
+        b = generate_trace("vpr", duration_s=0.005)
+        assert a is b
+
+    def test_cache_key_includes_duration(self):
+        a = generate_trace("vpr", duration_s=0.005)
+        b = generate_trace("vpr", duration_s=0.006)
+        assert a is not b
+
+    def test_no_cache_flag(self):
+        a = generate_trace("vpr", duration_s=0.005)
+        b = generate_trace("vpr", duration_s=0.005, use_cache=False)
+        assert a is not b
+
+    def test_clear_reports_count(self):
+        clear_trace_cache()
+        generate_trace("vpr", duration_s=0.005)
+        assert clear_trace_cache() >= 1

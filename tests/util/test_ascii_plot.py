@@ -1,0 +1,88 @@
+"""Tests for terminal charts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ascii_plot import bar_chart, multi_series, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_downsampling(self):
+        out = sparkline(list(range(100)), width=10)
+        assert len(out) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_length_and_charset_property(self, values):
+        out = sparkline(values)
+        assert len(out) == len(values)
+        assert set(out) <= set("▁▂▃▄▅▆▇█")
+
+
+class TestBarChart:
+    def test_alignment_and_values(self):
+        text = bar_chart(["a", "longer"], [1.0, 2.0], width=20)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].index("┤") == lines[1].index("┤")
+        assert "1.00" in lines[0]
+        assert "2.00" in lines[1]
+
+    def test_largest_bar_fills_width(self):
+        text = bar_chart(["x"], [10.0], width=10)
+        assert "█" * 10 in text
+
+    def test_reference_marker(self):
+        text = bar_chart(["a", "b"], [0.5, 2.0], width=20, reference=1.0)
+        assert "│" in text.splitlines()[0]  # marker visible in short bar
+
+    def test_unit_suffix(self):
+        assert "2.00X" in bar_chart(["a"], [2.0], unit="X")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=2)
+
+
+class TestMultiSeries:
+    def test_aligned_rows_with_ranges(self):
+        text = multi_series(
+            [0.0, 1.0, 2.0],
+            {"temp": [70, 80, 75], "scale": [1.0, 0.5, 0.8]},
+            width=30,
+            time_unit="ms",
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3  # two series + ruler
+        assert "[70.00, 80.00]" in lines[0]
+        assert lines[-1].endswith("ms")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            multi_series([0, 1], {"x": [1, 2, 3]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multi_series([], {"x": []})
+        with pytest.raises(ValueError):
+            multi_series([0.0], {})

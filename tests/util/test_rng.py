@@ -1,0 +1,72 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import DEFAULT_ROOT_SEED, RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    @given(st.integers(min_value=0, max_value=2 ** 62), st.text(max_size=30))
+    def test_always_in_uint64_range(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2 ** 64
+
+
+class TestRngStream:
+    def test_same_path_same_sequence(self):
+        a = RngStream(7, "x").uniform(size=10)
+        b = RngStream(7, "x").uniform(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_paths_differ(self):
+        a = RngStream(7, "x").uniform(size=10)
+        b = RngStream(7, "y").uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_child_extends_path(self):
+        parent = RngStream(7, "x")
+        child = parent.child("y")
+        assert child.labels == ("x", "y")
+        equivalent = RngStream(7, "x", "y")
+        np.testing.assert_array_equal(
+            child.uniform(size=5), equivalent.uniform(size=5)
+        )
+
+    def test_child_independent_of_parent_draws(self):
+        p1 = RngStream(7, "x")
+        p1.uniform(size=100)  # consume some parent state
+        c1 = p1.child("y").uniform(size=5)
+        c2 = RngStream(7, "x").child("y").uniform(size=5)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_normal_and_integers(self):
+        s = RngStream(3, "n")
+        samples = s.normal(0.0, 1.0, 1000)
+        assert abs(float(np.mean(samples))) < 0.2
+        ints = s.integers(0, 10, 100)
+        assert ints.min() >= 0 and ints.max() < 10
+
+    def test_repr_mentions_path(self):
+        assert "a/b" in repr(RngStream(1, "a", "b"))
+
+    def test_default_seed_is_stable_constant(self):
+        assert DEFAULT_ROOT_SEED == 20060617

@@ -1,0 +1,44 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.util.tables import render_grid, render_table
+
+
+def test_basic_alignment():
+    text = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    # All content lines have the same column boundary.
+    assert lines[0].index("|") == lines[2].index("|") == lines[3].index("|")
+
+
+def test_title_prepended():
+    text = render_table(["a"], [["x"]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_float_formatting():
+    text = render_table(["v"], [[1.23456]])
+    assert "1.23" in text
+    assert "1.2345" not in text
+
+
+def test_mismatched_row_rejected():
+    with pytest.raises(ValueError, match="cells"):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_empty_rows_ok():
+    text = render_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_grid_labels():
+    text = render_grid(
+        ["r1", "r2"], ["c1", "c2"], [[1, 2], [3, 4]], corner="x", title="G"
+    )
+    assert "r1" in text and "c2" in text and "G" in text
+    # Row labels come first in their lines.
+    row_line = [line for line in text.splitlines() if line.startswith("r2")]
+    assert row_line and "3" in row_line[0]

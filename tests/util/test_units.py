@@ -1,0 +1,35 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import units
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(25.0)) == pytest.approx(25.0)
+
+
+def test_absolute_zero():
+    assert units.celsius_to_kelvin(-273.15) == pytest.approx(0.0)
+
+
+@given(st.floats(min_value=-300, max_value=300, allow_nan=False))
+def test_conversion_inverse_property(t):
+    assert units.celsius_to_kelvin(units.kelvin_to_celsius(t)) == pytest.approx(t)
+
+
+def test_area_conversion():
+    assert units.mm2_to_m2(1.0) == pytest.approx(1e-6)
+    assert units.mm2_to_m2(160.0) == pytest.approx(1.6e-4)
+
+
+def test_length_conversion():
+    assert units.mm_to_m(4.0) == pytest.approx(4e-3)
+
+
+def test_time_constants():
+    assert units.MICROSECOND == pytest.approx(1e-6)
+    assert units.MILLISECOND == pytest.approx(1e-3)
+    assert units.NANOSECOND == pytest.approx(1e-9)

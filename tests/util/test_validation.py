@@ -1,0 +1,79 @@
+"""Tests for argument-validation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3.0, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -1e-9])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive(bad, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "x")
+
+
+class TestCheckFinite:
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf"), float("nan")])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValueError):
+            check_finite(bad, "x")
+
+    def test_accepts_finite(self):
+        assert check_finite(1e300, "x") == 1e300
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_open_sided(self):
+        assert check_in_range(1e9, "x", low=0.0) == 1e9
+        assert check_in_range(-1e9, "x", high=0.0) == -1e9
+
+    def test_violations(self):
+        with pytest.raises(ValueError, match=">="):
+            check_in_range(-1.0, "x", 0.0, 1.0)
+        with pytest.raises(ValueError, match="<="):
+            check_in_range(2.0, "x", 0.0, 1.0)
+
+
+class TestCheckProbability:
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_accepts_probabilities(self, p):
+        assert check_probability(p, "p") == p
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5.0])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
