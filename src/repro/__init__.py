@@ -42,6 +42,7 @@ from repro.core.taxonomy import (
 )
 from repro.sim.engine import SimulationConfig, ThermalTimingSimulator, run_workload
 from repro.sim.results import RunResult, TimeSeries
+from repro.sim.runner import ParallelRunner, ResultCache, RunPoint, config_hash
 from repro.sim.workloads import ALL_WORKLOADS, Workload, get_workload
 
 __version__ = "1.0.0"
@@ -51,7 +52,10 @@ __all__ = [
     "ALL_WORKLOADS",
     "BASELINE_SPEC",
     "MigrationKind",
+    "ParallelRunner",
     "PolicySpec",
+    "ResultCache",
+    "RunPoint",
     "RunResult",
     "Scope",
     "SimulationConfig",
@@ -61,6 +65,7 @@ __all__ = [
     "Workload",
     "__version__",
     "build_policy",
+    "config_hash",
     "get_workload",
     "run_workload",
     "spec_by_key",

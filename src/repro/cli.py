@@ -5,13 +5,23 @@ Exposes the library's main entry points without writing Python::
     python -m repro list                      # workloads, policies, benchmarks
     python -m repro run -w workload7 -p distributed-dvfs-sensor -d 0.1
     python -m repro compare -w workload7 -d 0.1 [-o results.json]
-    python -m repro experiment table5 [-d 0.2]
+    python -m repro --jobs 4 experiment table5 [-d 0.2]
     python -m repro trace gzip -o gzip.npz [-d 0.25]
+    python -m repro cache [--clear]
 
 ``run`` simulates one (workload, policy) pair; ``compare`` runs all 12
 taxonomy cells on one workload and prints the comparison; ``experiment``
 regenerates one of the paper's tables/figures; ``trace`` generates and
-saves a benchmark power trace.
+saves a benchmark power trace; ``cache`` inspects or clears the on-disk
+result cache.
+
+The global ``--jobs N`` flag fans independent simulations out over N
+worker processes (``--jobs 0`` = all cores), and results are cached
+on disk (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dtm``) keyed by
+configuration + policy + workload + code version, so re-running a
+command only simulates changed points. ``--no-cache`` disables the disk
+cache for one invocation. Parallel runs produce bit-identical output to
+serial ones.
 """
 
 from __future__ import annotations
@@ -21,8 +31,10 @@ import sys
 from typing import List, Optional
 
 from repro.core.taxonomy import ALL_POLICY_SPECS, spec_by_key
-from repro.sim.engine import SimulationConfig, run_workload
+from repro.experiments.common import get_default_runner, set_default_runner
+from repro.sim.engine import SimulationConfig
 from repro.sim.report import comparison_report, save_results
+from repro.sim.runner import ParallelRunner, ResultCache, default_cache_dir
 from repro.sim.workloads import ALL_WORKLOADS, get_workload
 from repro.uarch.benchmarks import ALL_BENCHMARKS
 from repro.uarch.tracegen import generate_trace
@@ -42,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Techniques for Multicore Thermal Management' "
             "(Donald & Martonosi, ISCA 2006)"
         ),
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for independent simulations (0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this invocation",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -77,6 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output", required=True)
     trace.add_argument("-d", "--duration", type=float, default=0.25)
 
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached result")
+
     return parser
 
 
@@ -103,7 +127,9 @@ def _config(duration: float, seed: Optional[int] = None) -> SimulationConfig:
 def _cmd_run(args) -> int:
     workload = get_workload(args.workload)
     spec = None if args.policy == "none" else spec_by_key(args.policy)
-    result = run_workload(workload, spec, _config(args.duration, args.seed))
+    result = get_default_runner().run_workload(
+        workload, spec, _config(args.duration, args.seed)
+    )
     print(result.summary())
     print(
         f"  instructions={result.instructions:.3e}  "
@@ -114,12 +140,14 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    from repro.sim.runner import RunPoint
+
     workload = get_workload(args.workload)
     config = _config(args.duration)
-    results = []
-    for spec in ALL_POLICY_SPECS:
-        result = run_workload(workload, spec, config)
-        results.append(result)
+    results = get_default_runner().run_points(
+        [RunPoint(workload, spec, config) for spec in ALL_POLICY_SPECS]
+    )
+    for result in results:
         print(result.summary())
     print()
     print(
@@ -166,20 +194,51 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    cache = ResultCache()
+    print(f"cache directory: {cache.root}")
+    if args.clear:
+        print(f"cleared {cache.clear()} cached results")
+    else:
+        print(f"cached results: {len(cache)}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}")
     if args.command == "list":
         return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+    if args.command == "cache":
+        return _cmd_cache(args)
+
+    runner = ParallelRunner(
+        jobs=args.jobs, cache=None if args.no_cache else ResultCache()
+    )
+    previous = set_default_runner(runner)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+    finally:
+        set_default_runner(previous)
+        stats = runner.stats
+        if stats.points:
+            print(
+                f"[runner] {stats.summary()} "
+                f"(jobs={runner.jobs}, cache="
+                f"{'off' if runner.cache is None else runner.cache.root})",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":

@@ -2,9 +2,20 @@
 
 All of the paper's main tables and figures are views over the same grid
 of simulations: 12 workloads x 12 policies. :func:`run_matrix` executes
-and caches those runs (module-level, keyed by workload, policy and
-configuration) so that computing Table 5, Table 6, Table 7, Figure 3,
-Figure 7 and Table 8 in one session costs one pass over the grid.
+and caches those runs so that computing Table 5, Table 6, Table 7,
+Figure 3, Figure 7 and Table 8 in one session costs one pass over the
+grid.
+
+Two cache layers cooperate:
+
+* a module-level in-memory dict (keyed by workload, policy and
+  configuration) deduplicates runs within one session, exactly as
+  before;
+* the session's default :class:`~repro.sim.runner.ParallelRunner` —
+  swappable via :func:`set_default_runner` and configured by the CLI's
+  ``--jobs``/``--no-cache`` flags — optionally adds a process pool and a
+  content-addressed on-disk cache underneath, so misses fan out across
+  cores and survive across sessions.
 """
 
 from __future__ import annotations
@@ -13,11 +24,29 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.taxonomy import ALL_POLICY_SPECS, BASELINE_SPEC, PolicySpec
-from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.engine import SimulationConfig
 from repro.sim.results import RunResult
+from repro.sim.runner import ParallelRunner, RunPoint
 from repro.sim.workloads import ALL_WORKLOADS, Workload
 
 _CACHE: Dict[Tuple, RunResult] = {}
+
+#: Session-wide execution backend; ``jobs=1``/no disk cache by default,
+#: which preserves the historical in-process serial behaviour.
+_RUNNER = ParallelRunner()
+
+
+def get_default_runner() -> ParallelRunner:
+    """The runner every experiment driver routes its simulations through."""
+    return _RUNNER
+
+
+def set_default_runner(runner: ParallelRunner) -> ParallelRunner:
+    """Install ``runner`` as the session default; returns the previous one."""
+    global _RUNNER
+    previous = _RUNNER
+    _RUNNER = runner
+    return previous
 
 
 def default_config(duration_s: float = 0.5, **overrides) -> SimulationConfig:
@@ -36,8 +65,18 @@ def _config_key(config: SimulationConfig) -> Tuple:
     return (config,)
 
 
+def _memory_key(
+    workload: Workload, spec: Optional[PolicySpec], config: SimulationConfig
+) -> Tuple:
+    return (workload.name, spec.key if spec else "unthrottled", _config_key(config))
+
+
 def clear_result_cache() -> int:
-    """Drop every cached run; returns how many were discarded."""
+    """Drop every in-memory cached run; returns how many were discarded.
+
+    The default runner's on-disk cache (if any) is untouched — use
+    ``get_default_runner().cache.clear()`` for that.
+    """
     n = len(_CACHE)
     _CACHE.clear()
     return n
@@ -47,9 +86,9 @@ def run_cached(
     workload: Workload, spec: Optional[PolicySpec], config: SimulationConfig
 ) -> RunResult:
     """Run (or fetch) one (workload, policy) simulation."""
-    key = (workload.name, spec.key if spec else "unthrottled", _config_key(config))
+    key = _memory_key(workload, spec, config)
     if key not in _CACHE:
-        _CACHE[key] = run_workload(workload, spec, config)
+        _CACHE[key] = _RUNNER.run_workload(workload, spec, config)
     return _CACHE[key]
 
 
@@ -61,15 +100,28 @@ def run_matrix(
     """Run a policy x workload grid.
 
     Returns ``{spec_key: {workload_name: RunResult}}``; ``None`` in
-    ``specs`` denotes the unthrottled reference run.
+    ``specs`` denotes the unthrottled reference run. Grid cells missing
+    from the in-memory cache are submitted to the default runner as one
+    flat batch, so a parallel runner fans the whole remainder out at
+    once instead of cell by cell.
     """
     workloads = list(workloads) if workloads is not None else list(ALL_WORKLOADS)
     config = config or default_config()
+    cells = [(spec, w) for spec in specs for w in workloads]
+    missing = [
+        (spec, w)
+        for spec, w in cells
+        if _memory_key(w, spec, config) not in _CACHE
+    ]
+    if missing:
+        points = [RunPoint(w, spec, config) for spec, w in missing]
+        for (spec, w), result in zip(missing, _RUNNER.run_points(points)):
+            _CACHE[_memory_key(w, spec, config)] = result
     out: Dict[str, Dict[str, RunResult]] = {}
     for spec in specs:
         key = spec.key if spec else "unthrottled"
         out[key] = {
-            w.name: run_cached(w, spec, config) for w in workloads
+            w.name: _CACHE[_memory_key(w, spec, config)] for w in workloads
         }
     return out
 

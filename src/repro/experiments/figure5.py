@@ -18,8 +18,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.taxonomy import MigrationKind, PolicySpec, Scope, ThrottleKind
-from repro.experiments.common import default_config
-from repro.sim.engine import SimulationConfig, run_workload
+from repro.experiments.common import default_config, run_cached
+from repro.sim.engine import SimulationConfig
 from repro.sim.results import RunResult
 from repro.sim.workloads import get_workload
 from repro.util.ascii_plot import multi_series
@@ -68,7 +68,7 @@ def compute(
     if not config.record_series:
         config = replace(config, record_series=True)
     workload = get_workload(WORKLOAD_NAME)
-    result: RunResult = run_workload(workload, SPEC, config)
+    result: RunResult = run_cached(workload, SPEC, config)
     series = result.series
     assert series is not None
 

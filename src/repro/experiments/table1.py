@@ -31,6 +31,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments.common import get_default_runner
+from repro.sim.runner import ParallelRunner
 from repro.thermal.coupling import initialize_coupled_steady
 from repro.thermal.layouts import build_mobile_floorplan, mobile_sensor_block
 from repro.thermal.leakage import LeakageModel
@@ -96,6 +98,30 @@ class Table1Row:
     stable: bool
     steady_c: Optional[int]            # Table 1a entries
     range_c: Optional[Tuple[int, int]]  # Table 1b entries
+
+
+@dataclass(frozen=True)
+class Table1Point:
+    """One benchmark measurement's full input — the runner's cache key."""
+
+    benchmark: str
+    duration_s: float
+    dt: float
+    package: ThermalPackage
+    power_scale: float
+    seed: int
+
+
+def _measure_point(point: Table1Point) -> np.ndarray:
+    """Runner task: one benchmark's diode readings (picklable, pure)."""
+    return _simulate_benchmark(
+        point.benchmark,
+        point.duration_s,
+        point.dt,
+        point.package,
+        point.power_scale,
+        point.seed,
+    )
 
 
 def _simulate_benchmark(
@@ -173,17 +199,32 @@ def compute(
     power_scale: float = MOBILE_POWER_SCALE,
     seed: int = DEFAULT_ROOT_SEED,
     benchmarks: Optional[Sequence[str]] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[Table1Row]:
-    """Measure every Table 1 benchmark; returns rows in the paper's order."""
+    """Measure every Table 1 benchmark; returns rows in the paper's order.
+
+    Each benchmark is an independent measurement, so the batch goes
+    through ``runner`` (default: the session's default runner) — with
+    ``jobs > 1`` benchmarks measure concurrently, and with a disk cache
+    re-computing the table only re-measures changed points.
+    """
     names = list(benchmarks) if benchmarks is not None else (
         list(PAPER_STABLE) + list(PAPER_RANGES)
     )
+    runner = runner or get_default_runner()
+    points = [
+        Table1Point(name, duration_s, dt, package, power_scale, seed)
+        for name in names
+    ]
+    all_readings = runner.map_cached(
+        "table1-readings",
+        _measure_point,
+        points,
+        labels=[f"table1/{name}" for name in names],
+    )
     rows = []
-    for name in names:
+    for name, readings in zip(names, all_readings):
         profile = get_benchmark(name)
-        readings = _simulate_benchmark(
-            name, duration_s, dt, package, power_scale, seed
-        )
         settle = readings[len(readings) // 3:]  # discard the ramp-up
         stable = not profile.phase.is_oscillating
         if stable:

@@ -1,0 +1,474 @@
+"""Parallel experiment execution with content-addressed result caching.
+
+Every paper artifact is assembled from independent ``(workload, policy,
+configuration)`` simulation points; nothing in one point depends on
+another. This module exploits that:
+
+* :class:`RunPoint` names one such point;
+* :func:`config_hash` derives a stable content hash for a point — a
+  canonical serialization of the configuration dataclass tree, the
+  policy spec, the workload and the simulator source code version — so
+  the same point hashes identically across processes and sessions, and
+  ANY change to a configuration field, the policy, the workload or the
+  simulation code changes the hash;
+* :class:`ResultCache` is an on-disk store addressed by those hashes:
+  re-running an experiment or sweep only simulates changed points;
+* :class:`ParallelRunner` fans a batch of points out across a process
+  pool (``jobs > 1``) or runs them inline (``jobs = 1``), consults the
+  cache first, and collects results **in input order** so parallel runs
+  are bit-identical to serial ones (the simulation itself is fully
+  deterministic given its seeded configuration).
+
+Observability: the runner keeps a :class:`RunnerStats` ledger with
+per-point timings and cache hit/miss/simulated counters; ``stats.summary()``
+is a one-line report the CLI prints after each command.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import PolicySpec
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.results import RunResult
+from repro.sim.workloads import Workload
+
+#: Bumped whenever the cache value format changes; part of every key, so
+#: stale-format entries are simply never addressed again.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization and hashing
+# ---------------------------------------------------------------------------
+
+
+def canonicalize(obj) -> object:
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Dataclasses become ``["dc", <class name>, [[field, value], ...]]``
+    with fields in declaration order, enums become their class and value,
+    dict keys are sorted; floats pass through (``json.dumps`` emits the
+    shortest round-trip ``repr``, which is stable across processes and
+    platforms for IEEE-754 doubles). The class name is part of the form,
+    so two different dataclasses with equal fields do not alias.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, obj.value]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dc",
+            type(obj).__name__,
+            [
+                [f.name, canonicalize(getattr(obj, f.name))]
+                for f in dataclasses.fields(obj)
+            ],
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, dict):
+        return [
+            [canonicalize(k), canonicalize(v)] for k, v in sorted(obj.items())
+        ]
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for hashing: {obj!r}"
+    )
+
+
+def stable_hash(*objs) -> str:
+    """SHA-256 hex digest of the canonical form of ``objs``.
+
+    Unlike builtin ``hash``, the digest is identical across processes
+    (no ``PYTHONHASHSEED`` dependence) and sessions.
+    """
+    payload = json.dumps(
+        [canonicalize(o) for o in objs],
+        sort_keys=False,
+        separators=(",", ":"),
+        allow_nan=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the installed ``repro`` sources.
+
+    Hashes every ``.py`` file under the package directory (sorted by
+    relative path), so any code change — not just version bumps —
+    invalidates previously cached simulation results. Computed once per
+    process.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One independent simulation: a workload under a policy and config."""
+
+    workload: Workload
+    spec: Optional[PolicySpec]
+    config: SimulationConfig
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for logs and timings."""
+        return f"{self.workload.name}/{self.spec.key if self.spec else 'unthrottled'}"
+
+
+def config_hash(point: RunPoint, version: Optional[str] = None) -> str:
+    """The content address of one simulation point.
+
+    Covers every field of the configuration tree (machine, package,
+    sensor fidelity, seed, ...), the policy spec, the workload's
+    benchmark list, the cache format version and the simulator code
+    version. Equal points hash equal; changing any single ingredient
+    changes the hash.
+    """
+    return stable_hash(
+        "run-point",
+        CACHE_FORMAT_VERSION,
+        version if version is not None else code_version(),
+        point.workload,
+        point.spec,
+        point.config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk cache
+# ---------------------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-dtm``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-dtm"
+
+
+class ResultCache:
+    """Content-addressed pickle store for simulation results.
+
+    Values are written atomically (temp file + ``os.replace``) so
+    concurrent workers and concurrent runner processes can share one
+    cache directory without torn reads.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def get(self, key: str):
+        """The cached value for ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses (and will be
+        overwritten by the next ``put``), never as errors.
+        """
+        path = self._path(key)
+        # pickle.load raises open-ended exception types on corrupt input
+        # (UnpicklingError, ValueError, KeyError, EOFError, ...), so any
+        # failure to read is a miss.
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                n += 1
+        return n
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointReport:
+    """Observability record for one executed (or cache-served) point."""
+
+    label: str
+    key: str
+    cache_hit: bool
+    elapsed_s: float
+
+
+@dataclass
+class RunnerStats:
+    """Counters and per-point timings accumulated across runner calls."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated: int = 0
+    elapsed_s: float = 0.0
+    reports: List[PointReport] = field(default_factory=list)
+
+    @property
+    def points(self) -> int:
+        """Total points served (cache hits + simulations)."""
+        return self.cache_hits + self.simulated
+
+    def summary(self) -> str:
+        """One-line report, e.g. ``48 points: 12 simulated, 36 cached ...``."""
+        return (
+            f"{self.points} points: {self.simulated} simulated, "
+            f"{self.cache_hits} cached in {self.elapsed_s:.2f} s"
+        )
+
+
+def _execute_point(point: RunPoint) -> Tuple[RunResult, float]:
+    """Process-pool task: simulate one point, returning (result, seconds)."""
+    t0 = time.perf_counter()
+    result = run_workload(point.workload, point.spec, point.config)
+    return result, time.perf_counter() - t0
+
+
+def _execute_task(item: Tuple[Callable, object]) -> Tuple[object, float]:
+    """Process-pool task for :meth:`ParallelRunner.map_cached`."""
+    fn, payload = item
+    t0 = time.perf_counter()
+    return fn(payload), time.perf_counter() - t0
+
+
+class ParallelRunner:
+    """Executes batches of independent simulation points.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count. ``1`` (the default) runs every point inline
+        in the current process — no pool is created, preserving the exact
+        serial execution path. ``0`` or ``None`` means "all cores".
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable disk caching.
+    version:
+        Code-version string folded into every cache key; defaults to
+        :func:`code_version`. Tests pin it to make keys independent of
+        the working tree.
+
+    Determinism: each simulation derives every random stream from its own
+    configuration seed, so a point's result is a pure function of the
+    point — worker processes produce bit-identical results to inline
+    execution, and results are collected in input order regardless of
+    completion order.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        version: Optional[str] = None,
+    ):
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1 (or 0 for all cores): {jobs}")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self._version = version
+        self.stats = RunnerStats()
+
+    @property
+    def version(self) -> str:
+        """The code-version string used in this runner's cache keys."""
+        if self._version is None:
+            self._version = code_version()
+        return self._version
+
+    # -- core batch execution ---------------------------------------------
+
+    def run_points(self, points: Sequence[RunPoint]) -> List[RunResult]:
+        """Run (or fetch) every point; results align with ``points``."""
+        keys = [config_hash(p, self.version) for p in points]
+        results: List[Optional[RunResult]] = [None] * len(points)
+        done = [False] * len(points)
+
+        if self.cache is not None:
+            for i, key in enumerate(keys):
+                value = self.cache.get(key)
+                if value is not None:
+                    results[i] = value
+                    done[i] = True
+                    self.stats.cache_hits += 1
+                    self.stats.reports.append(
+                        PointReport(points[i].label, key, True, 0.0)
+                    )
+                else:
+                    self.stats.cache_misses += 1
+
+        # Duplicate points (same key) within one batch simulate once.
+        pending: Dict[str, List[int]] = {}
+        for i, key in enumerate(keys):
+            if not done[i]:
+                pending.setdefault(key, []).append(i)
+
+        executed = self._execute(
+            [(key, points[idxs[0]]) for key, idxs in pending.items()],
+            _execute_point,
+        )
+        for (key, point), (value, elapsed) in executed:
+            for i in pending[key]:
+                results[i] = value
+                done[i] = True
+            self.stats.simulated += 1
+            self.stats.elapsed_s += elapsed
+            self.stats.reports.append(
+                PointReport(point.label, key, False, elapsed)
+            )
+            if self.cache is not None:
+                self.cache.put(key, value)
+        assert all(done)
+        return results  # type: ignore[return-value]
+
+    def run_workload(
+        self,
+        workload: Workload,
+        spec: Optional[PolicySpec],
+        config: Optional[SimulationConfig] = None,
+    ) -> RunResult:
+        """Run (or fetch) a single point."""
+        point = RunPoint(workload, spec, config or SimulationConfig())
+        return self.run_points([point])[0]
+
+    # -- generic cached map -------------------------------------------------
+
+    def map_cached(
+        self,
+        task: str,
+        fn: Callable,
+        payloads: Sequence,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List:
+        """Parallel, cached ``[fn(p) for p in payloads]``.
+
+        For experiment stages that are not ``(workload, policy, config)``
+        shaped (e.g. Table 1's per-benchmark mobile measurements). ``fn``
+        must be a module-level (picklable) pure function and each payload
+        must be canonicalizable; keys cover ``task``, the payload and the
+        code version. Results align with ``payloads``.
+        """
+        labels = list(labels) if labels is not None else [
+            f"{task}[{i}]" for i in range(len(payloads))
+        ]
+        keys = [
+            stable_hash("task", CACHE_FORMAT_VERSION, self.version, task, p)
+            for p in payloads
+        ]
+        results: List[Optional[object]] = [None] * len(payloads)
+        done = [False] * len(payloads)
+        if self.cache is not None:
+            for i, key in enumerate(keys):
+                value = self.cache.get(key)
+                if value is not None:
+                    results[i] = value
+                    done[i] = True
+                    self.stats.cache_hits += 1
+                    self.stats.reports.append(
+                        PointReport(labels[i], key, True, 0.0)
+                    )
+                else:
+                    self.stats.cache_misses += 1
+        todo = [i for i in range(len(payloads)) if not done[i]]
+        executed = self._execute(
+            [(i, (fn, payloads[i])) for i in todo], _execute_task
+        )
+        for (i, _item), (value, elapsed) in executed:
+            results[i] = value
+            done[i] = True
+            self.stats.simulated += 1
+            self.stats.elapsed_s += elapsed
+            self.stats.reports.append(
+                PointReport(labels[i], keys[i], False, elapsed)
+            )
+            if self.cache is not None:
+                self.cache.put(keys[i], value)
+        assert all(done)
+        return results
+
+    # -- execution backends --------------------------------------------------
+
+    def _execute(self, tagged_items: Sequence[Tuple], fn: Callable) -> List:
+        """Run ``fn`` over tagged work items, inline or in a pool.
+
+        Returns ``[(tag_tuple, fn_result), ...]`` in input order. The
+        pool is only spun up when it can actually help (``jobs > 1`` and
+        more than one item); otherwise execution stays in-process.
+        """
+        if not tagged_items:
+            return []
+        items = [item for _tag, item in tagged_items]
+        if self.jobs == 1 or len(items) == 1:
+            outputs = [fn(item) for item in items]
+        else:
+            workers = min(self.jobs, len(items))
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                outputs = list(pool.map(fn, items))
+        return list(zip(tagged_items, outputs))

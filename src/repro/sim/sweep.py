@@ -13,8 +13,9 @@ from dataclasses import dataclass, fields, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.taxonomy import PolicySpec
-from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.engine import SimulationConfig
 from repro.sim.results import RunResult
+from repro.sim.runner import ParallelRunner, RunPoint
 from repro.sim.workloads import Workload
 
 
@@ -25,14 +26,23 @@ class SweepPoint:
     value: object
     results: Dict[str, RunResult]  # workload name -> result
 
+    def _require_results(self) -> None:
+        if not self.results:
+            raise ValueError(
+                f"sweep point {self.value!r} has no workload results; "
+                "averages over an empty result set are undefined"
+            )
+
     @property
     def mean_bips(self) -> float:
         """Average throughput across the point's workloads."""
+        self._require_results()
         return sum(r.bips for r in self.results.values()) / len(self.results)
 
     @property
     def mean_duty_cycle(self) -> float:
         """Average adjusted duty cycle across the point's workloads."""
+        self._require_results()
         return sum(r.duty_cycle for r in self.results.values()) / len(self.results)
 
     @property
@@ -45,14 +55,47 @@ def _config_field_names() -> List[str]:
     return [f.name for f in fields(SimulationConfig)]
 
 
+def _collect(
+    runner: Optional[ParallelRunner],
+    run_points: Sequence[RunPoint],
+    values: Sequence,
+    workloads: Sequence[Workload],
+) -> List[SweepPoint]:
+    """Execute the flattened point grid and fold it back per sweep value.
+
+    The grid is one flat batch through the runner, so with ``jobs > 1``
+    every (value, workload) simulation fans out at once rather than
+    per-value; results come back in input order, keeping the assembled
+    sweep identical to the historical serial loop.
+    """
+    runner = runner or ParallelRunner()
+    results = runner.run_points(run_points)
+    points = []
+    n_w = len(workloads)
+    for i, value in enumerate(values):
+        block = results[i * n_w:(i + 1) * n_w]
+        points.append(
+            SweepPoint(
+                value=value,
+                results={w.name: r for w, r in zip(workloads, block)},
+            )
+        )
+    return points
+
+
 def sweep_config_field(
     field_name: str,
     values: Sequence,
     spec: Optional[PolicySpec],
     workloads: Sequence[Workload],
     base_config: Optional[SimulationConfig] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
     """Vary one configuration field over ``values``.
+
+    ``runner`` selects the execution backend (process pool, disk cache);
+    the default is an uncached in-process :class:`ParallelRunner`, which
+    reproduces the historical serial behaviour exactly.
 
     Example::
 
@@ -72,32 +115,29 @@ def sweep_config_field(
         raise ValueError("at least one sweep value is required")
     if not workloads:
         raise ValueError("at least one workload is required")
-    points = []
-    for value in values:
-        config = replace(base_config, **{field_name: value})
-        results = {
-            w.name: run_workload(w, spec, config) for w in workloads
-        }
-        points.append(SweepPoint(value=value, results=results))
-    return points
+    grid = [
+        RunPoint(w, spec, replace(base_config, **{field_name: value}))
+        for value in values
+        for w in workloads
+    ]
+    return _collect(runner, grid, values, workloads)
 
 
 def sweep_policies(
     specs: Sequence[Optional[PolicySpec]],
     workloads: Sequence[Workload],
     config: Optional[SimulationConfig] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
     """Vary the policy across ``specs`` (``None`` = unthrottled)."""
     config = config or SimulationConfig()
     if not specs:
         raise ValueError("at least one policy spec is required")
-    points = []
-    for spec in specs:
-        results = {w.name: run_workload(w, spec, config) for w in workloads}
-        points.append(
-            SweepPoint(value=spec.key if spec else "unthrottled", results=results)
-        )
-    return points
+    if not workloads:
+        raise ValueError("at least one workload is required")
+    grid = [RunPoint(w, spec, config) for spec in specs for w in workloads]
+    values = [spec.key if spec else "unthrottled" for spec in specs]
+    return _collect(runner, grid, values, workloads)
 
 
 def best_point(

@@ -8,6 +8,8 @@ scoped fixtures share expensive artifacts (traces, reference runs).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.taxonomy import spec_by_key
@@ -18,6 +20,21 @@ from repro.thermal.model import ThermalModel
 from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
 from repro.uarch.config import MachineConfig
 from repro.uarch.tracegen import generate_trace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the on-disk result cache at a per-session temp directory.
+
+    CLI invocations under test would otherwise write to the user's real
+    ``~/.cache/repro-dtm``."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("result-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,236 @@
+"""Tests for the parallel runner and its content-addressed result cache.
+
+The acceptance bar: any experiment run with ``jobs > 1`` must produce
+bit-identical metrics to the serial path, and a warm-cache rerun must
+execute zero simulations.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.taxonomy import ALL_POLICY_SPECS, BASELINE_SPEC, spec_by_key
+from repro.experiments.common import (
+    clear_result_cache,
+    get_default_runner,
+    run_matrix,
+    set_default_runner,
+)
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.runner import (
+    ParallelRunner,
+    ResultCache,
+    RunPoint,
+    canonicalize,
+    code_version,
+    config_hash,
+    stable_hash,
+)
+from repro.sim.sweep import sweep_policies
+from repro.sim.workloads import ALL_WORKLOADS, get_workload
+
+QUICK = SimulationConfig(duration_s=0.01)
+DVFS = spec_by_key("distributed-dvfs-none")
+
+
+def quick_points(n=3, config=QUICK):
+    specs = [BASELINE_SPEC, DVFS, None]
+    return [
+        RunPoint(w, specs[i % len(specs)], config)
+        for i, w in enumerate(ALL_WORKLOADS[:n])
+    ]
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        """Every RunResult field agrees exactly between jobs=1 and jobs=2."""
+        points = quick_points(3)
+        serial = ParallelRunner(jobs=1).run_points(points)
+        parallel = ParallelRunner(jobs=2).run_points(points)
+        assert len(serial) == len(parallel) == len(points)
+        for s, p in zip(serial, parallel):
+            assert dataclasses.asdict(s) == dataclasses.asdict(p)
+
+    def test_parallel_matches_direct_run_workload(self):
+        """The runner introduces no drift versus the plain entry point."""
+        point = quick_points(1)[0]
+        direct = run_workload(point.workload, point.spec, point.config)
+        via_pool = ParallelRunner(jobs=2).run_points(quick_points(2))[0]
+        assert direct == via_pool
+
+    def test_results_ordered_by_input(self):
+        points = quick_points(3)
+        results = ParallelRunner(jobs=3).run_points(points)
+        for point, result in zip(points, results):
+            assert result.workload == point.workload.name
+
+    def test_sweep_parallel_matches_serial(self):
+        """The sweep entry point agrees across backends too."""
+        workloads = [get_workload("workload1"), get_workload("workload7")]
+        specs = [BASELINE_SPEC, DVFS]
+        serial = sweep_policies(specs, workloads, QUICK)
+        parallel = sweep_policies(
+            specs, workloads, QUICK, runner=ParallelRunner(jobs=2)
+        )
+        assert [p.value for p in serial] == [p.value for p in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.results == p.results
+
+    def test_run_matrix_parallel_matches_serial(self):
+        """The experiments' shared grid agrees across backends."""
+        workloads = list(ALL_WORKLOADS[:2])
+        specs = [BASELINE_SPEC, DVFS]
+        clear_result_cache()
+        serial = run_matrix(specs, workloads, QUICK)
+        clear_result_cache()
+        old = set_default_runner(ParallelRunner(jobs=2))
+        try:
+            parallel = run_matrix(specs, workloads, QUICK)
+        finally:
+            set_default_runner(old)
+            clear_result_cache()
+        assert serial == parallel
+
+
+class TestCache:
+    def test_warm_rerun_executes_zero_simulations(self, tmp_path):
+        points = quick_points(2)
+        first = ParallelRunner(jobs=1, cache=ResultCache(tmp_path), version="v")
+        cold = first.run_points(points)
+        assert first.stats.simulated == len(points)
+        assert first.stats.cache_hits == 0
+
+        second = ParallelRunner(jobs=2, cache=ResultCache(tmp_path), version="v")
+        warm = second.run_points(points)
+        assert second.stats.simulated == 0
+        assert second.stats.cache_hits == len(points)
+        assert warm == cold
+
+    def test_config_change_invalidates(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path), version="v")
+        w = get_workload("workload1")
+        runner.run_workload(w, BASELINE_SPEC, QUICK)
+        runner.run_workload(
+            w, BASELINE_SPEC, SimulationConfig(duration_s=0.01, threshold_c=90.0)
+        )
+        assert runner.stats.simulated == 2
+
+    def test_policy_change_invalidates(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path), version="v")
+        w = get_workload("workload1")
+        runner.run_workload(w, BASELINE_SPEC, QUICK)
+        runner.run_workload(w, DVFS, QUICK)
+        runner.run_workload(w, None, QUICK)
+        assert runner.stats.simulated == 3
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        w = get_workload("workload1")
+        a = ParallelRunner(cache=cache, version="v1")
+        a.run_workload(w, BASELINE_SPEC, QUICK)
+        b = ParallelRunner(cache=cache, version="v2")
+        b.run_workload(w, BASELINE_SPEC, QUICK)
+        assert b.stats.simulated == 1
+        assert b.stats.cache_hits == 0
+
+    @pytest.mark.parametrize(
+        "garbage", [b"not a pickle", b"garbage\n", b"", b"\x80\x05trunc"]
+    )
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path)
+        point = quick_points(1)[0]
+        key = config_hash(point, "v")
+        cache.put(key, "placeholder")
+        path = cache._path(key)
+        path.write_bytes(garbage)
+        runner = ParallelRunner(cache=ResultCache(tmp_path), version="v")
+        result = runner.run_points([point])[0]
+        assert result.workload == point.workload.name
+        assert runner.stats.simulated == 1
+        # The corrupt entry was overwritten with the good result.
+        assert pickle.loads(path.read_bytes()) == result
+
+    def test_duplicate_points_simulate_once(self, tmp_path):
+        point = quick_points(1)[0]
+        runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path), version="v")
+        a, b = runner.run_points([point, point])
+        assert a == b
+        assert runner.stats.simulated == 1
+
+    def test_clear_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(cache=cache, version="v")
+        runner.run_points(quick_points(2))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSerialFallback:
+    def test_jobs_1_never_creates_a_pool(self, monkeypatch):
+        """jobs=1 must stay in-process: poison the pool to prove it."""
+        import concurrent.futures
+
+        def boom(*a, **k):
+            raise AssertionError("ProcessPoolExecutor created with jobs=1")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
+        results = ParallelRunner(jobs=1).run_points(quick_points(2))
+        assert len(results) == 2
+
+    def test_single_point_never_creates_a_pool(self, monkeypatch):
+        import concurrent.futures
+
+        def boom(*a, **k):
+            raise AssertionError("pool created for a single point")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
+        results = ParallelRunner(jobs=8).run_points(quick_points(1))
+        assert len(results) == 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=-2)
+
+    def test_jobs_zero_means_all_cores(self):
+        import os
+
+        assert ParallelRunner(jobs=0).jobs == (os.cpu_count() or 1)
+
+
+class TestObservability:
+    def test_per_point_timings_recorded(self, tmp_path):
+        runner = ParallelRunner(cache=ResultCache(tmp_path), version="v")
+        points = quick_points(2)
+        runner.run_points(points)
+        assert len(runner.stats.reports) == 2
+        for report, point in zip(runner.stats.reports, points):
+            assert report.label == point.label
+            assert not report.cache_hit
+            assert report.elapsed_s > 0
+        runner.run_points(points)
+        hits = [r for r in runner.stats.reports if r.cache_hit]
+        assert len(hits) == 2
+        assert "2 simulated" in runner.stats.summary()
+
+    def test_default_runner_is_serial_uncached(self):
+        runner = get_default_runner()
+        assert runner.jobs == 1
+        assert runner.cache is None
+
+
+class TestHashingPrimitives:
+    def test_canonicalize_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_stable_hash_distinguishes_structure(self):
+        assert stable_hash([1, 2]) != stable_hash([2, 1])
+        assert stable_hash("12") != stable_hash(12)
+
+    def test_code_version_is_cached_and_hex(self):
+        v = code_version()
+        assert v == code_version()
+        assert len(v) == 64
+        int(v, 16)

@@ -71,3 +71,30 @@ class TestBestPoint:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             best_point([])
+
+
+class TestEmptySweepPoint:
+    def test_mean_bips_raises_clear_error_on_empty_results(self):
+        from repro.sim.sweep import SweepPoint
+
+        point = SweepPoint(value=84.2, results={})
+        with pytest.raises(ValueError, match="no workload results"):
+            point.mean_bips
+
+    def test_mean_duty_cycle_raises_clear_error_on_empty_results(self):
+        from repro.sim.sweep import SweepPoint
+
+        point = SweepPoint(value="unthrottled", results={})
+        with pytest.raises(ValueError, match="no workload results"):
+            point.mean_duty_cycle
+
+    def test_error_is_not_zero_division(self):
+        from repro.sim.sweep import SweepPoint
+
+        point = SweepPoint(value=1, results={})
+        try:
+            point.mean_bips
+        except ZeroDivisionError:  # pragma: no cover - the old failure mode
+            pytest.fail("empty SweepPoint still raises ZeroDivisionError")
+        except ValueError:
+            pass

@@ -6,6 +6,11 @@ arbitrary temperature histories through the PI controller and policies,
 arbitrary migration permutations through the scheduler.
 """
 
+import dataclasses
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -14,6 +19,10 @@ from hypothesis import strategies as st
 from repro.control.pi import DiscretePIController, design_paper_controller
 from repro.core.migration import figure4_assignment
 from repro.core.stopgo import StopGoPolicy
+from repro.core.taxonomy import ALL_POLICY_SPECS, BASELINE_SPEC
+from repro.sim.engine import SimulationConfig
+from repro.sim.runner import RunPoint, config_hash
+from repro.sim.workloads import ALL_WORKLOADS
 from repro.thermal.floorplan import Block, Floorplan
 from repro.thermal.package import ThermalPackage
 from repro.thermal.rc_network import build_rc_network
@@ -139,3 +148,96 @@ def test_figure4_always_produces_permutation(assignment, temps, seed):
 
     result = figure4_assignment(list(assignment), readings, intensity)
     assert sorted(result) == sorted(assignment)
+
+
+# -- result-cache config hash -------------------------------------------------
+
+#: Scalar SimulationConfig fields with value strategies that always pass
+#: __post_init__ validation and differ from the defaults' types sanely.
+_HASH_FIELD_STRATEGIES = {
+    "duration_s": st.floats(min_value=1e-3, max_value=2.0, allow_nan=False),
+    "threshold_c": st.floats(min_value=50.0, max_value=120.0, allow_nan=False),
+    "seed": st.integers(min_value=0, max_value=2 ** 48),
+    "trace_duration_s": st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+    "migration_period_s": st.floats(min_value=1e-3, max_value=0.1, allow_nan=False),
+    "sensor_noise_std_c": st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    "sensor_quantization_c": st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    "sensor_offset_c": st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+    "hardware_trip": st.booleans(),
+    "power_scale": st.floats(min_value=0.1, max_value=2.0, allow_nan=False),
+    "record_series": st.booleans(),
+}
+
+
+@st.composite
+def config_overrides(draw):
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(_HASH_FIELD_STRATEGIES)),
+            min_size=0,
+            max_size=4,
+            unique=True,
+        )
+    )
+    return {name: draw(_HASH_FIELD_STRATEGIES[name]) for name in names}
+
+
+@settings(max_examples=40, deadline=None)
+@given(config_overrides(), st.integers(min_value=0, max_value=11))
+def test_equal_points_hash_equal(overrides, workload_idx):
+    """Two independently built but equal points share a hash."""
+    workload = ALL_WORKLOADS[workload_idx]
+    a = RunPoint(workload, BASELINE_SPEC, SimulationConfig(**overrides))
+    b = RunPoint(workload, BASELINE_SPEC, SimulationConfig(**overrides))
+    assert config_hash(a, "v") == config_hash(b, "v")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(sorted(_HASH_FIELD_STRATEGIES)),
+    st.data(),
+)
+def test_any_single_field_change_changes_hash(field_name, data):
+    """Perturbing any one configuration field perturbs the hash."""
+    base = SimulationConfig()
+    value = data.draw(_HASH_FIELD_STRATEGIES[field_name])
+    changed = dataclasses.replace(base, **{field_name: value})
+    if changed == base:  # drew the default value; nothing changed
+        return
+    point = RunPoint(ALL_WORKLOADS[0], BASELINE_SPEC, base)
+    mutated = RunPoint(ALL_WORKLOADS[0], BASELINE_SPEC, changed)
+    assert config_hash(point, "v") != config_hash(mutated, "v")
+
+
+def test_workload_and_policy_and_version_all_enter_the_hash():
+    cfg = SimulationConfig()
+    base = config_hash(RunPoint(ALL_WORKLOADS[0], BASELINE_SPEC, cfg), "v")
+    assert base != config_hash(RunPoint(ALL_WORKLOADS[1], BASELINE_SPEC, cfg), "v")
+    assert base != config_hash(RunPoint(ALL_WORKLOADS[0], ALL_POLICY_SPECS[1], cfg), "v")
+    assert base != config_hash(RunPoint(ALL_WORKLOADS[0], None, cfg), "v")
+    assert base != config_hash(RunPoint(ALL_WORKLOADS[0], BASELINE_SPEC, cfg), "v2")
+
+
+def test_config_hash_stable_across_processes():
+    """The hash is content-derived: a fresh interpreter (fresh
+    PYTHONHASHSEED) computes the identical digest."""
+    script = (
+        "from repro.sim.runner import RunPoint, config_hash\n"
+        "from repro.sim.engine import SimulationConfig\n"
+        "from repro.sim.workloads import ALL_WORKLOADS\n"
+        "from repro.core.taxonomy import BASELINE_SPEC\n"
+        "cfg = SimulationConfig(duration_s=0.123, threshold_c=88.5, seed=42)\n"
+        "print(config_hash(RunPoint(ALL_WORKLOADS[2], BASELINE_SPEC, cfg), 'v'))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "12345"
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    cfg = SimulationConfig(duration_s=0.123, threshold_c=88.5, seed=42)
+    here = config_hash(RunPoint(ALL_WORKLOADS[2], BASELINE_SPEC, cfg), "v")
+    assert out.stdout.strip() == here
