@@ -40,6 +40,12 @@ from repro.core.taxonomy import (
     build_policy,
     spec_by_key,
 )
+from repro.obs import (
+    RunEventLog,
+    StepProfiler,
+    configure_logging,
+    get_logger,
+)
 from repro.sim.engine import SimulationConfig, ThermalTimingSimulator, run_workload
 from repro.sim.results import RunResult, TimeSeries
 from repro.sim.runner import ParallelRunner, ResultCache, RunPoint, config_hash
@@ -55,9 +61,11 @@ __all__ = [
     "ParallelRunner",
     "PolicySpec",
     "ResultCache",
+    "RunEventLog",
     "RunPoint",
     "RunResult",
     "Scope",
+    "StepProfiler",
     "SimulationConfig",
     "ThermalTimingSimulator",
     "ThrottleKind",
@@ -66,6 +74,8 @@ __all__ = [
     "__version__",
     "build_policy",
     "config_hash",
+    "configure_logging",
+    "get_logger",
     "get_workload",
     "run_workload",
     "spec_by_key",

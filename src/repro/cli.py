@@ -4,16 +4,26 @@ Exposes the library's main entry points without writing Python::
 
     python -m repro list                      # workloads, policies, benchmarks
     python -m repro run -w workload7 -p distributed-dvfs-sensor -d 0.1
+    python -m repro run -p dvfs-dist-none --events-out events.jsonl --profile
     python -m repro compare -w workload7 -d 0.1 [-o results.json]
     python -m repro --jobs 4 experiment table5 [-d 0.2]
+    python -m repro profile -w workload7 -d 0.05
     python -m repro trace gzip -o gzip.npz [-d 0.25]
     python -m repro cache [--clear]
 
 ``run`` simulates one (workload, policy) pair; ``compare`` runs all 12
 taxonomy cells on one workload and prints the comparison; ``experiment``
-regenerates one of the paper's tables/figures; ``trace`` generates and
-saves a benchmark power trace; ``cache`` inspects or clears the on-disk
-result cache.
+regenerates one of the paper's tables/figures; ``profile`` times the
+engine's step sections per policy; ``trace`` generates and saves a
+benchmark power trace; ``cache`` inspects or clears the on-disk result
+cache.
+
+Observability: ``run --events-out FILE`` exports the run's typed event
+log (DVFS transitions, stop-go trips, migrations, OS ticks, PROCHOT
+trips, emergencies) as JSONL and prints the per-type counts;
+``run --profile`` prints the engine section-timing table; the global
+``--log-level debug|info|warning|error`` flag turns on structured
+logging on stderr.
 
 The global ``--jobs N`` flag fans independent simulations out over N
 worker processes (``--jobs 0`` = all cores), and results are cached
@@ -32,13 +42,22 @@ from typing import List, Optional
 
 from repro.core.taxonomy import ALL_POLICY_SPECS, spec_by_key
 from repro.experiments.common import get_default_runner, set_default_runner
-from repro.sim.engine import SimulationConfig
+from repro.obs import (
+    LOG_LEVELS,
+    RunEventLog,
+    StepProfiler,
+    configure_logging,
+    get_logger,
+)
+from repro.sim.engine import SimulationConfig, run_workload
 from repro.sim.report import comparison_report, save_results
-from repro.sim.runner import ParallelRunner, ResultCache, default_cache_dir
+from repro.sim.runner import ParallelRunner, ResultCache
 from repro.sim.workloads import ALL_WORKLOADS, get_workload
 from repro.uarch.benchmarks import ALL_BENCHMARKS
 from repro.uarch.tracegen import generate_trace
 from repro.uarch.trace_io import save_trace
+
+logger = get_logger(__name__)
 
 #: Experiment modules addressable from the CLI.
 EXPERIMENTS = (
@@ -63,6 +82,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache for this invocation",
     )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="warning",
+        help="structured-logging verbosity on stderr (default: warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads, policies and benchmarks")
@@ -76,6 +99,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("-d", "--duration", type=float, default=0.1,
                      help="silicon seconds to simulate")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--events-out", default=None, metavar="FILE",
+        help="capture the run's typed event log and write it as JSONL",
+    )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="time the engine's step sections and print the table",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="time the engine's step sections per policy"
+    )
+    profile.add_argument("-w", "--workload", default="workload7")
+    profile.add_argument("-d", "--duration", type=float, default=0.05)
+    profile.add_argument(
+        "-p", "--policies", nargs="*", default=None, metavar="KEY",
+        help="policy keys to profile ('none' = unthrottled; default: a "
+             "representative policy from each taxonomy class)",
+    )
 
     compare = sub.add_parser(
         "compare", help="run all 12 policies on one workload"
@@ -127,15 +169,65 @@ def _config(duration: float, seed: Optional[int] = None) -> SimulationConfig:
 def _cmd_run(args) -> int:
     workload = get_workload(args.workload)
     spec = None if args.policy == "none" else spec_by_key(args.policy)
-    result = get_default_runner().run_workload(
-        workload, spec, _config(args.duration, args.seed)
-    )
+    config = _config(args.duration, args.seed)
+    event_log = RunEventLog() if args.events_out else None
+    profiler = StepProfiler() if args.profile else None
+    if event_log is not None or profiler is not None:
+        # Observability capture needs the simulation to actually run, so
+        # instrumented runs execute inline instead of consulting the
+        # result cache (results are identical either way).
+        result = run_workload(
+            workload, spec, config, event_log=event_log, profiler=profiler
+        )
+    else:
+        result = get_default_runner().run_workload(workload, spec, config)
     print(result.summary())
     print(
         f"  instructions={result.instructions:.3e}  "
         f"emergencies={result.emergency_s * 1000:.2f} ms  "
         f"transitions={result.dvfs_transitions}  trips={result.stopgo_trips}"
     )
+    if event_log is not None:
+        path = event_log.write_jsonl(args.events_out)
+        counts = event_log.counts()
+        print(f"\nevents: {len(event_log)} captured -> {path}")
+        for name in sorted(counts):
+            print(f"  {name:20s} {counts[name]}")
+    if profiler is not None:
+        print()
+        print(profiler.render(title="engine sections:"))
+    return 0
+
+
+#: Default policy set for ``repro profile``: one representative from each
+#: taxonomy class (plus the unthrottled reference).
+PROFILE_DEFAULT_POLICIES = (
+    "none",
+    "global-stop-go-none",
+    "distributed-dvfs-none",
+    "distributed-stop-go-counter",
+    "distributed-dvfs-sensor",
+)
+
+
+def _cmd_profile(args) -> int:
+    workload = get_workload(args.workload)
+    keys = (
+        list(args.policies)
+        if args.policies
+        else list(PROFILE_DEFAULT_POLICIES)
+    )
+    config = _config(args.duration)
+    print(
+        f"engine step sections on {workload.name} "
+        f"({args.duration:g} s of silicon time), hottest first:\n"
+    )
+    for key in keys:
+        spec = None if key == "none" else spec_by_key(key)
+        profiler = StepProfiler()
+        run_workload(workload, spec, config, profiler=profiler)
+        print(profiler.render(title=f"{spec.key if spec else 'unthrottled'}:"))
+        print()
     return 0
 
 
@@ -210,10 +302,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}")
+    configure_logging(args.log_level)
+    logger.debug("command=%s argv=%s", args.command, argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
 
     runner = ParallelRunner(
         jobs=args.jobs, cache=None if args.no_cache else ResultCache()
@@ -239,6 +335,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{'off' if runner.cache is None else runner.cache.root})",
                 file=sys.stderr,
             )
+        if stats.section_totals:
+            print(stats.profile_summary(), file=sys.stderr)
 
 
 if __name__ == "__main__":

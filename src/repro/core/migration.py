@@ -19,7 +19,7 @@ thread-core thermal table). The algorithm:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.osmodel.scheduler import Scheduler

@@ -94,10 +94,43 @@ ALL_POLICY_SPECS: Tuple[PolicySpec, ...] = tuple(_spec_order())
 BASELINE_SPEC = PolicySpec(ThrottleKind.STOP_GO, Scope.DISTRIBUTED, MigrationKind.NONE)
 
 
+#: Token spellings accepted by :func:`spec_by_key` beyond the canonical
+#: key (axis order is also free, so ``dvfs-dist-none`` resolves to
+#: ``distributed-dvfs-none``).
+_KEY_ALIASES = {
+    "dist": ("distributed",),
+    "distributed": ("distributed",),
+    "global": ("global",),
+    "dvfs": ("dvfs",),
+    "stopgo": ("stop", "go"),
+    "stop": ("stop",),
+    "go": ("go",),
+    "none": ("none",),
+    "counter": ("counter",),
+    "sensor": ("sensor",),
+}
+
+
 def spec_by_key(key: str) -> PolicySpec:
-    """Look up a spec by its :attr:`PolicySpec.key`."""
+    """Look up a spec by its :attr:`PolicySpec.key`.
+
+    Exact keys always win; otherwise common alias spellings are accepted
+    — axis tokens in any order, ``dist`` for ``distributed``, ``stopgo``
+    for ``stop-go`` — so CLI users can type ``dvfs-dist-none`` for
+    ``distributed-dvfs-none``.
+    """
     for spec in ALL_POLICY_SPECS:
         if spec.key == key:
+            return spec
+    tokens: List[str] = []
+    for token in key.lower().split("-"):
+        expanded = _KEY_ALIASES.get(token)
+        if expanded is None:
+            raise KeyError(f"unknown policy key {key!r}")
+        tokens.extend(expanded)
+    wanted = sorted(tokens)
+    for spec in ALL_POLICY_SPECS:
+        if sorted(spec.key.split("-")) == wanted:
             return spec
     raise KeyError(f"unknown policy key {key!r}")
 

@@ -22,7 +22,7 @@ from repro.core.dvfs import DVFSPolicy
 from repro.core.taxonomy import MigrationKind, PolicySpec, Scope, ThrottleKind
 from repro.experiments.common import default_config, run_cached
 from repro.sim.engine import SimulationConfig, ThermalTimingSimulator
-from repro.sim.workloads import ALL_WORKLOADS, Workload, get_workload
+from repro.sim.workloads import get_workload
 from repro.util.tables import render_table
 
 _DSG = PolicySpec(ThrottleKind.STOP_GO, Scope.DISTRIBUTED, MigrationKind.NONE)

@@ -21,13 +21,16 @@ Two cache layers cooperate:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.taxonomy import ALL_POLICY_SPECS, BASELINE_SPEC, PolicySpec
+from repro.core.taxonomy import BASELINE_SPEC, PolicySpec
+from repro.obs.logconfig import get_logger
 from repro.sim.engine import SimulationConfig
 from repro.sim.results import RunResult
 from repro.sim.runner import ParallelRunner, RunPoint
 from repro.sim.workloads import ALL_WORKLOADS, Workload
+
+logger = get_logger(__name__)
 
 _CACHE: Dict[Tuple, RunResult] = {}
 
@@ -114,6 +117,12 @@ def run_matrix(
         if _memory_key(w, spec, config) not in _CACHE
     ]
     if missing:
+        logger.info(
+            "run_matrix: %d of %d grid cells missing from the in-memory "
+            "cache; submitting to the runner",
+            len(missing),
+            len(cells),
+        )
         points = [RunPoint(w, spec, config) for spec, w in missing]
         for (spec, w), result in zip(missing, _RUNNER.run_points(points)):
             _CACHE[_memory_key(w, spec, config)] = result

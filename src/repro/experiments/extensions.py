@@ -25,9 +25,9 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.taxonomy import MigrationKind, PolicySpec, Scope, ThrottleKind
-from repro.experiments.common import default_config, run_cached
+from repro.experiments.common import default_config
 from repro.sim.engine import SimulationConfig, run_workload
-from repro.sim.workloads import Workload, get_workload
+from repro.sim.workloads import Workload
 from repro.util.tables import render_table
 
 #: Big-big-small-small configuration with the same total core area as

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import default_config, run_matrix
 from repro.experiments.table5 import TABLE5_SPECS
+from repro.obs.logconfig import get_logger
 from repro.sim.engine import SimulationConfig
 from repro.sim.workloads import ALL_WORKLOADS, Workload
 from repro.util.ascii_plot import bar_chart
@@ -40,6 +41,12 @@ def compute(
     """One row per workload with throughput normalised to dist stop-go."""
     config = config or default_config()
     workloads = list(workloads) if workloads is not None else list(ALL_WORKLOADS)
+    get_logger(__name__).info(
+        "figure3: %d workloads x %d policies at %.3g s",
+        len(workloads),
+        len(TABLE5_SPECS),
+        config.duration_s,
+    )
     grid = run_matrix(list(TABLE5_SPECS), workloads, config)
     baseline = grid["distributed-stop-go-none"]
     rows = []

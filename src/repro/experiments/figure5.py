@@ -13,7 +13,7 @@ resident thread's profile.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.common import get_default_runner
+from repro.obs.logconfig import get_logger
 from repro.sim.runner import ParallelRunner
 from repro.thermal.coupling import initialize_coupled_steady
 from repro.thermal.layouts import build_mobile_floorplan, mobile_sensor_block
@@ -212,6 +213,12 @@ def compute(
         list(PAPER_STABLE) + list(PAPER_RANGES)
     )
     runner = runner or get_default_runner()
+    get_logger(__name__).info(
+        "table1: measuring %d benchmarks for %.0f s at dt=%.3g",
+        len(names),
+        duration_s,
+        dt,
+    )
     points = [
         Table1Point(name, duration_s, dt, package, power_scale, seed)
         for name in names

@@ -12,7 +12,7 @@ Paper values::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.taxonomy import (
     ALL_POLICY_SPECS,

@@ -1,0 +1,54 @@
+"""Run observability: event capture, step profiling, structured logging.
+
+Three independent, strictly opt-in instruments:
+
+* :class:`RunEventLog` — typed, timestamped engine events (DVFS
+  transitions, stop-go trips/thaws, migrations, OS ticks, PROCHOT trips,
+  emergency enter/exit) with JSONL export and per-run summaries;
+* :class:`StepProfiler` — wall-time accounting of the engine step's
+  named sections (sensors / throttle / power / thermal-step / os-tick);
+* :func:`configure_logging` / :func:`get_logger` — the package's
+  structured :mod:`logging` conventions.
+
+None of them perturb the simulation: runs with observability off are
+byte-identical to the pre-observability engine, and nothing here enters
+the result-cache key.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventLogSummary,
+    RunEvent,
+    RunEventLog,
+    read_jsonl,
+)
+from repro.obs.logconfig import (
+    LOG_LEVELS,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.profiler import (
+    ENGINE_SECTIONS,
+    NULL_PROFILER,
+    NullProfiler,
+    StepProfiler,
+    render_sections,
+    sorted_sections,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "ENGINE_SECTIONS",
+    "EventLogSummary",
+    "LOG_LEVELS",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "RunEvent",
+    "RunEventLog",
+    "StepProfiler",
+    "configure_logging",
+    "get_logger",
+    "read_jsonl",
+    "render_sections",
+    "sorted_sections",
+]

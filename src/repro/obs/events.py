@@ -1,0 +1,165 @@
+"""Typed run-event capture.
+
+The paper's headline claims are really claims about *events* — DVFS
+transitions accepted by the PLL, stop-go trips and thaws, migration
+rounds, hardware-failsafe activations, thermal emergencies.  The engine
+only reports end-of-run scalar counts; :class:`RunEventLog` records the
+events themselves, timestamped in silicon time, so a run can be replayed,
+plotted, or diffed after the fact.
+
+Capture is strictly opt-in and side-effect free: the engine holds an
+``Optional[RunEventLog]`` and emits only when one was supplied, so runs
+without a log are byte-identical to the pre-observability engine and the
+result-cache key (which covers only :class:`~repro.sim.engine.SimulationConfig`,
+the policy and the workload) is untouched.
+
+Event schema (one JSON object per line in the JSONL export)::
+
+    {"t": <silicon seconds>, "type": <event type>, "core": <int|null>, ...data}
+
+Event types and their extra data fields:
+
+===================  ========================================================
+``dvfs-transition``  Accepted PLL re-lock: ``from``, ``to``, ``penalty_s``.
+``dvfs-rejected``    Requested change below the 2% minimum: ``requested``,
+                     ``current``.
+``stopgo-trip``      Thermal interrupt fired (one event per trip counted by
+                     the policy): ``cores`` newly frozen by the trip.
+``stopgo-thaw``      A core left its freeze interval and resumed.
+``os-tick``          The 10 ms OS timer fired.
+``migration-decision``  The migration policy proposed a reassignment:
+                     ``assignment`` (core -> pid).
+``migration``        One executed process move: ``pid`` moved onto ``core``.
+``prochot-trip``     The independent hardware overtemperature circuit
+                     fired: ``temp_c``.
+``emergency-enter``  True silicon temperature crossed above the emergency
+                     envelope: ``temp_c``.
+``emergency-exit``   Temperature fell back inside the envelope: ``temp_c``.
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Every event type the engine can emit, in rough lifecycle order.
+EVENT_TYPES = (
+    "dvfs-transition",
+    "dvfs-rejected",
+    "stopgo-trip",
+    "stopgo-thaw",
+    "os-tick",
+    "migration-decision",
+    "migration",
+    "prochot-trip",
+    "emergency-enter",
+    "emergency-exit",
+)
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One timestamped engine event."""
+
+    time_s: float
+    type: str
+    core: Optional[int] = None
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """The event as one compact JSON line (the JSONL record)."""
+        record = {"t": self.time_s, "type": self.type, "core": self.core}
+        record.update(self.data)
+        return json.dumps(record, sort_keys=False, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class EventLogSummary:
+    """Per-run roll-up attached to :class:`~repro.sim.results.RunResult`."""
+
+    total: int
+    counts: Dict[str, int]
+
+    def count(self, event_type: str) -> int:
+        """How many events of ``event_type`` the run emitted."""
+        return self.counts.get(event_type, 0)
+
+
+class RunEventLog:
+    """An append-only, in-order log of engine events for one run.
+
+    Pass an instance to :class:`~repro.sim.engine.ThermalTimingSimulator`
+    (or :func:`~repro.sim.engine.run_workload`) to capture; afterwards
+    iterate, filter by type, summarise, or export as JSONL.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[RunEvent] = []
+        self._counts: Dict[str, int] = {}
+
+    # -- capture -----------------------------------------------------------
+
+    def emit(
+        self,
+        time_s: float,
+        event_type: str,
+        core: Optional[int] = None,
+        **data: object,
+    ) -> None:
+        """Append one event (engine-facing entry point)."""
+        if event_type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {event_type!r}; known: {EVENT_TYPES}"
+            )
+        self.events.append(RunEvent(time_s, event_type, core, data))
+        self._counts[event_type] = self._counts.get(event_type, 0) + 1
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[RunEvent]:
+        return iter(self.events)
+
+    def count(self, event_type: str) -> int:
+        """Number of events of one type."""
+        return self._counts.get(event_type, 0)
+
+    def of_type(self, event_type: str) -> List[RunEvent]:
+        """All events of one type, in emission order."""
+        return [e for e in self.events if e.type == event_type]
+
+    def counts(self) -> Dict[str, int]:
+        """Per-type counts for every type seen."""
+        return dict(self._counts)
+
+    def summary(self) -> EventLogSummary:
+        """The roll-up the engine attaches to the run's result."""
+        return EventLogSummary(total=len(self.events), counts=self.counts())
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The whole log as JSON-lines text (one event per line)."""
+        return "".join(e.to_json() + "\n" for e in self.events)
+
+    def write_jsonl(self, path: os.PathLike) -> str:
+        """Write the log to ``path`` as JSONL; returns the path written."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+        return os.fspath(path)
+
+
+def read_jsonl(path: os.PathLike) -> List[Dict[str, object]]:
+    """Parse an exported event log back into a list of records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

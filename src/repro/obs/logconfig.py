@@ -1,0 +1,66 @@
+"""Structured logging conventions for the ``repro`` package.
+
+Every module logs through a child of the ``repro`` root logger
+(``get_logger(__name__)``), so one call to :func:`configure_logging`
+controls the whole package without touching other libraries' handlers.
+
+Conventions:
+
+* ``DEBUG`` — per-point / per-event detail (cache hits, migration rounds,
+  warm-start calibration);
+* ``INFO`` — one line per user-visible unit of work (a batch of
+  simulation points, an experiment table);
+* ``WARNING`` and above — something the user should act on.
+
+The default level is ``WARNING`` so library users and the golden-file
+tests see no output unless they ask for it (CLI flag ``--log-level``).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+#: One line per record: time, level, dotted module, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s :: %(message)s"
+LOG_DATEFMT = "%H:%M:%S"
+
+#: Accepted ``--log-level`` choices, least to most verbose.
+LOG_LEVELS = ("error", "warning", "info", "debug")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The package logger for a module (``repro.*`` dotted name).
+
+    ``name`` is normally ``__name__``; names outside the ``repro``
+    namespace are parented under it so one configuration call governs
+    everything.
+    """
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "warning", stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Install a stream handler on the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the previously installed handler
+    rather than stacking a second one. Returns the configured root
+    logger. Logs go to ``stderr`` by default so they never corrupt
+    machine-readable stdout (tables, JSON, JSONL exports).
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}: {level!r}")
+    root = logging.getLogger("repro")
+    for handler in [h for h in root.handlers if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, datefmt=LOG_DATEFMT))
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return root

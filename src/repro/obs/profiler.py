@@ -1,0 +1,135 @@
+"""Lightweight named-section wall-time profiler for the engine step loop.
+
+The engine's step has five well-defined phases — sensor reads, throttle
+policy evaluation, power assembly, the thermal solve, and the 10 ms OS
+tick — and performance work needs to know which of them dominates for
+which policy class (stop-go runs are thermal-solve bound; sensor-based
+migration adds OS-tick cost).  :class:`StepProfiler` accumulates
+wall-clock time per named section with one ``perf_counter`` pair per
+entry and no allocation on the hot path.
+
+Profiling reads the clock but never feeds anything back into the
+simulation, so profiled runs produce byte-identical results to
+unprofiled ones; when no profiler is supplied the engine uses
+:data:`NULL_PROFILER`, whose sections are reusable no-ops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: The engine's canonical section names, in step order.
+ENGINE_SECTIONS = ("sensors", "throttle", "power", "thermal-step", "os-tick")
+
+
+class _Section:
+    """Context manager timing one named section (reused across entries)."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "StepProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler._record(self._name, time.perf_counter() - self._t0)
+
+
+class StepProfiler:
+    """Accumulates wall time and entry counts per named section."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._sections: Dict[str, _Section] = {}
+
+    def _record(self, name: str, elapsed: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def section(self, name: str) -> _Section:
+        """A context manager charging its body's wall time to ``name``."""
+        section = self._sections.get(name)
+        if section is None:
+            section = self._sections[name] = _Section(self, name)
+        return section
+
+    # -- results -----------------------------------------------------------
+
+    def totals(self) -> Dict[str, float]:
+        """Accumulated seconds per section."""
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of entries per section."""
+        return dict(self._counts)
+
+    @property
+    def total_s(self) -> float:
+        """Total profiled wall time across all sections."""
+        return sum(self._totals.values())
+
+    def merge(self, totals: Dict[str, float]) -> None:
+        """Fold another run's section totals into this profiler."""
+        for name, elapsed in totals.items():
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def render(self, title: Optional[str] = None) -> str:
+        """A small fixed-width table of sections, hottest first."""
+        return render_sections(self._totals, title=title)
+
+
+class _NullSection:
+    """No-op section used when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class NullProfiler:
+    """Drop-in profiler that measures nothing (observability off)."""
+
+    _SECTION = _NullSection()
+
+    def section(self, name: str) -> _NullSection:
+        return self._SECTION
+
+    def totals(self) -> Dict[str, float]:
+        return {}
+
+
+#: Shared no-op instance the engine falls back to.
+NULL_PROFILER = NullProfiler()
+
+
+def sorted_sections(totals: Dict[str, float]) -> List[Tuple[str, float]]:
+    """Sections sorted hottest-first."""
+    return sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
+
+
+def render_sections(totals: Dict[str, float], title: Optional[str] = None) -> str:
+    """Render section totals as an aligned text table, hottest first."""
+    lines = []
+    if title:
+        lines.append(title)
+    grand = sum(totals.values())
+    if not totals:
+        lines.append("  (no profiled sections)")
+        return "\n".join(lines)
+    width = max(len(name) for name in totals)
+    for name, elapsed in sorted_sections(totals):
+        share = elapsed / grand if grand > 0 else 0.0
+        lines.append(f"  {name:{width}s}  {elapsed * 1000:9.2f} ms  {share:6.1%}")
+    lines.append(f"  {'total':{width}s}  {grand * 1000:9.2f} ms")
+    return "\n".join(lines)

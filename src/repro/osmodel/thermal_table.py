@@ -18,7 +18,7 @@ observed, *normalised* thermal trends per (thread, core, hotspot unit):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Minimum frequency scale used when normalising (guards the division).

@@ -34,12 +34,15 @@ from repro.core.migration import MigrationContext, MigrationPolicy
 from repro.core.policy import DEFAULT_THRESHOLD_C, ThrottlePolicy
 from repro.core.sensor_migration import SensorBasedMigration
 from repro.core.stopgo import StopGoPolicy
-from repro.core.taxonomy import MigrationKind, PolicySpec, build_policy
+from repro.core.taxonomy import PolicySpec, build_policy
 from repro.osmodel.process import Process
 from repro.osmodel.scheduler import Scheduler
 from repro.osmodel.thermal_table import ThreadCoreThermalTable
+from repro.obs.events import RunEventLog
+from repro.obs.logconfig import get_logger
+from repro.obs.profiler import NULL_PROFILER, StepProfiler
 from repro.osmodel.timer import DEFAULT_MIGRATION_PERIOD_S, PeriodicTimer
-from repro.sim.metrics import MetricsAccumulator
+from repro.sim.metrics import EMERGENCY_TOLERANCE_C, MetricsAccumulator
 from repro.sim.results import RunResult, TimeSeries
 from repro.sim.workloads import Workload
 from repro.thermal.layouts import (
@@ -113,6 +116,21 @@ class SimulationConfig:
     def __post_init__(self):
         if not self.duration_s > 0:
             raise ValueError(f"duration_s must be positive: {self.duration_s}")
+        if not self.trace_duration_s > 0:
+            raise ValueError(
+                f"trace_duration_s must be positive: {self.trace_duration_s}"
+            )
+        if not self.power_scale > 0:
+            raise ValueError(f"power_scale must be positive: {self.power_scale}")
+        if not self.hardware_trip_freeze_s > 0:
+            raise ValueError(
+                f"hardware_trip_freeze_s must be positive: "
+                f"{self.hardware_trip_freeze_s}"
+            )
+        if not self.migration_period_s > 0:
+            raise ValueError(
+                f"migration_period_s must be positive: {self.migration_period_s}"
+            )
         if self.warm_start_fraction is not None and not (
             0.0 <= self.warm_start_fraction <= 1.0
         ):
@@ -123,16 +141,33 @@ class SimulationConfig:
             raise ValueError("sensor fidelity parameters must be >= 0")
 
 
+logger = get_logger(__name__)
+
+
 class ThermalTimingSimulator:
-    """Runs one workload under one DTM policy."""
+    """Runs one workload under one DTM policy.
+
+    Observability is strictly opt-in: pass an
+    :class:`~repro.obs.events.RunEventLog` to capture typed, timestamped
+    engine events (its summary is attached to the returned
+    :class:`~repro.sim.results.RunResult`), and/or a
+    :class:`~repro.obs.profiler.StepProfiler` to time the step loop's
+    named sections. Neither feeds anything back into the simulation, so
+    runs with both off are byte-identical to instrumented ones.
+    """
 
     def __init__(
         self,
         benchmarks: Sequence[str],
         spec: Optional[PolicySpec],
         config: Optional[SimulationConfig] = None,
+        *,
+        event_log: Optional[RunEventLog] = None,
+        profiler: Optional[StepProfiler] = None,
     ):
         self.config = config or SimulationConfig()
+        self.event_log = event_log
+        self.profiler = profiler
         machine = self.config.machine
         if len(benchmarks) != machine.n_cores:
             raise ValueError(
@@ -226,6 +261,11 @@ class ThermalTimingSimulator:
         self.prochot_events = 0
         self._sensor_rng = RngStream(self.config.seed, "sensors", *self.benchmarks)
         self._window = _TrendWindow(self.n_cores, len(HOTSPOT_UNITS))
+        #: Metrics of the most recent :meth:`run` (set when it completes).
+        self.metrics: Optional[MetricsAccumulator] = None
+        # Event-capture shadow state (never read by the simulation).
+        self._prev_sg_frozen = [False] * self.n_cores
+        self._in_emergency = False
         # Migration-trigger state: each core's critical hotspot at the last
         # considered migration round, and when that round happened.
         self._last_critical: Optional[List[str]] = None
@@ -319,22 +359,37 @@ class ThermalTimingSimulator:
         dvfs = isinstance(self.throttle, DVFSPolicy)
         stopgo = isinstance(self.throttle, StopGoPolicy)
         clock = cfg.machine.clock_hz
+        events = self.event_log
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        logger.debug(
+            "run start: workload=%s policy=%s steps=%d dt=%.3g",
+            "-".join(self.benchmarks),
+            self.spec.name if self.spec else "unthrottled",
+            n_steps,
+            dt,
+        )
 
         series = _SeriesRecorder(n_steps, self.n_cores) if cfg.record_series else None
 
         for step in range(n_steps):
             t = step * dt
-            readings = self._read_sensors()
+            with prof.section("sensors"):
+                readings = self._read_sensors()
 
             # Outer loop: OS timer + migration.
             if self._migration_timer.fire_due(t):
-                self._os_tick(t, readings)
+                with prof.section("os-tick"):
+                    self._os_tick(t, readings)
 
             # Inner loop: throttling.
-            if self.throttle is None:
-                scales = [1.0] * self.n_cores
-            else:
-                scales = self.throttle.scales(t, readings)
+            prev_trips = self.throttle.trip_count if stopgo else 0
+            with prof.section("throttle"):
+                if self.throttle is None:
+                    scales = [1.0] * self.n_cores
+                else:
+                    scales = self.throttle.scales(t, readings)
+            if events is not None and stopgo:
+                self._emit_stopgo_events(events, t, scales, prev_trips)
 
             # Independent hardware overtemperature trip (PROCHOT-style):
             # reads true silicon, not the (possibly miscalibrated) digital
@@ -347,6 +402,13 @@ class ThermalTimingSimulator:
                     self._prochot_until = t + cfg.hardware_trip_freeze_s
                     self.prochot_events += 1
                     prochot_active = True
+                    if events is not None:
+                        events.emit(
+                            t,
+                            "prochot-trip",
+                            temp_c=float(self.thermal.max_block_temperature()),
+                        )
+                    logger.debug("prochot trip #%d at t=%.6f", self.prochot_events, t)
 
             power = np.zeros(n_blocks)
             core_work = [0.0] * self.n_cores
@@ -356,71 +418,113 @@ class ThermalTimingSimulator:
             leak_mult = np.ones(n_blocks)
             total_l2_act = 0.0
 
-            for c in range(self.n_cores):
-                proc = self.scheduler.process_on(c)
-                trace = proc.trace
-                idx = trace.sample_index(proc.position)
+            with prof.section("power"):
+                for c in range(self.n_cores):
+                    proc = self.scheduler.process_on(c)
+                    trace = proc.trace
+                    idx = trace.sample_index(proc.position)
 
-                if dvfs:
-                    penalty = self.actuators[c].request(scales[c])
-                    if penalty > 0:
-                        self._stall_until[c] = max(self._stall_until[c], t) + penalty
-                    s = self.actuators[c].current_scale
-                    frozen = False
-                else:
-                    s = scales[c]
-                    frozen = s == 0.0
-                if prochot_active:
-                    frozen = True  # hardware gate overrides everything
+                    if dvfs:
+                        actuator = self.actuators[c]
+                        prev_scale = actuator.current_scale
+                        prev_transitions = actuator.transitions
+                        penalty = actuator.request(scales[c])
+                        if penalty > 0:
+                            self._stall_until[c] = (
+                                max(self._stall_until[c], t) + penalty
+                            )
+                        s = actuator.current_scale
+                        frozen = False
+                        if events is not None:
+                            if actuator.transitions > prev_transitions:
+                                events.emit(
+                                    t,
+                                    "dvfs-transition",
+                                    c,
+                                    **{
+                                        "from": prev_scale,
+                                        "to": s,
+                                        "penalty_s": penalty,
+                                    },
+                                )
+                            elif scales[c] != prev_scale:
+                                events.emit(
+                                    t,
+                                    "dvfs-rejected",
+                                    c,
+                                    requested=scales[c],
+                                    current=prev_scale,
+                                )
+                    else:
+                        s = scales[c]
+                        frozen = s == 0.0
+                    if prochot_active:
+                        frozen = True  # hardware gate overrides everything
 
-                stalled = min(max(self._stall_until[c] - t, 0.0), dt)
-                active = 0.0 if frozen else dt - stalled
-                work = s * active  # full-speed-equivalent seconds
+                    stalled = min(max(self._stall_until[c] - t, 0.0), dt)
+                    active = 0.0 if frozen else dt - stalled
+                    work = s * active  # full-speed-equivalent seconds
 
-                # Dynamic power: cubic DVFS scaling x active fraction.
-                dyn_mult = (s ** 3) * (active / dt)
-                power[self._core_unit_idx[c]] += trace.unit_power[idx] * dyn_mult
+                    # Dynamic power: cubic DVFS scaling x active fraction.
+                    dyn_mult = (s ** 3) * (active / dt)
+                    power[self._core_unit_idx[c]] += trace.unit_power[idx] * dyn_mult
 
-                # Shared structures driven by this core's traffic.
-                l2_act = trace.l2_activity[idx] * s * (active / dt)
-                total_l2_act += l2_act
-                power[self._l2_idx[c]] += cfg.power_scale * L2_BANK_PEAK_W * (
-                    L2_IDLE_FRACTION + (1 - L2_IDLE_FRACTION) * l2_act
+                    # Shared structures driven by this core's traffic.
+                    l2_act = trace.l2_activity[idx] * s * (active / dt)
+                    total_l2_act += l2_act
+                    power[self._l2_idx[c]] += cfg.power_scale * L2_BANK_PEAK_W * (
+                        L2_IDLE_FRACTION + (1 - L2_IDLE_FRACTION) * l2_act
+                    )
+
+                    # Leakage voltage scaling: DVFS lowers Vdd with frequency;
+                    # stop-go keeps nominal voltage (state is preserved).
+                    if dvfs:
+                        leak_mult[self._core_unit_idx[c]] = s ** 2
+
+                    # Progress.
+                    adv = work / dt  # fraction of a full-speed sample
+                    instr = trace.instructions[idx] * adv
+                    proc.counters.update(
+                        instructions=instr,
+                        int_rf_accesses=trace.int_rf_accesses[idx] * adv,
+                        fp_rf_accesses=trace.fp_rf_accesses[idx] * adv,
+                        nominal_cycles=dt * clock,
+                        frequency_scale=work / dt,
+                    )
+                    proc.advance(adv)
+
+                    core_work[c] = work
+                    # Overhead stalls (PLL re-locks, migration context
+                    # switches) are charged even while the core is frozen:
+                    # the penalty window still elapses during a stop-go or
+                    # PROCHOT freeze, and dropping the overlap undercounts
+                    # the overhead ledger.
+                    core_stall[c] = stalled
+                    core_frozen[c] = frozen
+                    core_instr[c] = instr
+
+                power[self._xbar_idx] += cfg.power_scale * XBAR_PEAK_W * (
+                    XBAR_IDLE_FRACTION
+                    + (1 - XBAR_IDLE_FRACTION) * min(1.0, total_l2_act / self.n_cores)
+                )
+                power += (
+                    self.leakage.power(self.thermal.temperatures[:n_blocks])
+                    * leak_mult[:n_blocks]
                 )
 
-                # Leakage voltage scaling: DVFS lowers Vdd with frequency;
-                # stop-go keeps nominal voltage (state is preserved).
-                if dvfs:
-                    leak_mult[self._core_unit_idx[c]] = s ** 2
-
-                # Progress.
-                adv = work / dt  # fraction of a full-speed sample
-                instr = trace.instructions[idx] * adv
-                proc.counters.update(
-                    instructions=instr,
-                    int_rf_accesses=trace.int_rf_accesses[idx] * adv,
-                    fp_rf_accesses=trace.fp_rf_accesses[idx] * adv,
-                    nominal_cycles=dt * clock,
-                    frequency_scale=work / dt,
-                )
-                proc.advance(adv)
-
-                core_work[c] = work
-                core_stall[c] = 0.0 if frozen else stalled
-                core_frozen[c] = frozen
-                core_instr[c] = instr
-
-            power[self._xbar_idx] += cfg.power_scale * XBAR_PEAK_W * (
-                XBAR_IDLE_FRACTION
-                + (1 - XBAR_IDLE_FRACTION) * min(1.0, total_l2_act / self.n_cores)
-            )
-            power += self.leakage.power(self.thermal.temperatures[:n_blocks]) * leak_mult[:n_blocks]
-
-            self.thermal.step(power)
+            with prof.section("thermal-step"):
+                self.thermal.step(power)
             max_temp = self.thermal.max_block_temperature()
             metrics.record_step(
                 dt, core_work, core_stall, core_frozen, core_instr, max_temp
             )
+            if events is not None:
+                emergency = max_temp > cfg.threshold_c + EMERGENCY_TOLERANCE_C
+                if emergency and not self._in_emergency:
+                    events.emit(t, "emergency-enter", temp_c=float(max_temp))
+                elif self._in_emergency and not emergency:
+                    events.emit(t, "emergency-exit", temp_c=float(max_temp))
+                self._in_emergency = emergency
             self._window.accumulate(readings, dt)
 
             if series is not None:
@@ -429,7 +533,42 @@ class ThermalTimingSimulator:
                 ]
                 series.record(step, t, eff_scales, readings, self.scheduler.assignment)
 
+        self.metrics = metrics
+        logger.debug(
+            "run end: bips=%.3f duty=%.3f migrations=%d",
+            metrics.bips,
+            metrics.duty_cycle,
+            self.scheduler.total_migrations,
+        )
         return self._build_result(metrics, series)
+
+    def _emit_stopgo_events(
+        self,
+        events: RunEventLog,
+        t: float,
+        scales: Sequence[float],
+        prev_trips: int,
+    ) -> None:
+        """Emit trip/thaw events from this step's stop-go scale vector.
+
+        One ``stopgo-trip`` event is emitted per trip the policy counted
+        this step (so the event count always equals
+        ``RunResult.stopgo_trips``), annotated with the cores that
+        entered a freeze; ``stopgo-thaw`` marks each core resuming.
+        """
+        frozen_now = [s == 0.0 for s in scales]
+        newly_frozen = [
+            c
+            for c in range(self.n_cores)
+            if frozen_now[c] and not self._prev_sg_frozen[c]
+        ]
+        trips = self.throttle.trip_count - prev_trips
+        for _ in range(trips):
+            events.emit(t, "stopgo-trip", cores=newly_frozen)
+        for c in range(self.n_cores):
+            if self._prev_sg_frozen[c] and not frozen_now[c]:
+                events.emit(t, "stopgo-thaw", c)
+        self._prev_sg_frozen = frozen_now
 
     def _migration_triggered(self, t: float, readings: List[Dict[str, float]]) -> bool:
         """Whether a migration round should be considered at this tick.
@@ -475,6 +614,9 @@ class ThermalTimingSimulator:
 
     def _os_tick(self, t: float, readings: List[Dict[str, float]]) -> None:
         """Timer interrupt: fold trend windows, maybe migrate."""
+        events = self.event_log
+        if events is not None:
+            events.emit(t, "os-tick")
         window = self._window
         if self.throttle is not None and window.duration_s > 0:
             exponent = 3.0 if isinstance(self.throttle, DVFSPolicy) else 1.0
@@ -512,12 +654,25 @@ class ThermalTimingSimulator:
             )
             new_assignment = self.migration.decide(ctx)
             if new_assignment is not None:
+                if events is not None:
+                    events.emit(
+                        t, "migration-decision", assignment=list(new_assignment)
+                    )
                 record = self.scheduler.apply_assignment(new_assignment, t)
                 if record is not None:
                     penalty = self.config.machine.migration_penalty_s
                     for c in record.cores_involved:
                         self._stall_until[c] = max(self._stall_until[c], t) + penalty
                     self.throttle.on_migration(record.cores_involved, t)
+                    if events is not None:
+                        for pid in sorted(record.moves):
+                            events.emit(t, "migration", record.moves[pid], pid=pid)
+                    logger.debug(
+                        "migration at t=%.6f: moves=%s cores=%s",
+                        t,
+                        record.moves,
+                        record.cores_involved,
+                    )
 
         # Fresh observation window for the next interval.
         window.reset()
@@ -550,6 +705,9 @@ class ThermalTimingSimulator:
             stopgo_trips=stopgo_trips,
             prochot_events=self.prochot_events,
             series=series.finish(self.scheduler) if series is not None else None,
+            events=(
+                self.event_log.summary() if self.event_log is not None else None
+            ),
         )
 
 
@@ -591,12 +749,18 @@ class _TrendWindow:
         return float(self._sum[core, unit_idx] / self._steps)
 
     def gradient(self, core: int, unit_idx: int) -> float:
-        """Temperature slope (deg C/s) over the window."""
+        """Temperature slope (deg C/s) over the window.
+
+        With ``n`` samples at spacing ``dt``, the first and last samples
+        are ``(n - 1) * dt`` apart — dividing the rise by the full window
+        duration ``n * dt`` would bias every observed dT/dt low by a
+        factor ``(n - 1) / n``.
+        """
         if self._steps < 2 or self.duration_s <= 0:
             return 0.0
+        span_s = self.duration_s * (self._steps - 1) / self._steps
         return float(
-            (self._last[core, unit_idx] - self._first[core, unit_idx])
-            / self.duration_s
+            (self._last[core, unit_idx] - self._first[core, unit_idx]) / span_s
         )
 
     def chip_min_avg(self) -> float:
@@ -648,8 +812,17 @@ def run_workload(
     workload: Workload,
     spec: Optional[PolicySpec],
     config: Optional[SimulationConfig] = None,
+    *,
+    event_log: Optional[RunEventLog] = None,
+    profiler: Optional[StepProfiler] = None,
 ) -> RunResult:
-    """Convenience: simulate one Table 4 workload under one policy."""
-    sim = ThermalTimingSimulator(workload.benchmarks, spec, config)
+    """Convenience: simulate one Table 4 workload under one policy.
+
+    ``event_log`` and ``profiler`` opt into observability capture; see
+    :class:`ThermalTimingSimulator`.
+    """
+    sim = ThermalTimingSimulator(
+        workload.benchmarks, spec, config, event_log=event_log, profiler=profiler
+    )
     result = sim.run()
     return replace(result, workload=workload.name)

@@ -7,6 +7,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.events import EventLogSummary
+
 
 @dataclass
 class TimeSeries:
@@ -53,6 +55,11 @@ class RunResult:
     #: failsafe is enabled in the configuration).
     prochot_events: int = 0
     series: Optional[TimeSeries] = None
+    #: Per-type event counts when the run was executed with a
+    #: :class:`~repro.obs.events.RunEventLog` attached; ``None`` (and
+    #: absent from every comparison of interest) when observability is
+    #: off, keeping uninstrumented results identical to the seed.
+    events: Optional[EventLogSummary] = None
 
     @property
     def had_emergency(self) -> bool:

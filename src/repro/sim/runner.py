@@ -40,9 +40,13 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.taxonomy import PolicySpec
+from repro.obs.logconfig import get_logger
+from repro.obs.profiler import StepProfiler, render_sections
 from repro.sim.engine import SimulationConfig, run_workload
 from repro.sim.results import RunResult
 from repro.sim.workloads import Workload
+
+logger = get_logger(__name__)
 
 #: Bumped whenever the cache value format changes; part of every key, so
 #: stale-format entries are simply never addressed again.
@@ -259,6 +263,10 @@ class PointReport:
     key: str
     cache_hit: bool
     elapsed_s: float
+    #: Engine step-profiler section totals (seconds) when the runner was
+    #: constructed with ``profile=True`` and the point was simulated
+    #: (cache hits carry no sections).
+    sections: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -270,11 +278,20 @@ class RunnerStats:
     simulated: int = 0
     elapsed_s: float = 0.0
     reports: List[PointReport] = field(default_factory=list)
+    #: Aggregated engine-section wall time across every profiled point.
+    section_totals: Dict[str, float] = field(default_factory=dict)
 
     @property
     def points(self) -> int:
         """Total points served (cache hits + simulations)."""
         return self.cache_hits + self.simulated
+
+    def add_sections(self, sections: Dict[str, float]) -> None:
+        """Fold one profiled point's section totals into the roll-up."""
+        for name, elapsed in sections.items():
+            self.section_totals[name] = (
+                self.section_totals.get(name, 0.0) + elapsed
+            )
 
     def summary(self) -> str:
         """One-line report, e.g. ``48 points: 12 simulated, 36 cached ...``."""
@@ -283,12 +300,35 @@ class RunnerStats:
             f"{self.cache_hits} cached in {self.elapsed_s:.2f} s"
         )
 
+    def profile_summary(self) -> str:
+        """Hottest engine sections across all profiled points."""
+        return render_sections(
+            self.section_totals, title="engine sections (all simulated points):"
+        )
 
-def _execute_point(point: RunPoint) -> Tuple[RunResult, float]:
+
+def _execute_point(point: RunPoint) -> Tuple[RunResult, float, None]:
     """Process-pool task: simulate one point, returning (result, seconds)."""
     t0 = time.perf_counter()
     result = run_workload(point.workload, point.spec, point.config)
-    return result, time.perf_counter() - t0
+    return result, time.perf_counter() - t0, None
+
+
+def _execute_point_profiled(
+    point: RunPoint,
+) -> Tuple[RunResult, float, Dict[str, float]]:
+    """Like :func:`_execute_point`, with the engine step profiler attached.
+
+    The profiler only reads the clock, so the returned result is
+    bit-identical to the unprofiled path; section totals travel back
+    separately and never enter the cached value.
+    """
+    profiler = StepProfiler()
+    t0 = time.perf_counter()
+    result = run_workload(
+        point.workload, point.spec, point.config, profiler=profiler
+    )
+    return result, time.perf_counter() - t0, profiler.totals()
 
 
 def _execute_task(item: Tuple[Callable, object]) -> Tuple[object, float]:
@@ -313,6 +353,11 @@ class ParallelRunner:
         Code-version string folded into every cache key; defaults to
         :func:`code_version`. Tests pin it to make keys independent of
         the working tree.
+    profile:
+        When true, every simulated point runs with the engine step
+        profiler attached; per-point section timings land in
+        ``stats.reports`` and are aggregated in ``stats.section_totals``.
+        Profiling never changes results or cache keys.
 
     Determinism: each simulation derives every random stream from its own
     configuration seed, so a point's result is a pure function of the
@@ -326,6 +371,7 @@ class ParallelRunner:
         jobs: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
         version: Optional[str] = None,
+        profile: bool = False,
     ):
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
@@ -333,6 +379,7 @@ class ParallelRunner:
             raise ValueError(f"jobs must be >= 1 (or 0 for all cores): {jobs}")
         self.jobs = int(jobs)
         self.cache = cache
+        self.profile = bool(profile)
         self._version = version
         self.stats = RunnerStats()
 
@@ -370,22 +417,33 @@ class ParallelRunner:
             if not done[i]:
                 pending.setdefault(key, []).append(i)
 
+        logger.debug(
+            "run_points: %d points, %d cached, %d to simulate (jobs=%d)",
+            len(points),
+            sum(done),
+            len(pending),
+            self.jobs,
+        )
         executed = self._execute(
             [(key, points[idxs[0]]) for key, idxs in pending.items()],
-            _execute_point,
+            _execute_point_profiled if self.profile else _execute_point,
         )
-        for (key, point), (value, elapsed) in executed:
+        for (key, point), (value, elapsed, sections) in executed:
             for i in pending[key]:
                 results[i] = value
                 done[i] = True
             self.stats.simulated += 1
             self.stats.elapsed_s += elapsed
             self.stats.reports.append(
-                PointReport(point.label, key, False, elapsed)
+                PointReport(point.label, key, False, elapsed, sections)
             )
+            if sections:
+                self.stats.add_sections(sections)
             if self.cache is not None:
                 self.cache.put(key, value)
         assert all(done)
+        if self.stats.simulated:
+            logger.info("batch complete: %s", self.stats.summary())
         return results  # type: ignore[return-value]
 
     def run_workload(

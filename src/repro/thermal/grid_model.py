@@ -25,7 +25,7 @@ studies, not the policy loop.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve

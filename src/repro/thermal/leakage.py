@@ -18,7 +18,7 @@ structures leak more per area than random logic at matched temperature).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

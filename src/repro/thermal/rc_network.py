@@ -26,7 +26,7 @@ the ambient enters as a fixed-temperature boundary on the sink node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Tuple
 
 import numpy as np
 

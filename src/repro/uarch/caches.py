@@ -13,8 +13,8 @@ Two levels of fidelity, mirroring the two-level structure of the whole
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.uarch.config import CacheConfig, MachineConfig
 

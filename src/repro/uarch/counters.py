@@ -10,7 +10,7 @@ by the effective cycles actually delivered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -20,7 +20,7 @@ here — traces store nominal-condition power.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

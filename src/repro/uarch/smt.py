@@ -33,7 +33,7 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.uarch.benchmarks import BenchmarkProfile
-from repro.uarch.isa import InstructionClass, InstructionMix
+from repro.uarch.isa import InstructionMix
 
 #: Fraction of the threads' summed solo IPC an SMT pair achieves.
 SMT_EFFICIENCY = 0.75

@@ -6,7 +6,6 @@ import pytest
 from repro.control.stability import (
     is_marginally_stable,
     is_stable,
-    poles,
     root_locus,
     stability_margin_gain,
 )

@@ -1,6 +1,5 @@
 """Tests for counter-based migration."""
 
-import pytest
 
 from repro.core.counter_migration import CounterBasedMigration
 from repro.core.migration import MigrationContext

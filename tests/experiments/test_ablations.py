@@ -1,6 +1,5 @@
 """Tests for the sensitivity/ablation studies."""
 
-import pytest
 
 from repro.experiments import ablations
 from repro.experiments.common import default_config

@@ -9,7 +9,7 @@ import pytest
 
 from repro.experiments import figure3, figure7, table5, table6, table7, table8
 from repro.experiments.common import clear_result_cache, default_config
-from repro.sim.workloads import ALL_WORKLOADS, get_workload
+from repro.sim.workloads import get_workload
 
 CFG = default_config(duration_s=0.03)
 WORKLOADS = [get_workload(n) for n in ("workload1", "workload7", "workload10")]

@@ -1,6 +1,5 @@
 """Tests for the terminal-chart layer in the figure renders."""
 
-import pytest
 
 from repro.experiments import figure3, figure5, figure7
 from repro.experiments.common import default_config

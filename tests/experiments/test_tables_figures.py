@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments import figure3, figure5, figure7, table5, table6, table7, table8
 from repro.experiments.common import default_config
-from repro.sim.workloads import ALL_WORKLOADS, get_workload
+from repro.sim.workloads import get_workload
 
 CFG = default_config(duration_s=0.04)
 # Subset spanning hot-int, mixed, cool and all-fp workloads.

@@ -1,0 +1,99 @@
+"""Unit tests for the typed run-event log."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventLogSummary,
+    RunEvent,
+    RunEventLog,
+    read_jsonl,
+)
+
+
+class TestEmit:
+    def test_events_kept_in_order(self):
+        log = RunEventLog()
+        log.emit(0.0, "os-tick")
+        log.emit(0.001, "dvfs-transition", 2, **{"from": 1.0, "to": 0.8})
+        log.emit(0.002, "migration", 1, pid=3)
+        assert [e.type for e in log] == ["os-tick", "dvfs-transition", "migration"]
+        assert [e.time_s for e in log] == [0.0, 0.001, 0.002]
+
+    def test_unknown_type_rejected(self):
+        log = RunEventLog()
+        with pytest.raises(ValueError, match="unknown event type"):
+            log.emit(0.0, "reactor-meltdown")
+
+    def test_core_and_data_recorded(self):
+        log = RunEventLog()
+        log.emit(0.5, "prochot-trip", temp_c=85.0)
+        (event,) = log.events
+        assert event.core is None
+        assert event.data == {"temp_c": 85.0}
+
+    def test_every_documented_type_accepted(self):
+        log = RunEventLog()
+        for i, event_type in enumerate(EVENT_TYPES):
+            log.emit(i * 0.001, event_type)
+        assert len(log) == len(EVENT_TYPES)
+
+
+class TestQueries:
+    def _log(self):
+        log = RunEventLog()
+        log.emit(0.0, "stopgo-trip", cores=[0])
+        log.emit(0.01, "stopgo-thaw", 0)
+        log.emit(0.02, "stopgo-trip", cores=[1])
+        return log
+
+    def test_count_and_counts(self):
+        log = self._log()
+        assert log.count("stopgo-trip") == 2
+        assert log.count("stopgo-thaw") == 1
+        assert log.count("os-tick") == 0
+        assert log.counts() == {"stopgo-trip": 2, "stopgo-thaw": 1}
+
+    def test_of_type_preserves_order(self):
+        trips = self._log().of_type("stopgo-trip")
+        assert [e.time_s for e in trips] == [0.0, 0.02]
+
+    def test_summary(self):
+        summary = self._log().summary()
+        assert isinstance(summary, EventLogSummary)
+        assert summary.total == 3
+        assert summary.count("stopgo-trip") == 2
+        assert summary.count("migration") == 0
+
+
+class TestJsonl:
+    def test_schema_fields(self):
+        event = RunEvent(0.25, "dvfs-transition", 1, {"from": 1.0, "to": 0.9})
+        record = json.loads(event.to_json())
+        assert record == {
+            "t": 0.25, "type": "dvfs-transition", "core": 1,
+            "from": 1.0, "to": 0.9,
+        }
+
+    def test_round_trip(self, tmp_path):
+        log = RunEventLog()
+        log.emit(0.0, "os-tick")
+        log.emit(0.001, "migration", 2, pid=1)
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(path)
+        records = read_jsonl(path)
+        assert len(records) == 2
+        assert records[0]["type"] == "os-tick"
+        assert records[1] == {"t": 0.001, "type": "migration", "core": 2, "pid": 1}
+
+    def test_every_line_is_json(self, tmp_path):
+        log = RunEventLog()
+        for i in range(5):
+            log.emit(i * 0.01, "os-tick")
+        text = log.to_jsonl()
+        lines = text.strip().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)

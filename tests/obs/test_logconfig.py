@@ -1,0 +1,66 @@
+"""Unit tests for the structured-logging conventions."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logconfig import LOG_LEVELS, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_root_logger():
+    """Leave the ``repro`` logger exactly as the suite found it."""
+    root = logging.getLogger("repro")
+    handlers = list(root.handlers)
+    level = root.level
+    propagate = root.propagate
+    yield
+    root.handlers = handlers
+    root.setLevel(level)
+    root.propagate = propagate
+
+
+class TestGetLogger:
+    def test_repro_names_pass_through(self):
+        assert get_logger("repro.sim.engine").name == "repro.sim.engine"
+        assert get_logger("repro").name == "repro"
+
+    def test_outside_names_are_parented(self):
+        assert get_logger("myscript").name == "repro.myscript"
+
+
+class TestConfigureLogging:
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        log = get_logger("repro.test")
+        log.debug("hidden")
+        log.info("shown")
+        text = stream.getvalue()
+        assert "hidden" not in text
+        assert "shown" in text
+
+    def test_structured_format(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        get_logger("repro.sim.engine").debug("msg %d", 7)
+        line = stream.getvalue().strip()
+        assert "DEBUG" in line
+        assert "repro.sim.engine" in line
+        assert ":: msg 7" in line
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        for _ in range(3):
+            configure_logging("warning", stream=io.StringIO())
+        root = logging.getLogger("repro")
+        ours = [h for h in root.handlers if getattr(h, "_repro_handler", False)]
+        assert len(ours) == 1
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="log level"):
+            configure_logging("loud")
+
+    def test_all_documented_levels_accepted(self):
+        for level in LOG_LEVELS:
+            configure_logging(level, stream=io.StringIO())

@@ -1,0 +1,70 @@
+"""Unit tests for the named-section step profiler."""
+
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    StepProfiler,
+    render_sections,
+    sorted_sections,
+)
+
+
+class TestStepProfiler:
+    def test_sections_accumulate(self):
+        prof = StepProfiler()
+        for _ in range(3):
+            with prof.section("a"):
+                time.sleep(0.001)
+        with prof.section("b"):
+            pass
+        totals = prof.totals()
+        assert totals["a"] >= 0.003
+        assert totals["b"] >= 0.0
+        assert prof.counts() == {"a": 3, "b": 1}
+        assert prof.total_s == pytest.approx(sum(totals.values()))
+
+    def test_empty_profiler(self):
+        prof = StepProfiler()
+        assert prof.totals() == {}
+        assert prof.total_s == 0.0
+
+    def test_merge(self):
+        prof = StepProfiler()
+        prof.merge({"a": 1.0, "b": 2.0})
+        prof.merge({"a": 0.5, "c": 3.0})
+        assert prof.totals() == {"a": 1.5, "b": 2.0, "c": 3.0}
+
+    def test_exception_still_charged(self):
+        prof = StepProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.section("boom"):
+                raise RuntimeError("bang")
+        assert prof.counts() == {"boom": 1}
+
+
+class TestNullProfiler:
+    def test_sections_are_noops(self):
+        with NULL_PROFILER.section("anything"):
+            pass
+        assert NULL_PROFILER.totals() == {}
+
+
+class TestRendering:
+    def test_sorted_hottest_first(self):
+        assert sorted_sections({"cold": 0.1, "hot": 0.9}) == [
+            ("hot", 0.9), ("cold", 0.1),
+        ]
+
+    def test_render_contains_sections_and_shares(self):
+        text = render_sections({"hot": 0.75, "cold": 0.25}, title="t:")
+        lines = text.splitlines()
+        assert lines[0] == "t:"
+        assert lines[1].lstrip().startswith("hot")
+        assert "75.0%" in lines[1]
+        assert "total" in lines[-1]
+
+    def test_render_empty(self):
+        assert "no profiled sections" in render_sections({})

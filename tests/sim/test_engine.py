@@ -23,6 +23,19 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             SimulationConfig(sensor_noise_std_c=-1.0)
 
+    @pytest.mark.parametrize(
+        "field", [
+            "trace_duration_s", "power_scale", "hardware_trip_freeze_s",
+            "migration_period_s",
+        ],
+    )
+    @pytest.mark.parametrize("value", [0.0, -0.1])
+    def test_non_positive_scalars_rejected_at_construction(self, field, value):
+        """These used to fail deep inside trace generation (or not at
+        all); they must raise a clear ValueError up front."""
+        with pytest.raises(ValueError, match=field):
+            SimulationConfig(**{field: value})
+
     def test_benchmark_count_must_match_cores(self):
         with pytest.raises(ValueError):
             ThermalTimingSimulator(("gzip",), None, SimulationConfig(duration_s=0.01))

@@ -8,8 +8,9 @@ the duty-cycle arithmetic.
 import pytest
 
 from repro.core.taxonomy import spec_by_key
-from repro.sim.engine import SimulationConfig, ThermalTimingSimulator
+from repro.sim.engine import SimulationConfig, ThermalTimingSimulator, _TrendWindow
 from repro.sim.workloads import get_workload
+from repro.thermal.layouts import HOTSPOT_UNITS
 
 W7 = get_workload("workload7")
 
@@ -27,7 +28,6 @@ class TestTransitionPenalty:
         assert result.duty_cycle < 1.0
 
     def test_zero_penalty_machine_runs_faster(self):
-        from dataclasses import replace
 
         from repro.uarch.config import DVFSConfig, MachineConfig
 
@@ -59,8 +59,6 @@ class TestMigrationPenalty:
         assert total_involved >= result.migrations
 
     def test_expensive_migration_discourages_benefit(self):
-        from dataclasses import replace
-
         from repro.uarch.config import MachineConfig
 
         spec = spec_by_key("distributed-stop-go-counter")
@@ -100,6 +98,85 @@ class TestConservation:
             assert proc.position == pytest.approx(
                 samples_from_cycles, rel=1e-6
             )
+
+
+class TestTrendWindowGradient:
+    """The dT/dt fed to sensor-based migration must be unbiased."""
+
+    @staticmethod
+    def _readings(temp: float):
+        return [{unit: temp for unit in HOTSPOT_UNITS}]
+
+    def test_linear_ramp_recovered_exactly(self):
+        """n samples of a linear ramp span (n-1)*dt, not n*dt: a 100 C/s
+        ramp must read as 100 C/s, not 100*(n-1)/n."""
+        window = _TrendWindow(n_cores=1, n_units=len(HOTSPOT_UNITS))
+        dt = 1e-3
+        slope = 100.0
+        for k in range(5):
+            window.accumulate(self._readings(50.0 + slope * k * dt), dt)
+        assert window.gradient(0, 0) == pytest.approx(slope, rel=1e-12)
+
+    def test_two_samples(self):
+        window = _TrendWindow(n_cores=1, n_units=len(HOTSPOT_UNITS))
+        dt = 2e-3
+        window.accumulate(self._readings(60.0), dt)
+        window.accumulate(self._readings(61.0), dt)
+        assert window.gradient(0, 0) == pytest.approx(1.0 / dt)
+
+    def test_degenerate_windows_are_zero(self):
+        window = _TrendWindow(n_cores=1, n_units=len(HOTSPOT_UNITS))
+        assert window.gradient(0, 0) == 0.0
+        window.accumulate(self._readings(70.0), 1e-3)
+        assert window.gradient(0, 0) == 0.0
+
+
+class TestFrozenStallAccounting:
+    """Overhead stalls overlapping a freeze still count as overhead."""
+
+    def test_stall_ledger_conserves_charged_penalties(self):
+        """Under biased sensors + the hardware trip, the PI keeps issuing
+        PLL transitions while PROCHOT freezes the chip, so penalty windows
+        overlap freezes. Every charged second must still land in
+        ``stall_time_s`` (minus only the tail beyond the run's end)."""
+        cfg = SimulationConfig(
+            duration_s=0.05, sensor_offset_c=-3.0, hardware_trip=True
+        )
+        w3 = get_workload("workload3")
+        sim = ThermalTimingSimulator(
+            w3.benchmarks, spec_by_key("distributed-dvfs-none"), cfg
+        )
+        result = sim.run()
+        assert result.prochot_events > 0, "scenario must exercise freezes"
+        charged = sum(
+            a.transitions for a in sim.actuators
+        ) * cfg.machine.dvfs.transition_penalty_s
+        n_steps = max(1, round(cfg.duration_s / sim.dt))
+        end = n_steps * sim.dt
+        unserved = sum(max(until - end, 0.0) for until in sim._stall_until)
+        assert sim.metrics.stall_time_s == pytest.approx(
+            charged - unserved, abs=1e-12
+        )
+
+    def test_stall_ledger_with_migrations(self):
+        """Same conservation when migration context switches also charge
+        the ledger (100 us per involved core)."""
+        cfg = SimulationConfig(duration_s=0.05)
+        sim = ThermalTimingSimulator(
+            W7.benchmarks, spec_by_key("distributed-stop-go-counter"), cfg
+        )
+        result = sim.run()
+        assert result.migrations > 0
+        involved = sum(
+            len(r.cores_involved) for r in sim.scheduler.migration_history
+        )
+        charged = involved * cfg.machine.migration_penalty_s
+        n_steps = max(1, round(cfg.duration_s / sim.dt))
+        end = n_steps * sim.dt
+        unserved = sum(max(until - end, 0.0) for until in sim._stall_until)
+        assert sim.metrics.stall_time_s == pytest.approx(
+            charged - unserved, abs=1e-12
+        )
 
 
 class TestStopGoPowerModel:

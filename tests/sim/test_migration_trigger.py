@@ -6,7 +6,6 @@ the engine adds a frozen-core urgency trigger and a profiling fallback.
 These tests drive `_migration_triggered` directly.
 """
 
-import pytest
 
 from repro.core.taxonomy import spec_by_key
 from repro.sim.engine import SimulationConfig, ThermalTimingSimulator

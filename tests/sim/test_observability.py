@@ -1,0 +1,158 @@
+"""Integration tests for run observability (events + profiler).
+
+Two properties matter:
+
+* **fidelity** — per-type event counts agree with the scalar counters
+  the engine has always reported on :class:`RunResult`;
+* **non-perturbation** — a run with observability attached produces a
+  result bit-identical to the same run without it (capture reads state,
+  never feeds back).
+"""
+
+from dataclasses import fields, replace
+
+from repro.core.taxonomy import spec_by_key
+from repro.obs import ENGINE_SECTIONS, RunEventLog, StepProfiler
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.runner import ParallelRunner, RunPoint
+from repro.sim.workloads import get_workload
+
+W7 = get_workload("workload7")
+W3 = get_workload("workload3")
+CFG = SimulationConfig(duration_s=0.05)
+
+
+def scalar_fields(result) -> dict:
+    """Every RunResult field except the observability attachments."""
+    return {
+        f.name: getattr(result, f.name)
+        for f in fields(result)
+        if f.name not in ("series", "events")
+    }
+
+
+class TestEventCountInvariants:
+    def test_dvfs_transitions_match(self):
+        log = RunEventLog()
+        result = run_workload(
+            W7, spec_by_key("distributed-dvfs-none"), CFG, event_log=log
+        )
+        assert result.dvfs_transitions > 0
+        assert log.count("dvfs-transition") == result.dvfs_transitions
+
+    def test_stopgo_trips_and_migrations_match(self):
+        log = RunEventLog()
+        result = run_workload(
+            W7, spec_by_key("distributed-stop-go-counter"), CFG, event_log=log
+        )
+        assert result.stopgo_trips > 0
+        assert result.migrations > 0
+        assert log.count("stopgo-trip") == result.stopgo_trips
+        assert log.count("migration") == result.migrations
+        # Every executed move belongs to a decision emitted beforehand.
+        assert log.count("migration-decision") >= 1
+
+    def test_prochot_trips_match(self):
+        log = RunEventLog()
+        cfg = replace(CFG, sensor_offset_c=-3.0, hardware_trip=True)
+        result = run_workload(
+            W3, spec_by_key("distributed-dvfs-none"), cfg, event_log=log
+        )
+        assert result.prochot_events > 0
+        assert log.count("prochot-trip") == result.prochot_events
+
+    def test_emergency_events_bracket_emergency_time(self):
+        log = RunEventLog()
+        cfg = replace(CFG, sensor_offset_c=-3.0)
+        result = run_workload(
+            W3, spec_by_key("distributed-dvfs-none"), cfg, event_log=log
+        )
+        assert result.emergency_s > 0
+        assert log.count("emergency-enter") >= 1
+        # Enters and exits alternate, starting with an enter.
+        assert log.count("emergency-enter") - log.count("emergency-exit") in (0, 1)
+
+    def test_os_tick_cadence(self):
+        log = RunEventLog()
+        run_workload(W7, spec_by_key("distributed-dvfs-none"), CFG, event_log=log)
+        ticks = log.count("os-tick")
+        assert 1 <= ticks <= CFG.duration_s / CFG.migration_period_s + 1
+
+    def test_summary_attached_to_result(self):
+        log = RunEventLog()
+        result = run_workload(
+            W7, spec_by_key("distributed-dvfs-none"), CFG, event_log=log
+        )
+        assert result.events is not None
+        assert result.events.total == len(log)
+        assert result.events.counts == log.counts()
+
+    def test_events_chronologically_ordered(self):
+        log = RunEventLog()
+        run_workload(
+            W7, spec_by_key("distributed-stop-go-counter"), CFG, event_log=log
+        )
+        times = [e.time_s for e in log]
+        assert times == sorted(times)
+
+
+class TestNonPerturbation:
+    def test_instrumented_run_bit_identical(self):
+        spec = spec_by_key("distributed-dvfs-sensor")
+        plain = run_workload(W7, spec, CFG)
+        instrumented = run_workload(
+            W7, spec, CFG, event_log=RunEventLog(), profiler=StepProfiler()
+        )
+        assert scalar_fields(plain) == scalar_fields(instrumented)
+        assert plain.events is None
+        assert instrumented.events is not None
+
+    def test_stopgo_instrumented_run_bit_identical(self):
+        spec = spec_by_key("global-stop-go-none")
+        plain = run_workload(W7, spec, CFG)
+        instrumented = run_workload(W7, spec, CFG, event_log=RunEventLog())
+        assert scalar_fields(plain) == scalar_fields(instrumented)
+
+
+class TestProfiler:
+    def test_engine_sections_reported(self):
+        prof = StepProfiler()
+        run_workload(W7, spec_by_key("distributed-dvfs-sensor"), CFG, profiler=prof)
+        totals = prof.totals()
+        assert set(totals) == set(ENGINE_SECTIONS)
+        assert all(elapsed > 0 for elapsed in totals.values())
+
+    def test_unthrottled_run_has_no_throttle_cost_only(self):
+        """Even the unthrottled reference exercises sensors/power/thermal."""
+        prof = StepProfiler()
+        run_workload(W7, None, CFG, profiler=prof)
+        totals = prof.totals()
+        for section in ("sensors", "power", "thermal-step"):
+            assert totals[section] > 0
+
+
+class TestRunnerProfileSurfacing:
+    def test_profiled_runner_collects_sections(self):
+        runner = ParallelRunner(jobs=1, profile=True)
+        points = [
+            RunPoint(W7, spec_by_key("distributed-dvfs-none"), CFG),
+            RunPoint(W7, spec_by_key("global-stop-go-none"), CFG),
+        ]
+        results = runner.run_points(points)
+        assert len(results) == 2
+        simulated = [r for r in runner.stats.reports if not r.cache_hit]
+        assert all(r.sections for r in simulated)
+        assert set(runner.stats.section_totals) == set(ENGINE_SECTIONS)
+        assert "engine sections" in runner.stats.profile_summary()
+
+    def test_profiled_results_identical_to_unprofiled(self):
+        point = RunPoint(W7, spec_by_key("distributed-dvfs-none"), CFG)
+        plain = ParallelRunner(jobs=1).run_points([point])[0]
+        profiled = ParallelRunner(jobs=1, profile=True).run_points([point])[0]
+        assert scalar_fields(plain) == scalar_fields(profiled)
+
+    def test_profile_off_by_default(self):
+        runner = ParallelRunner(jobs=1)
+        runner.run_points([RunPoint(W7, None, SimulationConfig(duration_s=0.01))])
+        assert runner.stats.section_totals == {}
+        assert all(r.sections is None for r in runner.stats.reports)

@@ -10,7 +10,7 @@ import pickle
 
 import pytest
 
-from repro.core.taxonomy import ALL_POLICY_SPECS, BASELINE_SPEC, spec_by_key
+from repro.core.taxonomy import BASELINE_SPEC, spec_by_key
 from repro.experiments.common import (
     clear_result_cache,
     get_default_runner,

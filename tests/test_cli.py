@@ -84,3 +84,69 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+
+class TestObservability:
+    def test_events_out_counts_match_result(self, capsys, tmp_path):
+        """The acceptance path: an events-enabled run writes parseable
+        JSONL whose per-type counts equal the RunResult counters."""
+        from repro.obs.events import read_jsonl
+        from repro.sim.engine import SimulationConfig, run_workload
+        from repro.sim.workloads import get_workload
+        from repro.core.taxonomy import spec_by_key
+
+        events_file = tmp_path / "e.jsonl"
+        rc = main(
+            ["--no-cache", "run", "-p", "dvfs-dist-none", "-d", "0.02",
+             "--events-out", str(events_file), "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "engine sections:" in out
+
+        records = read_jsonl(events_file)
+        assert records, "event log must not be empty"
+        counts = {}
+        for record in records:
+            assert {"t", "type", "core"} <= set(record)
+            counts[record["type"]] = counts.get(record["type"], 0) + 1
+        reference = run_workload(
+            get_workload("workload7"),
+            spec_by_key("distributed-dvfs-none"),
+            SimulationConfig(duration_s=0.02),
+        )
+        assert counts.get("dvfs-transition", 0) == reference.dvfs_transitions
+        assert counts.get("migration", 0) == reference.migrations
+        assert counts.get("stopgo-trip", 0) == reference.stopgo_trips
+        assert counts.get("prochot-trip", 0) == reference.prochot_events
+
+    def test_policy_key_alias_accepted(self, capsys):
+        rc = main(["--no-cache", "run", "-p", "dist-dvfs-none", "-d", "0.005"])
+        assert rc == 0
+        assert "Dist. DVFS" in capsys.readouterr().out
+
+    def test_profile_subcommand(self, capsys):
+        rc = main(
+            ["profile", "-w", "workload1", "-d", "0.005",
+             "-p", "none", "global-stop-go-none"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unthrottled:" in out
+        assert "global-stop-go-none:" in out
+        assert "thermal-step" in out
+
+    def test_log_level_flag(self, capsys):
+        rc = main(
+            ["--no-cache", "--log-level", "debug", "run", "-d", "0.005"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "repro.sim.engine" in err
+        assert "run start" in err
+
+    def test_default_log_level_is_quiet(self, capsys):
+        rc = main(["--no-cache", "run", "-d", "0.005"])
+        assert rc == 0
+        assert "repro.sim.engine" not in capsys.readouterr().err

@@ -3,10 +3,7 @@
 import pytest
 
 from repro.uarch.config import (
-    BranchPredictorConfig,
     CacheConfig,
-    CoreConfig,
-    MachineConfig,
     default_machine_config,
     mobile_machine_config,
 )
