@@ -5,15 +5,20 @@ Exposes the library's main entry points without writing Python::
     python -m repro list                      # workloads, policies, benchmarks
     python -m repro run -w workload7 -p distributed-dvfs-sensor -d 0.1
     python -m repro run -p dvfs-dist-none --events-out events.jsonl --profile
+    python -m repro run -p global-dvfs-none --fault-spec faults.json
     python -m repro compare -w workload7 -d 0.1 [-o results.json]
     python -m repro --jobs 4 experiment table5 [-d 0.2]
+    python -m repro --jobs 4 robustness -d 0.1 [--guards] [-o table.txt]
     python -m repro profile -w workload7 -d 0.05
     python -m repro trace gzip -o gzip.npz [-d 0.25]
     python -m repro cache [--clear]
 
-``run`` simulates one (workload, policy) pair; ``compare`` runs all 12
-taxonomy cells on one workload and prints the comparison; ``experiment``
-regenerates one of the paper's tables/figures; ``profile`` times the
+``run`` simulates one (workload, policy) pair, optionally under a JSON
+fault specification (see ``docs/MODELING.md`` section 8); ``compare``
+runs all 12 taxonomy cells on one workload and prints the comparison;
+``experiment`` regenerates one of the paper's tables/figures;
+``robustness`` sweeps injected-fault severities across the policy
+taxonomy and prints the degradation table; ``profile`` times the
 engine's step sections per policy; ``trace`` generates and saves a
 benchmark power trace; ``cache`` inspects or clears the on-disk result
 cache.
@@ -42,6 +47,8 @@ from typing import List, Optional
 
 from repro.core.taxonomy import ALL_POLICY_SPECS, spec_by_key
 from repro.experiments.common import get_default_runner, set_default_runner
+from repro.experiments.robustness import SEVERITIES as ROBUSTNESS_SEVERITIES
+from repro.faults import load_fault_spec_file
 from repro.obs import (
     LOG_LEVELS,
     RunEventLog,
@@ -63,6 +70,7 @@ logger = get_logger(__name__)
 EXPERIMENTS = (
     "table1", "table5", "table6", "table7", "table8",
     "figure3", "figure5", "figure7", "ablations", "extensions",
+    "robustness",
 )
 
 
@@ -107,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="time the engine's step sections and print the table",
     )
+    run.add_argument(
+        "--fault-spec", default=None, metavar="FILE",
+        help="inject faults from a JSON fault specification "
+             "(docs/MODELING.md section 8); prints the fault/guard "
+             "accounting after the run",
+    )
 
     profile = sub.add_parser(
         "profile", help="time the engine's step sections per policy"
@@ -133,6 +147,31 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("-d", "--duration", type=float, default=None,
                             help="override the simulation horizon")
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="sweep injected-fault severities across the policy taxonomy",
+    )
+    robustness.add_argument("-w", "--workload", default="workload7")
+    robustness.add_argument("-d", "--duration", type=float, default=0.1)
+    robustness.add_argument(
+        "-p", "--policies", nargs="*", default=None, metavar="KEY",
+        help="policy keys to sweep (default: all 12 taxonomy cells)",
+    )
+    robustness.add_argument(
+        "--severities", nargs="+", default=None, metavar="LEVEL",
+        choices=ROBUSTNESS_SEVERITIES,
+        help=f"severity levels to run (default: {' '.join(ROBUSTNESS_SEVERITIES)})",
+    )
+    robustness.add_argument(
+        "--guards", action="store_true",
+        help="also run every faulted point with the sensor-sanity guard "
+             "layer enabled and print the guarded table",
+    )
+    robustness.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="also write the rendered degradation table to FILE",
+    )
 
     trace = sub.add_parser("trace", help="generate and save a power trace")
     trace.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
@@ -167,9 +206,14 @@ def _config(duration: float, seed: Optional[int] = None) -> SimulationConfig:
 
 
 def _cmd_run(args) -> int:
+    from dataclasses import replace
+
     workload = get_workload(args.workload)
     spec = None if args.policy == "none" else spec_by_key(args.policy)
     config = _config(args.duration, args.seed)
+    if args.fault_spec:
+        plan, guard = load_fault_spec_file(args.fault_spec)
+        config = replace(config, fault_plan=plan, guard=guard)
     event_log = RunEventLog() if args.events_out else None
     profiler = StepProfiler() if args.profile else None
     if event_log is not None or profiler is not None:
@@ -187,6 +231,17 @@ def _cmd_run(args) -> int:
         f"emergencies={result.emergency_s * 1000:.2f} ms  "
         f"transitions={result.dvfs_transitions}  trips={result.stopgo_trips}"
     )
+    if result.faults is not None:
+        f = result.faults
+        print(
+            f"  faults: sensor-samples={f.sensor_faulted_samples}  "
+            f"dvfs-rejected={f.dvfs_rejected}  dvfs-delayed={f.dvfs_delayed}  "
+            f"migrations-dropped={f.migrations_dropped}"
+        )
+        print(
+            f"  guards: trips={f.guard_trips}  "
+            f"fallback={f.guard_fallback_s * 1000:.2f} ms"
+        )
     if event_log is not None:
         path = event_log.write_jsonl(args.events_out)
         counts = event_log.counts()
@@ -275,6 +330,35 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_robustness(args) -> int:
+    from repro.experiments import robustness
+    from repro.experiments.common import default_config
+
+    workload = get_workload(args.workload)
+    specs = (
+        [spec_by_key(k) for k in args.policies]
+        if args.policies
+        else None
+    )
+    severities = (
+        tuple(args.severities) if args.severities else robustness.SEVERITIES
+    )
+    report = robustness.compute(
+        config=default_config(duration_s=args.duration),
+        specs=specs,
+        severities=severities,
+        workload=workload,
+        include_guards=args.guards,
+    )
+    text = robustness.render(report)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\ndegradation table saved to {args.output}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     trace = generate_trace(args.benchmark, duration_s=args.duration)
     path = save_trace(trace, args.output)
@@ -322,6 +406,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "robustness":
+            return _cmd_robustness(args)
         if args.command == "trace":
             return _cmd_trace(args)
         raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

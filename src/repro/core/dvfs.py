@@ -112,6 +112,15 @@ class DVFSActuator:
     and every accepted change stalls the core for the 10 us transition
     penalty. Stop-go's 0.0 "scale" bypasses the actuator — clock gating is
     not a PLL transition.
+
+    Fault hook: ``fault_gate`` (when set, see :mod:`repro.faults`) is a
+    callable ``(time_s, requested, current) -> (allow, extra_penalty_s)``
+    consulted only for requests that pass the minimum-transition filter —
+    i.e. only for transitions that would actually re-lock the PLL. A
+    rejected request leaves the operating point unchanged and costs
+    nothing (it was lost, not executed); an accepted one may carry extra
+    stall time. The gate is ``None`` in un-faulted runs, keeping that
+    path byte-identical to the pre-fault actuator.
     """
 
     def __init__(
@@ -130,18 +139,31 @@ class DVFSActuator:
         )
         self.current_scale = float(initial_scale)
         self.transitions = 0
+        self.fault_gate = None
+        #: Transitions lost to an injected fault (0 without a gate).
+        self.faulted_rejections = 0
 
-    def request(self, scale: float) -> float:
+    def request(self, scale: float, time_s: float = 0.0) -> float:
         """Apply a requested scale; returns the stall time incurred (s).
 
         The new operating point takes effect immediately after the stall;
         the caller accounts the stall against useful work in the current
-        step.
+        step. ``time_s`` only matters when a ``fault_gate`` is attached
+        (fault activation windows are expressed in silicon time).
         """
         if not 0.0 < scale <= MAX_FREQUENCY_SCALE:
             raise ValueError(f"scale must be in (0, 1]: {scale}")
         if abs(scale - self.current_scale) < self.min_transition_abs:
             return 0.0
+        penalty = self.transition_penalty_s
+        if self.fault_gate is not None:
+            allow, extra_penalty_s = self.fault_gate(
+                time_s, scale, self.current_scale
+            )
+            if not allow:
+                self.faulted_rejections += 1
+                return 0.0
+            penalty += extra_penalty_s
         self.current_scale = scale
         self.transitions += 1
-        return self.transition_penalty_s
+        return penalty

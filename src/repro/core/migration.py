@@ -140,6 +140,14 @@ class MigrationPolicy(abc.ABC):
         self._limiter = RateLimiter(min_interval_s)
         self.decisions = 0
         self.proposals_with_moves = 0
+        #: Fault hook (see :mod:`repro.faults`): when set, a callable
+        #: ``(time_s, proposal) -> bool`` deciding whether an accepted
+        #: proposal is actually delivered to the scheduler. A dropped
+        #: request still counts as a proposal and still consumes the
+        #: rate-limit slot — the OS believes it migrated.
+        self.request_filter = None
+        #: Accepted proposals lost to an injected fault.
+        self.dropped_requests = 0
 
     def matched_assignment(
         self,
@@ -195,4 +203,9 @@ class MigrationPolicy(abc.ABC):
             return None
         self._limiter.record(ctx.time_s)
         self.proposals_with_moves += 1
+        if self.request_filter is not None and not self.request_filter(
+            ctx.time_s, list(proposal)
+        ):
+            self.dropped_requests += 1
+            return None
         return list(proposal)

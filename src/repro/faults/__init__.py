@@ -1,0 +1,91 @@
+"""Fault injection and robustness evaluation (``repro.faults``).
+
+The paper evaluates its 12 DTM policies under *ideal dynamics*: sensors
+may carry static imperfections, but nothing fails mid-run. This package
+models dynamic failures — sensor channels that stick, drop out, drift,
+spike or step out of calibration; DVFS transitions that are rejected or
+stretched; migration requests lost in delivery — plus a guard layer that
+detects distrusted sensors and degrades gracefully to blind stop-go.
+
+Entry points:
+
+* declare faults with the models in :mod:`repro.faults.models` and pack
+  them into a :class:`FaultPlan` on
+  :class:`~repro.sim.engine.SimulationConfig` (``fault_plan=...``);
+* enable the watchdog with a :class:`GuardConfig` (``guard=...``);
+* sweep severity x policy with :mod:`repro.experiments.robustness`
+  (CLI: ``repro robustness``), or attach a JSON spec to a single run
+  with ``repro run --fault-spec FILE`` (loader:
+  :func:`load_fault_spec_file`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Tuple
+
+from repro.faults.guards import GuardConfig, SensorGuardBank
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    ACTUATOR_FAULT_TYPES,
+    FAULT_REGISTRY,
+    SENSOR_FAULT_TYPES,
+    CalibrationStepFault,
+    DriftFault,
+    DropoutFault,
+    DVFSLatencyFault,
+    DVFSRejectFault,
+    FaultPlan,
+    FaultSummary,
+    MigrationDropFault,
+    SpikeFault,
+    StuckAtFault,
+)
+
+
+def load_fault_spec_file(
+    path: os.PathLike,
+) -> Tuple[FaultPlan, Optional[GuardConfig]]:
+    """Load a JSON fault-spec file: the plan plus an optional guard config.
+
+    The spec's top-level ``"guards"`` object (if present) maps directly
+    onto :class:`GuardConfig` fields; ``{"guards": {}}`` enables the
+    guard layer with defaults.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    plan = FaultPlan.from_spec(spec)
+    guard: Optional[GuardConfig] = None
+    if "guards" in spec:
+        raw = spec["guards"]
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"'guards' must be an object of GuardConfig fields: {raw!r}"
+            )
+        try:
+            guard = GuardConfig(**raw)
+        except TypeError as exc:
+            raise ValueError(f"bad guard spec: {exc}") from exc
+    return plan, guard
+
+
+__all__ = [
+    "ACTUATOR_FAULT_TYPES",
+    "FAULT_REGISTRY",
+    "SENSOR_FAULT_TYPES",
+    "CalibrationStepFault",
+    "DriftFault",
+    "DropoutFault",
+    "DVFSLatencyFault",
+    "DVFSRejectFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSummary",
+    "GuardConfig",
+    "MigrationDropFault",
+    "SensorGuardBank",
+    "SpikeFault",
+    "StuckAtFault",
+    "load_fault_spec_file",
+]

@@ -1,0 +1,315 @@
+"""Runtime fault injection for one simulation.
+
+The engine owns one :class:`FaultInjector` per run *only when the
+configured* :class:`~repro.faults.models.FaultPlan` *is non-empty*, and
+consults it at exactly three points:
+
+* **sensor read** — after the static degradation pipeline (offset,
+  noise, quantization), the per-core hotspot temperature matrix passes
+  through :meth:`FaultInjector.apply_sensor_faults`;
+* **DVFS actuation** — :class:`~repro.core.dvfs.DVFSActuator` calls the
+  injector-backed ``fault_gate`` before committing a PLL re-lock
+  (:meth:`FaultInjector.dvfs_request`);
+* **migration delivery** — :class:`~repro.core.migration.MigrationPolicy`
+  passes accepted proposals through ``request_filter``
+  (:meth:`FaultInjector.migration_request`).
+
+Determinism: every stochastic fault draws from its own
+:class:`~repro.util.rng.RngStream` derived from the run seed and the
+fault's plan index, so injection is bit-reproducible, independent of
+whether an event log is attached, and identical across serial and
+process-pool execution. Overlapping sensor faults apply in plan order
+(later faults transform earlier faults' output).
+
+Event capture is opt-in: with a :class:`~repro.obs.events.RunEventLog`
+attached, the injector emits ``fault.sensor`` on each windowed fault's
+activation edge (plus one per step for spike occurrences), ``fault.dvfs``
+per rejected/stretched transition, and ``fault.migration`` per dropped
+request. Emission never feeds back into the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.models import (
+    CalibrationStepFault,
+    DriftFault,
+    DropoutFault,
+    DVFSLatencyFault,
+    DVFSRejectFault,
+    FaultPlan,
+    FaultSummary,
+    MigrationDropFault,
+    SpikeFault,
+    StuckAtFault,
+)
+from repro.obs.events import RunEventLog
+from repro.util.rng import RngStream
+
+_SENSOR_KINDS = (
+    StuckAtFault,
+    DropoutFault,
+    DriftFault,
+    SpikeFault,
+    CalibrationStepFault,
+)
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one run, deterministically.
+
+    Parameters
+    ----------
+    plan:
+        The (non-empty) fault plan.
+    n_cores:
+        Core count of the simulated machine.
+    units:
+        Monitored hotspot unit names, in sensor-matrix column order.
+    seed:
+        The run's root seed; per-fault streams derive from it.
+    event_log:
+        Optional event capture; never influences injection.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        n_cores: int,
+        units: Sequence[str],
+        seed: int,
+        event_log: Optional[RunEventLog] = None,
+    ):
+        plan.validate_targets(n_cores, tuple(units))
+        self.plan = plan
+        self.n_cores = n_cores
+        self.units = tuple(units)
+        self.event_log = event_log
+
+        # One independent stream per stochastic fault, keyed by its plan
+        # index so editing one fault never perturbs another's draws.
+        self._rng: Dict[int, RngStream] = {
+            i: RngStream(seed, "fault", str(i), fault.kind)
+            for i, fault in enumerate(plan.faults)
+            if fault.stochastic
+        }
+
+        self._sensor_faults: List[Tuple[int, object]] = []
+        self._dvfs_faults: List[Tuple[int, object]] = []
+        self._migration_faults: List[Tuple[int, object]] = []
+        for i, fault in enumerate(plan.faults):
+            if isinstance(fault, _SENSOR_KINDS):
+                self._sensor_faults.append((i, fault))
+            elif isinstance(fault, (DVFSRejectFault, DVFSLatencyFault)):
+                self._dvfs_faults.append((i, fault))
+            else:
+                assert isinstance(fault, MigrationDropFault)
+                self._migration_faults.append((i, fault))
+
+        # Channel-selection masks (n_cores, n_units), one per sensor fault.
+        self._masks: Dict[int, np.ndarray] = {}
+        for i, fault in self._sensor_faults:
+            mask = np.zeros((n_cores, len(self.units)), dtype=bool)
+            rows = slice(None) if fault.core is None else fault.core
+            if fault.unit is None:
+                mask[rows, :] = True
+            else:
+                mask[rows, self.units.index(fault.unit)] = True
+            self._masks[i] = mask
+
+        # Last *delivered* reading per channel (post-fault), the substrate
+        # for stuck-at-last-value latching and last-good dropout.
+        self._last_output: Optional[np.ndarray] = None
+        self._latches: Dict[int, np.ndarray] = {}
+        self._was_active: Dict[int, bool] = {
+            i: False for i, _ in self._sensor_faults
+        }
+
+        # Counters folded into the run's FaultSummary.
+        self.sensor_faulted_samples = 0
+        self.dvfs_rejected = 0
+        self.dvfs_delayed = 0
+        self.migrations_dropped = 0
+
+    # -- event helpers -----------------------------------------------------
+
+    def _emit(self, time_s: float, event_type: str, core=None, **data) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(time_s, event_type, core, **data)
+
+    # -- sensor hook -------------------------------------------------------
+
+    def apply_sensor_faults(self, time_s: float, temps: np.ndarray) -> np.ndarray:
+        """Transform one step's sensor matrix; returns a new array.
+
+        ``temps`` is the ``(n_cores, n_units)`` matrix after the static
+        degradation pipeline; the input is never mutated.
+        """
+        out = np.array(temps, dtype=float, copy=True)
+        for i, fault in self._sensor_faults:
+            active = fault.active(time_s)
+            if active and not self._was_active[i]:
+                self._emit(
+                    time_s,
+                    "fault.sensor",
+                    fault.core,
+                    kind=fault.kind,
+                    unit=fault.unit,
+                    end_s=(None if fault.end_s == np.inf else fault.end_s),
+                )
+            self._was_active[i] = active
+            if not active:
+                continue
+            mask = self._masks[i]
+            n_sel = int(mask.sum())
+            if isinstance(fault, StuckAtFault):
+                if i not in self._latches:
+                    # Latch the channel's last delivered reading (or the
+                    # current one when the fault opens at the first read).
+                    source = (
+                        self._last_output
+                        if self._last_output is not None
+                        else out
+                    )
+                    self._latches[i] = np.where(mask, source, 0.0)
+                if fault.value_c is not None:
+                    out[mask] = fault.value_c
+                else:
+                    out[mask] = self._latches[i][mask]
+                self.sensor_faulted_samples += n_sel
+            elif isinstance(fault, DropoutFault):
+                if fault.prob >= 1.0:
+                    dropped = mask
+                else:
+                    draws = self._rng[i].uniform(size=(out.shape))
+                    dropped = mask & (draws < fault.prob)
+                n_drop = int(dropped.sum())
+                if n_drop:
+                    if fault.mode == "nan":
+                        out[dropped] = np.nan
+                    elif self._last_output is not None:
+                        out[dropped] = self._last_output[dropped]
+                    # else: no previous delivery to repeat — the very
+                    # first read passes through unchanged.
+                    self.sensor_faulted_samples += n_drop
+            elif isinstance(fault, DriftFault):
+                out[mask] += fault.rate_c_per_s * (time_s - fault.start_s)
+                self.sensor_faulted_samples += n_sel
+            elif isinstance(fault, SpikeFault):
+                draws = self._rng[i].uniform(size=(out.shape))
+                spiking = mask & (draws < fault.prob)
+                n_spike = int(spiking.sum())
+                if n_spike:
+                    out[spiking] += fault.magnitude_c
+                    self.sensor_faulted_samples += n_spike
+                    self._emit(
+                        time_s,
+                        "fault.sensor",
+                        fault.core,
+                        kind=fault.kind,
+                        unit=fault.unit,
+                        channels=n_spike,
+                        magnitude_c=fault.magnitude_c,
+                    )
+            else:
+                assert isinstance(fault, CalibrationStepFault)
+                out[mask] += fault.offset_c
+                self.sensor_faulted_samples += n_sel
+        self._last_output = out
+        return out
+
+    # -- DVFS hook ---------------------------------------------------------
+
+    def dvfs_request(
+        self, time_s: float, core: int, requested: float, current: float
+    ) -> Tuple[bool, float]:
+        """Gate one would-be-committed DVFS transition.
+
+        Returns ``(allow, extra_penalty_s)``. Called by the actuator only
+        for requests that pass the 2% minimum-transition filter, so every
+        stochastic draw corresponds to a real PLL re-lock attempt.
+        """
+        allow = True
+        extra = 0.0
+        for i, fault in self._dvfs_faults:
+            if not fault.active(time_s):
+                continue
+            if fault.core is not None and fault.core != core:
+                continue
+            if isinstance(fault, DVFSRejectFault):
+                hit = fault.prob >= 1.0 or bool(
+                    self._rng[i].uniform() < fault.prob
+                )
+                if hit and allow:
+                    allow = False
+                    self.dvfs_rejected += 1
+                    self._emit(
+                        time_s,
+                        "fault.dvfs",
+                        core,
+                        kind=fault.kind,
+                        requested=requested,
+                        current=current,
+                    )
+            else:
+                extra += fault.extra_penalty_s
+        if allow and extra > 0.0:
+            self.dvfs_delayed += 1
+            self._emit(
+                time_s,
+                "fault.dvfs",
+                core,
+                kind=DVFSLatencyFault.kind,
+                extra_penalty_s=extra,
+            )
+        return allow, (extra if allow else 0.0)
+
+    def dvfs_gate_for(self, core: int):
+        """A per-core ``fault_gate`` callable for a
+        :class:`~repro.core.dvfs.DVFSActuator`."""
+
+        def gate(time_s: float, requested: float, current: float):
+            return self.dvfs_request(time_s, core, requested, current)
+
+        return gate
+
+    # -- migration hook ----------------------------------------------------
+
+    def migration_request(
+        self, time_s: float, proposal: Sequence[int]
+    ) -> bool:
+        """Whether an accepted migration proposal is actually delivered."""
+        for i, fault in self._migration_faults:
+            if not fault.active(time_s):
+                continue
+            hit = fault.prob >= 1.0 or bool(
+                self._rng[i].uniform() < fault.prob
+            )
+            if hit:
+                self.migrations_dropped += 1
+                self._emit(
+                    time_s,
+                    "fault.migration",
+                    None,
+                    kind=fault.kind,
+                    assignment=list(proposal),
+                )
+                return False
+        return True
+
+    # -- roll-up -----------------------------------------------------------
+
+    def summary_counts(self) -> Dict[str, int]:
+        """The injector's counters as a plain dict (guard fields excluded)."""
+        return {
+            "sensor_faulted_samples": self.sensor_faulted_samples,
+            "dvfs_rejected": self.dvfs_rejected,
+            "dvfs_delayed": self.dvfs_delayed,
+            "migrations_dropped": self.migrations_dropped,
+        }
+
+
+__all__ = ["FaultInjector", "FaultSummary"]

@@ -1,0 +1,457 @@
+"""Typed fault models and the :class:`FaultPlan` container.
+
+The paper's policies act on *sensor readings* and *actuation requests*,
+never on ground truth — which makes both interfaces failure surfaces.
+Rotem et al. document drift, spikes and calibration error in shipping
+thermal sensors; DVFS actuators occasionally reject or stretch PLL
+re-locks; an OS migration request can be lost to a scheduling race.
+Each such failure mode is modelled here as a small frozen dataclass with
+an activation window ``[start_s, end_s)`` in silicon time.
+
+Every model is:
+
+* **declarative** — construction has no side effects and no randomness;
+  stochastic faults only name a probability, and the runtime
+  :class:`~repro.faults.injector.FaultInjector` draws from a
+  deterministic per-fault :class:`~repro.util.rng.RngStream`;
+* **hashable and canonicalizable** — a :class:`FaultPlan` rides inside
+  :class:`~repro.sim.engine.SimulationConfig`, so the fault spec
+  participates in the result-cache key exactly like any other
+  configuration field;
+* **JSON round-trippable** — ``repro run --fault-spec FILE`` loads the
+  spec format documented in ``docs/MODELING.md`` §8.
+
+Sensor faults target a ``(core, unit)`` channel; ``core=None`` or
+``unit=None`` widens the selection to every core / every monitored unit.
+Overlapping faults apply in plan order: a later fault transforms the
+output of an earlier one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Optional, Tuple, Type, Union
+
+#: Window end meaning "until the end of the run".
+UNBOUNDED = math.inf
+
+#: Dropout replacement modes.
+DROPOUT_MODES = ("last-good", "nan")
+
+
+def _check_window(start_s: float, end_s: float) -> None:
+    if not start_s >= 0.0:
+        raise ValueError(f"start_s must be >= 0: {start_s}")
+    if not end_s > start_s:
+        raise ValueError(f"end_s must be > start_s: [{start_s}, {end_s})")
+
+
+def _check_prob(prob: float, name: str = "prob") -> None:
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]: {prob}")
+
+
+def _check_core(core: Optional[int]) -> None:
+    if core is not None and core < 0:
+        raise ValueError(f"core must be >= 0 or None (all cores): {core}")
+
+
+class _WindowedFault:
+    """Shared behaviour of every fault model (activation window + target)."""
+
+    start_s: float
+    end_s: float
+
+    def active(self, time_s: float) -> bool:
+        """Whether the fault's window covers ``time_s``."""
+        return self.start_s <= time_s < self.end_s
+
+    @property
+    def stochastic(self) -> bool:
+        """Whether the model draws from its RNG stream at runtime."""
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Sensor faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StuckAtFault(_WindowedFault):
+    """Sensor output latches: either at ``value_c`` or at its last reading.
+
+    With ``value_c=None`` the channel freezes at whatever it reported on
+    the last read before the window opened (the classic "stuck-at last
+    value" failure); a fixed ``value_c`` models a channel shorted to a
+    rail — stuck *low* is the dangerous case, since it makes a hot core
+    look cool.
+    """
+
+    kind: ClassVar[str] = "stuck-at"
+
+    core: Optional[int] = None
+    unit: Optional[str] = None
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    value_c: Optional[float] = None
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_core(self.core)
+
+
+@dataclass(frozen=True)
+class DropoutFault(_WindowedFault):
+    """A read returns no fresh sample with probability ``prob``.
+
+    The replacement is ``mode``: ``"last-good"`` repeats the channel's
+    last delivered reading (a hardware register that simply was not
+    updated), ``"nan"`` models an interface that reports an invalid
+    sample — the case the guard layer's plausibility check exists for.
+    """
+
+    kind: ClassVar[str] = "dropout"
+
+    core: Optional[int] = None
+    unit: Optional[str] = None
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    prob: float = 1.0
+    mode: str = "last-good"
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_core(self.core)
+        _check_prob(self.prob)
+        if self.mode not in DROPOUT_MODES:
+            raise ValueError(
+                f"mode must be one of {DROPOUT_MODES}: {self.mode!r}"
+            )
+
+    @property
+    def stochastic(self) -> bool:
+        return self.prob < 1.0
+
+
+@dataclass(frozen=True)
+class DriftFault(_WindowedFault):
+    """Calibration drifts linearly: ``rate_c_per_s x (t - start_s)`` is
+    added to the reading while the window is open (Rotem et al. observe
+    exactly this slow walk in shipping diodes)."""
+
+    kind: ClassVar[str] = "drift"
+
+    core: Optional[int] = None
+    unit: Optional[str] = None
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    rate_c_per_s: float = 1.0
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_core(self.core)
+
+
+@dataclass(frozen=True)
+class SpikeFault(_WindowedFault):
+    """Transient spikes: with probability ``prob`` per read, a channel
+    reading is displaced by ``magnitude_c`` (negative for cold spikes)."""
+
+    kind: ClassVar[str] = "spike"
+
+    core: Optional[int] = None
+    unit: Optional[str] = None
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    magnitude_c: float = 10.0
+    prob: float = 0.01
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_core(self.core)
+        _check_prob(self.prob)
+
+    @property
+    def stochastic(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class CalibrationStepFault(_WindowedFault):
+    """A fixed offset appears at ``start_s`` (a calibration step, e.g.
+    after a supply-voltage change disturbs the diode bias)."""
+
+    kind: ClassVar[str] = "calibration-step"
+
+    core: Optional[int] = None
+    unit: Optional[str] = None
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    offset_c: float = -3.0
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_core(self.core)
+
+
+# ---------------------------------------------------------------------------
+# Actuator faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DVFSRejectFault(_WindowedFault):
+    """A requested DVFS transition is rejected with probability ``prob``:
+    the PLL stays at its current operating point and no penalty is paid
+    (the request was simply lost)."""
+
+    kind: ClassVar[str] = "dvfs-reject"
+
+    core: Optional[int] = None
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    prob: float = 1.0
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_core(self.core)
+        _check_prob(self.prob)
+
+    @property
+    def stochastic(self) -> bool:
+        return self.prob < 1.0
+
+
+@dataclass(frozen=True)
+class DVFSLatencyFault(_WindowedFault):
+    """Accepted DVFS transitions stall the core for an extra
+    ``extra_penalty_s`` on top of the nominal PLL re-lock penalty."""
+
+    kind: ClassVar[str] = "dvfs-latency"
+
+    core: Optional[int] = None
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    extra_penalty_s: float = 40e-6
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_core(self.core)
+        if not self.extra_penalty_s >= 0:
+            raise ValueError(
+                f"extra_penalty_s must be >= 0: {self.extra_penalty_s}"
+            )
+
+
+@dataclass(frozen=True)
+class MigrationDropFault(_WindowedFault):
+    """An OS migration request is dropped in delivery with probability
+    ``prob``: the scheduler believes it migrated, but no thread moves."""
+
+    kind: ClassVar[str] = "migration-drop"
+
+    start_s: float = 0.0
+    end_s: float = UNBOUNDED
+    prob: float = 1.0
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+        _check_prob(self.prob)
+
+    @property
+    def stochastic(self) -> bool:
+        return self.prob < 1.0
+
+
+#: Sensor-channel fault models (consulted at the sensor-read hook).
+SENSOR_FAULT_TYPES: Tuple[type, ...] = (
+    StuckAtFault,
+    DropoutFault,
+    DriftFault,
+    SpikeFault,
+    CalibrationStepFault,
+)
+
+#: Actuation fault models (consulted at the DVFS / migration hooks).
+ACTUATOR_FAULT_TYPES: Tuple[type, ...] = (
+    DVFSRejectFault,
+    DVFSLatencyFault,
+    MigrationDropFault,
+)
+
+#: ``kind`` string -> model class, the registry the JSON spec loader uses.
+FAULT_REGISTRY: Dict[str, Type] = {
+    cls.kind: cls for cls in SENSOR_FAULT_TYPES + ACTUATOR_FAULT_TYPES
+}
+
+AnyFault = Union[
+    StuckAtFault,
+    DropoutFault,
+    DriftFault,
+    SpikeFault,
+    CalibrationStepFault,
+    DVFSRejectFault,
+    DVFSLatencyFault,
+    MigrationDropFault,
+]
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of fault models for one run.
+
+    A plan is pure configuration: frozen, hashable, and canonicalizable,
+    so it can live on :class:`~repro.sim.engine.SimulationConfig` and
+    flow into the result-cache key. An *empty* plan is guaranteed to
+    leave the simulation bit-identical to a run with no plan at all (the
+    engine skips constructing an injector entirely).
+    """
+
+    faults: Tuple[AnyFault, ...] = ()
+    name: str = ""
+
+    def __post_init__(self):
+        for fault in self.faults:
+            if type(fault) not in FAULT_REGISTRY.values():
+                raise TypeError(
+                    f"unknown fault model {type(fault).__name__!r}; known "
+                    f"kinds: {sorted(FAULT_REGISTRY)}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing."""
+        return not self.faults
+
+    @property
+    def sensor_faults(self) -> Tuple[AnyFault, ...]:
+        """The plan's sensor-channel faults, in plan order."""
+        return tuple(
+            f for f in self.faults if isinstance(f, SENSOR_FAULT_TYPES)
+        )
+
+    @property
+    def actuator_faults(self) -> Tuple[AnyFault, ...]:
+        """The plan's actuation faults, in plan order."""
+        return tuple(
+            f for f in self.faults if isinstance(f, ACTUATOR_FAULT_TYPES)
+        )
+
+    def validate_targets(self, n_cores: int, units: Tuple[str, ...]) -> None:
+        """Raise if any fault names a core or unit the machine lacks."""
+        for fault in self.faults:
+            core = getattr(fault, "core", None)
+            if core is not None and core >= n_cores:
+                raise ValueError(
+                    f"{type(fault).__name__} targets core {core}, but the "
+                    f"machine has {n_cores} cores"
+                )
+            unit = getattr(fault, "unit", None)
+            if unit is not None and unit not in units:
+                raise ValueError(
+                    f"{type(fault).__name__} targets unit {unit!r}; "
+                    f"monitored units: {units}"
+                )
+
+    # -- JSON spec ---------------------------------------------------------
+
+    def to_spec(self) -> Dict[str, object]:
+        """The plan as a JSON-safe spec dictionary.
+
+        Unbounded window ends serialise as the string ``"inf"`` so spec
+        files stay strict JSON.
+        """
+        faults: List[Dict[str, object]] = []
+        for fault in self.faults:
+            entry: Dict[str, object] = {"kind": fault.kind}
+            for f in dataclasses.fields(fault):
+                value = getattr(fault, f.name)
+                if f.name == "end_s" and value == UNBOUNDED:
+                    value = "inf"
+                entry[f.name] = value
+            faults.append(entry)
+        return {"name": self.name, "faults": faults}
+
+    @staticmethod
+    def from_spec(spec: Dict[str, object]) -> "FaultPlan":
+        """Build a plan from a spec dictionary (inverse of :meth:`to_spec`)."""
+        if not isinstance(spec, dict):
+            raise ValueError(f"fault spec must be an object, got {type(spec)}")
+        faults = []
+        for entry in spec.get("faults", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            cls = FAULT_REGISTRY.get(kind)
+            if cls is None:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; known: {sorted(FAULT_REGISTRY)}"
+                )
+            if entry.get("end_s") in ("inf", "Infinity"):
+                entry["end_s"] = UNBOUNDED
+            try:
+                faults.append(cls(**entry))
+            except TypeError as exc:
+                raise ValueError(f"bad {kind!r} fault spec: {exc}") from exc
+        return FaultPlan(
+            faults=tuple(faults), name=str(spec.get("name", ""))
+        )
+
+    def to_json(self) -> str:
+        """The spec as pretty-printed JSON text."""
+        return json.dumps(self.to_spec(), indent=2)
+
+    @staticmethod
+    def from_json_file(path: os.PathLike) -> "FaultPlan":
+        """Load a plan from a JSON spec file (``guards`` section ignored;
+        see :func:`~repro.faults.plan_from_file`)."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return FaultPlan.from_spec(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# Per-run roll-up
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Fault-injection and guard accounting attached to a
+    :class:`~repro.sim.results.RunResult`.
+
+    ``None`` on the result when the run had neither a fault plan nor a
+    guard configuration, keeping un-faulted results identical to the
+    pre-fault engine's.
+    """
+
+    #: Sensor channel-readings altered by any sensor fault.
+    sensor_faulted_samples: int = 0
+    #: DVFS transitions rejected by a fault (requests lost at the PLL).
+    dvfs_rejected: int = 0
+    #: DVFS transitions whose penalty a latency fault extended.
+    dvfs_delayed: int = 0
+    #: OS migration requests dropped in delivery.
+    migrations_dropped: int = 0
+    #: Guard watchdog trips (cores entering sensor-distrust fallback).
+    guard_trips: int = 0
+    #: Total core-seconds spent in guard fallback throttling.
+    guard_fallback_s: float = 0.0
+
+    @property
+    def total_injected(self) -> int:
+        """All injected fault occurrences (sensor + actuation)."""
+        return (
+            self.sensor_faulted_samples
+            + self.dvfs_rejected
+            + self.dvfs_delayed
+            + self.migrations_dropped
+        )

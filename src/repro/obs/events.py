@@ -35,6 +35,18 @@ Event types and their extra data fields:
 ``emergency-enter``  True silicon temperature crossed above the emergency
                      envelope: ``temp_c``.
 ``emergency-exit``   Temperature fell back inside the envelope: ``temp_c``.
+``fault.sensor``     An injected sensor fault opened its window (``kind``,
+                     ``unit``, ``end_s``), or a spike landed (``kind``,
+                     ``channels``, ``magnitude_c``).
+``fault.dvfs``       An injected actuator fault rejected (``requested``,
+                     ``current``) or stretched (``extra_penalty_s``) a
+                     DVFS transition: ``kind``.
+``fault.migration``  An injected fault dropped a delivered migration
+                     request: ``assignment``.
+``guard.trip``       The sensor-sanity watchdog stopped trusting a core's
+                     sensors; the core fell back to blind stop-go.
+``guard.clear``      A tripped core's readings stayed sane long enough;
+                     control returned to the policy.
 ===================  ========================================================
 """
 
@@ -57,6 +69,11 @@ EVENT_TYPES = (
     "prochot-trip",
     "emergency-enter",
     "emergency-exit",
+    "fault.sensor",
+    "fault.dvfs",
+    "fault.migration",
+    "guard.trip",
+    "guard.clear",
 )
 
 

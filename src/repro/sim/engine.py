@@ -35,6 +35,9 @@ from repro.core.policy import DEFAULT_THRESHOLD_C, ThrottlePolicy
 from repro.core.sensor_migration import SensorBasedMigration
 from repro.core.stopgo import StopGoPolicy
 from repro.core.taxonomy import PolicySpec, build_policy
+from repro.faults.guards import GuardConfig, SensorGuardBank
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultPlan, FaultSummary
 from repro.osmodel.process import Process
 from repro.osmodel.scheduler import Scheduler
 from repro.osmodel.thermal_table import ThreadCoreThermalTable
@@ -112,6 +115,17 @@ class SimulationConfig:
     #: extension; ``None`` keeps the paper's uniform 4 mm cores. A larger
     #: core runs the same workload at lower power density and thus cooler.
     core_sizes_mm: Optional[Tuple[float, ...]] = None
+    #: Dynamic fault injection (see :mod:`repro.faults`): sensor channels
+    #: sticking, dropping out, drifting, spiking or stepping out of
+    #: calibration; DVFS transitions rejected or stretched; migration
+    #: requests dropped. ``None`` or an *empty* plan leaves the run
+    #: bit-identical to the pre-fault engine. Participates in the
+    #: result-cache key like every other configuration field.
+    fault_plan: Optional[FaultPlan] = None
+    #: Sensor-sanity guard layer (see :mod:`repro.faults.guards`): a
+    #: watchdog that stops trusting stuck/implausible sensors and falls
+    #: the affected core back to blind stop-go. Off (``None``) by default.
+    guard: Optional[GuardConfig] = None
 
     def __post_init__(self):
         if not self.duration_s > 0:
@@ -229,6 +243,32 @@ class ThermalTimingSimulator:
         self.thermal_table = ThreadCoreThermalTable(self.n_cores, HOTSPOT_UNITS)
         self._migration_timer = PeriodicTimer(self.config.migration_period_s)
 
+        # Fault injection and guards: both strictly opt-in. With no plan
+        # (or an empty one) and no guard config, every hook below stays
+        # None and the run is bit-identical to the pre-fault engine.
+        plan = self.config.fault_plan
+        if plan is not None and not plan.is_empty:
+            self._faults: Optional[FaultInjector] = FaultInjector(
+                plan,
+                n_cores=self.n_cores,
+                units=HOTSPOT_UNITS,
+                seed=self.config.seed,
+                event_log=event_log,
+            )
+            for c, actuator in enumerate(self.actuators):
+                actuator.fault_gate = self._faults.dvfs_gate_for(c)
+            if self.migration is not None:
+                self.migration.request_filter = self._faults.migration_request
+        else:
+            self._faults = None
+        self._guards: Optional[SensorGuardBank] = (
+            SensorGuardBank(
+                self.n_cores, len(HOTSPOT_UNITS), self.dt, self.config.guard
+            )
+            if self.config.guard is not None
+            else None
+        )
+
         # Precomputed indices into the thermal network.
         net = self.thermal.network
         self._core_unit_idx = np.array(
@@ -273,7 +313,7 @@ class ThermalTimingSimulator:
 
     # -- helpers -----------------------------------------------------------
 
-    def _read_sensors(self) -> List[Dict[str, float]]:
+    def _read_sensors(self, t: float = 0.0) -> List[Dict[str, float]]:
         """Per-core hotspot sensor readings (optionally degraded)."""
         temps = self.thermal.temperatures[self._hotspot_idx]  # (n_cores, 2)
         noise = self.config.sensor_noise_std_c
@@ -283,7 +323,15 @@ class ThermalTimingSimulator:
         if noise > 0:
             temps = temps + self._sensor_rng.normal(0.0, noise, temps.shape)
         if quant > 0:
-            temps = np.round(temps / quant) * quant
+            # Explicit round-half-up-to-grid (x.5 boundaries snap toward
+            # +inf), the same rule SensorBank documents — not np.round's
+            # round-half-even.
+            temps = np.floor(temps / quant + 0.5) * quant
+        if self._faults is not None:
+            # Dynamic faults apply after the static degradation pipeline:
+            # a stuck or dropped channel latches the *reported* (already
+            # offset/noisy/quantized) value, as real readout paths do.
+            temps = self._faults.apply_sensor_faults(t, temps)
         return [
             {unit: float(temps[c, k]) for k, unit in enumerate(HOTSPOT_UNITS)}
             for c in range(self.n_cores)
@@ -374,7 +422,18 @@ class ThermalTimingSimulator:
         for step in range(n_steps):
             t = step * dt
             with prof.section("sensors"):
-                readings = self._read_sensors()
+                readings = self._read_sensors(t)
+
+            # Sensor-sanity watchdog: sees exactly what the policies see.
+            if self._guards is not None:
+                for core, transition in self._guards.observe(t, readings):
+                    logger.debug("guard %s core=%d t=%.6f", transition, core, t)
+                    if events is not None:
+                        events.emit(
+                            t,
+                            "guard.trip" if transition == "trip" else "guard.clear",
+                            core,
+                        )
 
             # Outer loop: OS timer + migration.
             if self._migration_timer.fire_due(t):
@@ -424,39 +483,58 @@ class ThermalTimingSimulator:
                     trace = proc.trace
                     idx = trace.sample_index(proc.position)
 
+                    guard_scale = (
+                        self._guards.override(c, t)
+                        if self._guards is not None
+                        else None
+                    )
                     if dvfs:
                         actuator = self.actuators[c]
-                        prev_scale = actuator.current_scale
-                        prev_transitions = actuator.transitions
-                        penalty = actuator.request(scales[c])
-                        if penalty > 0:
-                            self._stall_until[c] = (
-                                max(self._stall_until[c], t) + penalty
-                            )
-                        s = actuator.current_scale
-                        frozen = False
-                        if events is not None:
-                            if actuator.transitions > prev_transitions:
-                                events.emit(
-                                    t,
-                                    "dvfs-transition",
-                                    c,
-                                    **{
-                                        "from": prev_scale,
-                                        "to": s,
-                                        "penalty_s": penalty,
-                                    },
+                        if guard_scale is not None:
+                            # Fallback: the PLL is left where it is (no
+                            # re-lock on distrusted feedback); the blind
+                            # duty cycle clock-gates the core instead.
+                            s = actuator.current_scale
+                            frozen = guard_scale == 0.0
+                        else:
+                            requested = scales[c]
+                            if requested != requested:
+                                # NaN command — the PI loop was fed an
+                                # invalid (e.g. dropped-out) reading. A
+                                # real PLL ignores a garbage request and
+                                # holds its operating point.
+                                requested = actuator.current_scale
+                            prev_scale = actuator.current_scale
+                            prev_transitions = actuator.transitions
+                            penalty = actuator.request(requested, t)
+                            if penalty > 0:
+                                self._stall_until[c] = (
+                                    max(self._stall_until[c], t) + penalty
                                 )
-                            elif scales[c] != prev_scale:
-                                events.emit(
-                                    t,
-                                    "dvfs-rejected",
-                                    c,
-                                    requested=scales[c],
-                                    current=prev_scale,
-                                )
+                            s = actuator.current_scale
+                            frozen = False
+                            if events is not None:
+                                if actuator.transitions > prev_transitions:
+                                    events.emit(
+                                        t,
+                                        "dvfs-transition",
+                                        c,
+                                        **{
+                                            "from": prev_scale,
+                                            "to": s,
+                                            "penalty_s": penalty,
+                                        },
+                                    )
+                                elif scales[c] != prev_scale:
+                                    events.emit(
+                                        t,
+                                        "dvfs-rejected",
+                                        c,
+                                        requested=scales[c],
+                                        current=prev_scale,
+                                    )
                     else:
-                        s = scales[c]
+                        s = scales[c] if guard_scale is None else guard_scale
                         frozen = s == 0.0
                     if prochot_active:
                         frozen = True  # hardware gate overrides everything
@@ -689,6 +767,23 @@ class ThermalTimingSimulator:
         stopgo_trips = (
             self.throttle.trip_count if isinstance(self.throttle, StopGoPolicy) else 0
         )
+        if self._faults is not None or self._guards is not None:
+            injector = self._faults
+            guards = self._guards
+            fault_summary: Optional[FaultSummary] = FaultSummary(
+                sensor_faulted_samples=(
+                    injector.sensor_faulted_samples if injector else 0
+                ),
+                dvfs_rejected=injector.dvfs_rejected if injector else 0,
+                dvfs_delayed=injector.dvfs_delayed if injector else 0,
+                migrations_dropped=(
+                    injector.migrations_dropped if injector else 0
+                ),
+                guard_trips=guards.trips if guards else 0,
+                guard_fallback_s=guards.fallback_s if guards else 0.0,
+            )
+        else:
+            fault_summary = None
         return RunResult(
             policy=self.spec.name if self.spec else "unthrottled",
             workload="-".join(self.benchmarks),
@@ -708,6 +803,7 @@ class ThermalTimingSimulator:
             events=(
                 self.event_log.summary() if self.event_log is not None else None
             ),
+            faults=fault_summary,
         )
 
 

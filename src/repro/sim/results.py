@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.models import FaultSummary
 from repro.obs.events import EventLogSummary
 
 
@@ -60,6 +61,11 @@ class RunResult:
     #: absent from every comparison of interest) when observability is
     #: off, keeping uninstrumented results identical to the seed.
     events: Optional[EventLogSummary] = None
+    #: Fault-injection and guard accounting when the run carried a
+    #: non-empty :class:`~repro.faults.models.FaultPlan` or a
+    #: :class:`~repro.faults.guards.GuardConfig`; ``None`` otherwise, so
+    #: un-faulted results stay identical to the pre-fault engine's.
+    faults: Optional[FaultSummary] = None
 
     @property
     def had_emergency(self) -> bool:

@@ -6,17 +6,45 @@ reports whole degrees), carry a calibration offset, add noise, and lag the
 silicon slightly; the paper notes the sensor delay is small relative to
 thermal time scales, and we model it as a configurable one-sample
 exponential lag.
+
+Quantization rule: readings snap to the grid with an explicit
+**round-half-up** rule (see :func:`quantize_half_up`) rather than
+Python's banker's rounding, so the ``x.5`` boundary behaviour is
+documented and pinned rather than an accident of ``round()``.
+
+Dynamic faults: a bank accepts an optional ``fault_filter`` — a callable
+``(time_s, block, value) -> value`` applied to each reading *after* the
+static degradation pipeline — which is how the fault-injection subsystem
+(:mod:`repro.faults`) corrupts standalone sensor banks. The engine's
+fast path applies the equivalent hook to its vectorised sensor matrix.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.thermal.model import ThermalModel
 from repro.util.rng import RngStream
+
+
+def quantize_half_up(value: float, grid: float) -> float:
+    """Snap ``value`` to multiples of ``grid``, ties rounding up.
+
+    The rule is ``floor(value / grid + 0.5) * grid``: a reading exactly
+    halfway between two grid points reports the *higher* one (toward
+    +inf, so ``-0.5 -> 0.0`` on a unit grid). This matches how a
+    thermal readout comparator ladder resolves a tie — and, for a
+    safety-critical signal, erring hot is the conservative direction.
+    Contrast Python's ``round()``/NumPy's ``np.round()``, which round
+    ties to the nearest *even* multiple (``0.5 -> 0.0``, ``1.5 -> 2.0``).
+    """
+    if not grid > 0:
+        raise ValueError(f"grid must be positive: {grid}")
+    return math.floor(value / grid + 0.5) * grid
 
 
 @dataclass
@@ -33,10 +61,15 @@ class ThermalSensor:
         Standard deviation of white Gaussian read noise.
     quantization_c:
         Reading granularity (0 disables quantization; the Table 1
-        experiment uses 1.0 to match the ACPI interface).
+        experiment uses 1.0 to match the ACPI interface). Ties round
+        half-up — see :func:`quantize_half_up`.
     lag:
         First-order smoothing weight in [0, 1): 0 means the sensor tracks
         silicon instantly, larger values blend in the previous reading.
+        The smoothing state seeds from the *true* temperature on the
+        first read (a sensor powered up against settled silicon), so the
+        first sample is un-lagged but still carries offset, noise and
+        quantization.
     """
 
     block: str
@@ -58,13 +91,16 @@ class SensorBank:
     """A set of sensors read together once per control step.
 
     Readings are deterministic given the bank's RNG stream, so simulations
-    are exactly reproducible.
+    are exactly reproducible — and :meth:`reset` rewinds the stream along
+    with the smoothing state, so a reused bank reproduces bit-identical
+    readings across back-to-back runs.
     """
 
     def __init__(
         self,
         sensors: Sequence[ThermalSensor],
         rng: Optional[RngStream] = None,
+        fault_filter: Optional[Callable[[float, str, float], float]] = None,
     ):
         if not sensors:
             raise ValueError("a sensor bank needs at least one sensor")
@@ -72,7 +108,12 @@ class SensorBank:
         if len(set(names)) != len(names):
             raise ValueError("duplicate sensors on the same block")
         self.sensors: List[ThermalSensor] = list(sensors)
-        self._rng = rng or RngStream(0, "sensors")
+        rng = rng or RngStream(0, "sensors")
+        # Remember the stream's identity so reset() can rewind it.
+        self._rng_root_seed = rng.root_seed
+        self._rng_labels = rng.labels
+        self._rng = rng
+        self.fault_filter = fault_filter
         self._smoothed: Optional[np.ndarray] = None
         self._last_reading: Dict[str, float] = {}
 
@@ -81,8 +122,12 @@ class SensorBank:
         """Monitored block names, in sensor order."""
         return [s.block for s in self.sensors]
 
-    def read(self, model: ThermalModel) -> Dict[str, float]:
-        """Sample every sensor against the model's current temperatures."""
+    def read(self, model: ThermalModel, time_s: float = 0.0) -> Dict[str, float]:
+        """Sample every sensor against the model's current temperatures.
+
+        ``time_s`` is only consulted by the optional ``fault_filter``
+        (fault activation windows live in silicon time).
+        """
         true_temps = np.array(
             [model.temperature_of(s.block) for s in self.sensors]
         )
@@ -97,10 +142,11 @@ class SensorBank:
             if sensor.noise_std_c > 0:
                 value += float(self._rng.normal(0.0, sensor.noise_std_c))
             if sensor.quantization_c > 0:
-                value = (
-                    round(value / sensor.quantization_c) * sensor.quantization_c
-                )
-            readings[sensor.block] = float(value)
+                value = quantize_half_up(value, sensor.quantization_c)
+            value = float(value)
+            if self.fault_filter is not None:
+                value = float(self.fault_filter(time_s, sensor.block, value))
+            readings[sensor.block] = value
         self._last_reading = readings
         return readings
 
@@ -110,7 +156,13 @@ class SensorBank:
         return dict(self._last_reading)
 
     def reset(self) -> None:
-        """Forget smoothing state (e.g. between independent runs)."""
+        """Restore the bank to its just-constructed state.
+
+        Forgets the smoothing state and last reading *and rewinds the
+        noise RNG stream to its origin*, so a bank reused across
+        back-to-back runs reproduces bit-identical reading sequences.
+        """
+        self._rng = RngStream(self._rng_root_seed, *self._rng_labels)
         self._smoothed = None
         self._last_reading = {}
 

@@ -1,0 +1,186 @@
+"""Tests for the robustness (fault-severity x policy) harness."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.taxonomy import spec_by_key
+from repro.experiments import robustness
+from repro.experiments.common import default_config
+from repro.faults.models import SENSOR_FAULT_TYPES, FaultPlan
+from repro.sim.runner import ParallelRunner, ResultCache
+
+
+SPECS = [spec_by_key("global-stop-go-none"), spec_by_key("global-dvfs-none")]
+
+
+class TestSeverityPlans:
+    def test_none_is_no_plan(self):
+        assert robustness.severity_plan("none", 0.1) is None
+
+    @pytest.mark.parametrize("severity", ("mild", "moderate", "severe"))
+    def test_plans_valid_for_default_machine(self, severity):
+        plan = robustness.severity_plan(severity, 0.1, n_cores=4)
+        assert isinstance(plan, FaultPlan) and not plan.is_empty
+        plan.validate_targets(4, ("intreg", "fpreg"))
+
+    def test_plans_scale_with_duration(self):
+        short = robustness.severity_plan("mild", 0.01)
+        long = robustness.severity_plan("mild", 1.0)
+        assert short != long  # windows are fractions of the horizon
+        drift_s = next(
+            f for f in short.faults if isinstance(f, SENSOR_FAULT_TYPES)
+        )
+        drift_l = next(
+            f for f in long.faults if isinstance(f, SENSOR_FAULT_TYPES)
+        )
+        assert drift_l.start_s == pytest.approx(100 * drift_s.start_s)
+
+    def test_severities_strictly_escalate(self):
+        mild = robustness.severity_plan("mild", 0.1)
+        moderate = robustness.severity_plan("moderate", 0.1)
+        severe = robustness.severity_plan("severe", 0.1)
+        assert len(mild.faults) < len(moderate.faults) <= len(severe.faults)
+        assert not mild.actuator_faults == ()
+        assert severe.sensor_faults and severe.actuator_faults
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            robustness.severity_plan("apocalyptic", 0.1)
+
+    def test_plan_construction_is_pure(self):
+        assert robustness.severity_plan("severe", 0.1) == (
+            robustness.severity_plan("severe", 0.1)
+        )
+
+
+class TestCompute:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return robustness.compute(
+            config=default_config(duration_s=0.008),
+            specs=SPECS,
+            severities=("none", "severe"),
+            include_guards=True,
+        )
+
+    def test_report_shape(self, report):
+        assert report.severities == ("none", "severe")
+        assert [r.spec_key for r in report.rows] == [s.key for s in SPECS]
+        for row in report.rows:
+            assert len(row.cells) == 2
+            assert row.guarded_cells is not None
+            assert len(row.guarded_cells) == 2
+
+    def test_baseline_cell_is_identity(self, report):
+        for row in report.rows:
+            none_cell = row.cells[0]
+            assert none_cell.severity == "none"
+            assert none_cell.relative_bips == pytest.approx(1.0)
+            assert none_cell.emergency_delta_s == pytest.approx(0.0)
+            assert none_cell.injected == 0
+
+    def test_severe_cell_injects(self, report):
+        for row in report.rows:
+            assert row.cells[1].injected > 0
+
+    def test_baseline_implicit_when_none_not_requested(self):
+        report = robustness.compute(
+            config=default_config(duration_s=0.008),
+            specs=SPECS[:1],
+            severities=("severe",),
+        )
+        (row,) = report.rows
+        assert report.severities == ("severe",)
+        assert len(row.cells) == 1
+        assert row.guarded_cells is None
+
+    def test_render_mentions_each_policy_and_severity(self, report):
+        text = robustness.render(report)
+        for row in report.rows:
+            assert row.spec_key in text
+        for severity in report.severities:
+            assert severity in text
+        assert "guard layer" in text  # guarded table present
+
+    def test_serial_and_parallel_sweeps_identical(self, tmp_path):
+        kwargs = dict(
+            config=default_config(duration_s=0.008),
+            specs=SPECS,
+            severities=("none", "moderate"),
+        )
+        serial = robustness.compute(
+            runner=ParallelRunner(jobs=1, cache=None), **kwargs
+        )
+        parallel = robustness.compute(
+            runner=ParallelRunner(
+                jobs=2, cache=ResultCache(tmp_path / "cache")
+            ),
+            **kwargs,
+        )
+        assert serial == parallel
+
+    def test_cache_hits_on_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(
+            config=default_config(duration_s=0.008),
+            specs=SPECS[:1],
+            severities=("none", "mild"),
+        )
+        first = robustness.compute(
+            runner=ParallelRunner(jobs=1, cache=cache), **kwargs
+        )
+        rerun_runner = ParallelRunner(jobs=1, cache=cache)
+        second = robustness.compute(runner=rerun_runner, **kwargs)
+        assert first == second
+        assert rerun_runner.stats.cache_hits == rerun_runner.stats.points
+        assert rerun_runner.stats.simulated == 0
+
+
+class TestCLI:
+    def test_robustness_command(self, capsys, tmp_path):
+        out_file = tmp_path / "degradation.txt"
+        rc = main(
+            ["robustness", "-d", "0.008",
+             "-p", "global-stop-go-none", "global-dvfs-none",
+             "--severities", "mild", "-o", str(out_file)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Degradation under injected faults" in out
+        assert "global-dvfs-none" in out
+        assert out_file.read_text().startswith("Degradation")
+
+    def test_experiment_robustness_duration_override(self, capsys):
+        # Ensure 'robustness' rides the generic experiment dispatcher too.
+        assert "robustness" in __import__("repro.cli", fromlist=["EXPERIMENTS"]).EXPERIMENTS
+
+    def test_run_with_fault_spec(self, capsys, tmp_path):
+        spec_file = tmp_path / "faults.json"
+        spec_file.write_text(json.dumps({
+            "name": "cli-test",
+            "faults": [
+                {"kind": "calibration-step", "start_s": 0.0,
+                 "end_s": "inf", "offset_c": -3.0},
+                {"kind": "dvfs-reject", "start_s": 0.0, "end_s": "inf",
+                 "prob": 1.0},
+            ],
+            "guards": {},
+        }))
+        rc = main(
+            ["run", "-p", "global-dvfs-none", "-d", "0.008",
+             "--fault-spec", str(spec_file)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "guards:" in out
+
+    def test_run_with_bad_fault_spec(self, tmp_path):
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(json.dumps({
+            "faults": [{"kind": "meltdown"}]
+        }))
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            main(["run", "-d", "0.005", "--fault-spec", str(spec_file)])

@@ -1,0 +1,294 @@
+"""Tests for the runtime FaultInjector (determinism, windows, counters)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    CalibrationStepFault,
+    DriftFault,
+    DropoutFault,
+    DVFSLatencyFault,
+    DVFSRejectFault,
+    FaultPlan,
+    MigrationDropFault,
+    SpikeFault,
+    StuckAtFault,
+)
+from repro.obs.events import RunEventLog
+
+UNITS = ("intreg", "fpreg")
+
+
+def make(plan, n_cores=4, seed=0, event_log=None):
+    return FaultInjector(
+        plan, n_cores=n_cores, units=UNITS, seed=seed, event_log=event_log
+    )
+
+
+def temps(base=60.0, n_cores=4):
+    return np.full((n_cores, len(UNITS)), float(base))
+
+
+class TestSensorFaults:
+    def test_input_never_mutated(self):
+        inj = make(FaultPlan(faults=(CalibrationStepFault(offset_c=-4.0),)))
+        t = temps()
+        before = t.copy()
+        inj.apply_sensor_faults(0.0, t)
+        assert np.array_equal(t, before)
+
+    def test_calibration_step_masks_channels(self):
+        inj = make(
+            FaultPlan(faults=(CalibrationStepFault(core=1, unit="fpreg",
+                                                   offset_c=-4.0),))
+        )
+        out = inj.apply_sensor_faults(0.0, temps(60.0))
+        assert out[1, 1] == 56.0
+        assert out[0, 0] == 60.0 and out[1, 0] == 60.0
+        assert inj.sensor_faulted_samples == 1
+
+    def test_drift_grows_from_window_start(self):
+        inj = make(
+            FaultPlan(faults=(DriftFault(core=0, unit="intreg",
+                                         start_s=0.1, rate_c_per_s=10.0),))
+        )
+        out = inj.apply_sensor_faults(0.05, temps(60.0))
+        assert out[0, 0] == 60.0  # window closed
+        out = inj.apply_sensor_faults(0.3, temps(60.0))
+        assert out[0, 0] == pytest.approx(60.0 + 10.0 * 0.2)
+
+    def test_stuck_at_fixed_value(self):
+        inj = make(
+            FaultPlan(faults=(StuckAtFault(core=0, unit="intreg",
+                                           start_s=0.1, value_c=70.0),))
+        )
+        inj.apply_sensor_faults(0.0, temps(95.0))
+        out = inj.apply_sensor_faults(0.2, temps(95.0))
+        assert out[0, 0] == 70.0
+        assert out[0, 1] == 95.0
+
+    def test_stuck_at_latches_last_delivered_reading(self):
+        inj = make(
+            FaultPlan(faults=(StuckAtFault(core=0, unit="intreg",
+                                           start_s=0.1),))
+        )
+        inj.apply_sensor_faults(0.0, temps(61.5))  # last pre-window reading
+        out = inj.apply_sensor_faults(0.2, temps(80.0))
+        assert out[0, 0] == 61.5
+        out = inj.apply_sensor_faults(0.3, temps(90.0))
+        assert out[0, 0] == 61.5
+
+    def test_stuck_at_latch_on_first_read(self):
+        inj = make(
+            FaultPlan(faults=(StuckAtFault(core=0, unit="intreg",
+                                           start_s=0.0),))
+        )
+        out = inj.apply_sensor_faults(0.0, temps(62.0))
+        assert out[0, 0] == 62.0
+        out = inj.apply_sensor_faults(0.1, temps(88.0))
+        assert out[0, 0] == 62.0
+
+    def test_dropout_last_good_repeats_delivery(self):
+        inj = make(
+            FaultPlan(faults=(DropoutFault(core=2, start_s=0.1,
+                                           mode="last-good"),))
+        )
+        inj.apply_sensor_faults(0.05, temps(63.0))
+        out = inj.apply_sensor_faults(0.2, temps(75.0))
+        assert out[2, 0] == 63.0 and out[2, 1] == 63.0
+        assert out[0, 0] == 75.0
+
+    def test_dropout_nan_mode(self):
+        inj = make(
+            FaultPlan(faults=(DropoutFault(core=1, unit="fpreg",
+                                           mode="nan"),))
+        )
+        out = inj.apply_sensor_faults(0.0, temps(70.0))
+        assert np.isnan(out[1, 1])
+        assert out[1, 0] == 70.0
+
+    def test_dropout_first_read_without_history_passes_through(self):
+        inj = make(FaultPlan(faults=(DropoutFault(mode="last-good"),)))
+        out = inj.apply_sensor_faults(0.0, temps(70.0))
+        assert np.array_equal(out, temps(70.0))
+
+    def test_spike_deterministic_per_seed(self):
+        plan = FaultPlan(faults=(SpikeFault(magnitude_c=12.0, prob=0.2),))
+        runs = []
+        for _ in range(2):
+            inj = make(plan, seed=11)
+            runs.append(
+                [inj.apply_sensor_faults(i * 1e-3, temps(60.0))
+                 for i in range(200)]
+            )
+        assert all(np.array_equal(a, b) for a, b in zip(*runs))
+        total = sum(
+            int((arr != 60.0).sum()) for arr in runs[0]
+        )
+        assert total > 0  # some spikes landed over 200 steps at p=0.2
+
+    def test_overlapping_faults_apply_in_plan_order(self):
+        # drift then stuck-at: the stuck value wins on the shared channel.
+        inj = make(
+            FaultPlan(
+                faults=(
+                    DriftFault(core=0, unit="intreg", rate_c_per_s=100.0),
+                    StuckAtFault(core=0, unit="intreg", value_c=50.0),
+                )
+            )
+        )
+        out = inj.apply_sensor_faults(0.5, temps(60.0))
+        assert out[0, 0] == 50.0
+
+    def test_activation_edge_emits_one_event(self):
+        log = RunEventLog()
+        inj = make(
+            FaultPlan(faults=(CalibrationStepFault(start_s=0.1, end_s=0.3),)),
+            event_log=log,
+        )
+        for i in range(50):
+            inj.apply_sensor_faults(i * 0.01, temps(60.0))
+        assert len(log.of_type("fault.sensor")) == 1
+        assert log.of_type("fault.sensor")[0].time_s == pytest.approx(0.1)
+
+
+class TestEventLogNonPerturbation:
+    def test_log_never_changes_injection(self):
+        plan = FaultPlan(
+            faults=(
+                SpikeFault(prob=0.1, magnitude_c=8.0),
+                DropoutFault(prob=0.3, mode="last-good"),
+            )
+        )
+        bare = make(plan, seed=3)
+        logged = make(plan, seed=3, event_log=RunEventLog())
+        for i in range(300):
+            a = bare.apply_sensor_faults(i * 1e-3, temps(60.0 + i * 0.01))
+            b = logged.apply_sensor_faults(i * 1e-3, temps(60.0 + i * 0.01))
+            assert np.array_equal(a, b, equal_nan=True)
+
+
+class TestDVFSFaults:
+    def test_reject_always(self):
+        inj = make(FaultPlan(faults=(DVFSRejectFault(),)))
+        allow, extra = inj.dvfs_request(0.0, 0, 0.8, 1.0)
+        assert not allow and extra == 0.0
+        assert inj.dvfs_rejected == 1
+
+    def test_reject_targets_one_core(self):
+        inj = make(FaultPlan(faults=(DVFSRejectFault(core=2),)))
+        assert inj.dvfs_request(0.0, 0, 0.8, 1.0) == (True, 0.0)
+        assert inj.dvfs_request(0.0, 2, 0.8, 1.0)[0] is False
+
+    def test_reject_outside_window_allows(self):
+        inj = make(
+            FaultPlan(faults=(DVFSRejectFault(start_s=0.1, end_s=0.2),))
+        )
+        assert inj.dvfs_request(0.05, 0, 0.8, 1.0) == (True, 0.0)
+        assert inj.dvfs_request(0.15, 0, 0.8, 1.0)[0] is False
+
+    def test_latency_extends_accepted_transitions(self):
+        inj = make(FaultPlan(faults=(DVFSLatencyFault(extra_penalty_s=5e-5),)))
+        allow, extra = inj.dvfs_request(0.0, 1, 0.8, 1.0)
+        assert allow and extra == pytest.approx(5e-5)
+        assert inj.dvfs_delayed == 1
+
+    def test_reject_swallows_latency_penalty(self):
+        inj = make(
+            FaultPlan(
+                faults=(
+                    DVFSRejectFault(),
+                    DVFSLatencyFault(extra_penalty_s=5e-5),
+                )
+            )
+        )
+        allow, extra = inj.dvfs_request(0.0, 0, 0.8, 1.0)
+        assert not allow and extra == 0.0
+        assert inj.dvfs_rejected == 1 and inj.dvfs_delayed == 0
+
+    def test_stochastic_reject_deterministic_per_seed(self):
+        plan = FaultPlan(faults=(DVFSRejectFault(prob=0.5),))
+        outcomes = []
+        for _ in range(2):
+            inj = make(plan, seed=17)
+            outcomes.append(
+                [inj.dvfs_request(i * 1e-3, 0, 0.8, 1.0)[0]
+                 for i in range(100)]
+            )
+        assert outcomes[0] == outcomes[1]
+        assert 0 < sum(outcomes[0]) < 100  # both branches taken
+
+    def test_gate_closure_binds_core(self):
+        inj = make(FaultPlan(faults=(DVFSRejectFault(core=3),)))
+        gate = inj.dvfs_gate_for(3)
+        assert gate(0.0, 0.8, 1.0)[0] is False
+        assert inj.dvfs_gate_for(0)(0.0, 0.8, 1.0)[0] is True
+
+
+class TestMigrationFaults:
+    def test_drop_always(self):
+        log = RunEventLog()
+        inj = make(FaultPlan(faults=(MigrationDropFault(),)), event_log=log)
+        assert inj.migration_request(0.0, [1, 0, 2, 3]) is False
+        assert inj.migrations_dropped == 1
+        assert log.of_type("fault.migration")[0].data["assignment"] == [1, 0, 2, 3]
+
+    def test_drop_outside_window_delivers(self):
+        inj = make(
+            FaultPlan(faults=(MigrationDropFault(start_s=0.5, end_s=0.6),))
+        )
+        assert inj.migration_request(0.1, [1, 0, 2, 3]) is True
+        assert inj.migrations_dropped == 0
+
+    def test_stochastic_drop_deterministic(self):
+        plan = FaultPlan(faults=(MigrationDropFault(prob=0.5),))
+        outcomes = []
+        for _ in range(2):
+            inj = make(plan, seed=23)
+            outcomes.append(
+                [inj.migration_request(i * 0.01, [1, 0, 2, 3])
+                 for i in range(60)]
+            )
+        assert outcomes[0] == outcomes[1]
+        assert 0 < sum(outcomes[0]) < 60
+
+
+class TestStreamIndependence:
+    def test_editing_one_fault_leaves_other_draws_unchanged(self):
+        """Per-fault streams are keyed by plan index, not shared."""
+        spike = SpikeFault(prob=0.1, magnitude_c=8.0)
+        base_plan = FaultPlan(faults=(spike, MigrationDropFault(prob=0.5)))
+        edited_plan = FaultPlan(
+            # Same index-1 fault, different index-0 parameters.
+            faults=(SpikeFault(prob=0.9, magnitude_c=2.0),
+                    MigrationDropFault(prob=0.5))
+        )
+        a = make(base_plan, seed=5)
+        b = make(edited_plan, seed=5)
+        drops_a = [a.migration_request(i * 0.01, [0, 1, 2, 3]) for i in range(50)]
+        drops_b = [b.migration_request(i * 0.01, [0, 1, 2, 3]) for i in range(50)]
+        assert drops_a == drops_b
+
+
+class TestValidationAndCounts:
+    def test_bad_target_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            make(FaultPlan(faults=(StuckAtFault(core=9),)), n_cores=4)
+
+    def test_summary_counts(self):
+        inj = make(
+            FaultPlan(
+                faults=(CalibrationStepFault(), DVFSRejectFault(),
+                        MigrationDropFault())
+            )
+        )
+        inj.apply_sensor_faults(0.0, temps())
+        inj.dvfs_request(0.0, 0, 0.8, 1.0)
+        inj.migration_request(0.0, [1, 0, 2, 3])
+        assert inj.summary_counts() == {
+            "sensor_faulted_samples": 8,  # 4 cores x 2 units
+            "dvfs_rejected": 1,
+            "dvfs_delayed": 0,
+            "migrations_dropped": 1,
+        }

@@ -1,0 +1,186 @@
+"""Tests for the typed fault models and the FaultPlan spec format."""
+
+import math
+
+import pytest
+
+from repro.faults.models import (
+    ACTUATOR_FAULT_TYPES,
+    FAULT_REGISTRY,
+    SENSOR_FAULT_TYPES,
+    UNBOUNDED,
+    CalibrationStepFault,
+    DriftFault,
+    DropoutFault,
+    DVFSLatencyFault,
+    DVFSRejectFault,
+    FaultPlan,
+    FaultSummary,
+    MigrationDropFault,
+    SpikeFault,
+    StuckAtFault,
+)
+
+
+class TestRegistry:
+    def test_every_model_registered_by_kind(self):
+        for cls in SENSOR_FAULT_TYPES + ACTUATOR_FAULT_TYPES:
+            assert FAULT_REGISTRY[cls.kind] is cls
+
+    def test_kinds_are_unique(self):
+        assert len(FAULT_REGISTRY) == len(
+            SENSOR_FAULT_TYPES + ACTUATOR_FAULT_TYPES
+        )
+
+
+class TestValidation:
+    def test_window_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            DriftFault(start_s=0.5, end_s=0.5)
+        with pytest.raises(ValueError):
+            DriftFault(start_s=0.5, end_s=0.1)
+        with pytest.raises(ValueError):
+            DriftFault(start_s=-1.0)
+
+    def test_prob_bounds(self):
+        with pytest.raises(ValueError):
+            SpikeFault(prob=1.5)
+        with pytest.raises(ValueError):
+            DVFSRejectFault(prob=-0.1)
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(core=-1)
+
+    def test_dropout_mode_checked(self):
+        with pytest.raises(ValueError):
+            DropoutFault(mode="zero")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            DVFSLatencyFault(extra_penalty_s=-1e-6)
+
+
+class TestWindows:
+    def test_half_open_window(self):
+        f = DriftFault(start_s=0.1, end_s=0.2)
+        assert not f.active(0.099)
+        assert f.active(0.1)
+        assert f.active(0.199)
+        assert not f.active(0.2)
+
+    def test_unbounded_window(self):
+        f = CalibrationStepFault(start_s=0.0)
+        assert f.end_s == UNBOUNDED
+        assert f.active(1e9)
+
+
+class TestStochasticFlag:
+    def test_always_stochastic(self):
+        assert SpikeFault().stochastic
+
+    def test_stochastic_only_below_certainty(self):
+        assert DropoutFault(prob=0.5).stochastic
+        assert not DropoutFault(prob=1.0).stochastic
+        assert DVFSRejectFault(prob=0.5).stochastic
+        assert not DVFSRejectFault(prob=1.0).stochastic
+        assert MigrationDropFault(prob=0.3).stochastic
+        assert not MigrationDropFault().stochastic
+
+    def test_deterministic_models(self):
+        assert not StuckAtFault().stochastic
+        assert not DriftFault().stochastic
+        assert not CalibrationStepFault().stochastic
+        assert not DVFSLatencyFault().stochastic
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.sensor_faults == ()
+        assert plan.actuator_faults == ()
+
+    def test_partition_preserves_plan_order(self):
+        a = DriftFault(core=0, unit="intreg")
+        b = DVFSRejectFault()
+        c = SpikeFault()
+        plan = FaultPlan(faults=(a, b, c))
+        assert plan.sensor_faults == (a, c)
+        assert plan.actuator_faults == (b,)
+
+    def test_plan_is_hashable(self):
+        plan = FaultPlan(faults=(DriftFault(), MigrationDropFault()))
+        assert hash(plan) == hash(
+            FaultPlan(faults=(DriftFault(), MigrationDropFault()))
+        )
+
+    def test_unknown_fault_type_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(faults=("not-a-fault",))
+
+    def test_validate_targets(self):
+        plan = FaultPlan(faults=(StuckAtFault(core=4),))
+        plan.validate_targets(8, ("intreg", "fpreg"))
+        with pytest.raises(ValueError):
+            plan.validate_targets(4, ("intreg", "fpreg"))
+        bad_unit = FaultPlan(faults=(DriftFault(unit="l2"),))
+        with pytest.raises(ValueError):
+            bad_unit.validate_targets(4, ("intreg", "fpreg"))
+
+
+class TestSpecRoundTrip:
+    PLAN = FaultPlan(
+        name="round-trip",
+        faults=(
+            StuckAtFault(core=0, unit="intreg", start_s=0.1, end_s=0.5,
+                         value_c=70.0),
+            DropoutFault(core=1, start_s=0.0, end_s=0.2, prob=0.4,
+                         mode="nan"),
+            DriftFault(start_s=0.05, rate_c_per_s=3.0),  # unbounded end
+            SpikeFault(magnitude_c=-12.0, prob=0.02),
+            CalibrationStepFault(offset_c=-4.0),
+            DVFSRejectFault(core=2, prob=0.75),
+            DVFSLatencyFault(extra_penalty_s=55e-6),
+            MigrationDropFault(start_s=0.01, end_s=0.02),
+        ),
+    )
+
+    def test_round_trip_identity(self):
+        assert FaultPlan.from_spec(self.PLAN.to_spec()) == self.PLAN
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(self.PLAN.to_json())
+        assert FaultPlan.from_json_file(path) == self.PLAN
+
+    def test_unbounded_end_serialises_as_string(self):
+        spec = self.PLAN.to_spec()
+        drift = next(e for e in spec["faults"] if e["kind"] == "drift")
+        assert drift["end_s"] == "inf"
+        restored = FaultPlan.from_spec(spec)
+        assert restored.faults[2].end_s == math.inf
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_spec({"faults": [{"kind": "meltdown"}]})
+
+    def test_bad_field_rejected(self):
+        with pytest.raises(ValueError, match="bad 'drift' fault spec"):
+            FaultPlan.from_spec(
+                {"faults": [{"kind": "drift", "bogus_field": 1}]}
+            )
+
+
+class TestFaultSummary:
+    def test_total_injected(self):
+        s = FaultSummary(
+            sensor_faulted_samples=10,
+            dvfs_rejected=2,
+            dvfs_delayed=3,
+            migrations_dropped=1,
+            guard_trips=5,
+            guard_fallback_s=0.5,
+        )
+        # Guard activity is a response, not an injection.
+        assert s.total_injected == 16

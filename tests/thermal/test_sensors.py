@@ -6,7 +6,12 @@ import pytest
 from repro.thermal.layouts import build_cmp_floorplan
 from repro.thermal.model import ThermalModel
 from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
-from repro.thermal.sensors import SensorBank, ThermalSensor, ideal_sensor_bank
+from repro.thermal.sensors import (
+    SensorBank,
+    ThermalSensor,
+    ideal_sensor_bank,
+    quantize_half_up,
+)
 from repro.util.rng import RngStream
 
 
@@ -27,6 +32,40 @@ class TestThermalSensor:
             ThermalSensor("b", noise_std_c=-1.0)
         with pytest.raises(ValueError):
             ThermalSensor("b", quantization_c=-0.5)
+
+
+class TestQuantizeHalfUp:
+    """The explicit x.5 tie rule (replaces Python's banker's rounding)."""
+
+    def test_ties_round_up(self):
+        assert quantize_half_up(0.5, 1.0) == 1.0
+        assert quantize_half_up(1.5, 1.0) == 2.0
+        assert quantize_half_up(2.5, 1.0) == 3.0
+
+    def test_differs_from_bankers_rounding(self):
+        # round() sends 0.5 -> 0 and 2.5 -> 2 (ties to even); the sensor
+        # rule pins both to the next grid point up.
+        assert round(0.5) == 0 and quantize_half_up(0.5, 1.0) == 1.0
+        assert round(2.5) == 2 and quantize_half_up(2.5, 1.0) == 3.0
+
+    def test_negative_ties_toward_plus_inf(self):
+        assert quantize_half_up(-0.5, 1.0) == 0.0
+        assert quantize_half_up(-1.5, 1.0) == -1.0
+
+    def test_non_ties_round_nearest(self):
+        assert quantize_half_up(72.4, 1.0) == 72.0
+        assert quantize_half_up(72.6, 1.0) == 73.0
+        assert quantize_half_up(-72.4, 1.0) == -72.0
+
+    def test_fractional_grid(self):
+        assert quantize_half_up(1.25, 0.5) == 1.5
+        assert quantize_half_up(1.1, 0.5) == 1.0
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            quantize_half_up(1.0, 0.0)
+        with pytest.raises(ValueError):
+            quantize_half_up(1.0, -1.0)
 
 
 class TestSensorBank:
@@ -87,6 +126,79 @@ class TestSensorBank:
         bank.read(model)
         bank.reset()
         assert bank.last_reading == {}
+
+    def test_reset_rewinds_rng_stream(self, model):
+        """A reused bank must reproduce bit-identical reading sequences."""
+        bank = SensorBank(
+            [ThermalSensor("core0.intreg", noise_std_c=0.5, lag=0.5)],
+            rng=RngStream(7, "reset-test"),
+        )
+        first_run = [bank.read(model)["core0.intreg"] for _ in range(10)]
+        bank.reset()
+        second_run = [bank.read(model)["core0.intreg"] for _ in range(10)]
+        assert first_run == second_run  # bit-identical, not approx
+
+    def test_reset_matches_fresh_bank(self, model):
+        def fresh():
+            return SensorBank(
+                [ThermalSensor("core0.intreg", noise_std_c=0.5)],
+                rng=RngStream(7, "reset-test"),
+            )
+
+        bank = fresh()
+        [bank.read(model) for _ in range(5)]
+        bank.reset()
+        resumed = [bank.read(model)["core0.intreg"] for _ in range(5)]
+        pristine_bank = fresh()
+        pristine = [pristine_bank.read(model)["core0.intreg"] for _ in range(5)]
+        assert resumed == pristine
+
+    def test_first_read_seeds_lag_from_truth(self, model):
+        """Lag warm-up: the first sample is un-lagged (tracks silicon)."""
+        truth = model.temperature_of("core0.intreg")
+        bank = SensorBank([ThermalSensor("core0.intreg", lag=0.9)])
+        assert bank.read(model)["core0.intreg"] == pytest.approx(truth)
+
+    def test_first_read_still_applies_offset(self, model):
+        truth = model.temperature_of("core0.intreg")
+        bank = SensorBank(
+            [ThermalSensor("core0.intreg", lag=0.9, offset_c=3.0)]
+        )
+        assert bank.read(model)["core0.intreg"] == pytest.approx(truth + 3.0)
+
+    def test_first_read_still_applies_noise(self, model):
+        truth = model.temperature_of("core0.intreg")
+        bank = SensorBank(
+            [ThermalSensor("core0.intreg", lag=0.9, noise_std_c=0.5)],
+            rng=RngStream(3, "warmup"),
+        )
+        reading = bank.read(model)["core0.intreg"]
+        expected_noise = float(RngStream(3, "warmup").normal(0.0, 0.5))
+        assert reading == pytest.approx(truth + expected_noise)
+        assert reading != truth
+
+    def test_first_read_still_applies_quantization(self, model):
+        truth = model.temperature_of("core0.intreg")
+        bank = SensorBank(
+            [ThermalSensor("core0.intreg", lag=0.9, quantization_c=1.0)]
+        )
+        assert bank.read(model)["core0.intreg"] == quantize_half_up(truth, 1.0)
+
+    def test_fault_filter_applied_after_pipeline(self, model):
+        calls = []
+
+        def fault(time_s, block, value):
+            calls.append((time_s, block, value))
+            return value + 100.0
+
+        truth = model.temperature_of("core0.intreg")
+        bank = SensorBank(
+            [ThermalSensor("core0.intreg", offset_c=1.0)], fault_filter=fault
+        )
+        reading = bank.read(model, time_s=0.25)["core0.intreg"]
+        assert reading == pytest.approx(truth + 1.0 + 100.0)
+        # The filter saw the post-pipeline (offset-applied) value.
+        assert calls == [(0.25, "core0.intreg", pytest.approx(truth + 1.0))]
 
     def test_empty_bank_rejected(self):
         with pytest.raises(ValueError):
