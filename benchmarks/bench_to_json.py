@@ -1,0 +1,19 @@
+"""Write the tracked engine-throughput baseline (``BENCH_engine.json``).
+
+Thin script wrapper around :mod:`repro.sim.bench` so the artifact can be
+regenerated without pytest::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_to_json.py --short \
+        --check BENCH_engine.json                                # CI gate
+
+Identical to ``python -m repro bench`` (same flags, same measurement
+protocol); both delegate to :func:`repro.sim.bench.main`.
+"""
+
+import sys
+
+from repro.sim.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

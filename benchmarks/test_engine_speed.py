@@ -5,45 +5,51 @@ rounds=1), this one uses pytest-benchmark conventionally — repeated
 rounds over a fixed small run — so regressions in the hot loop (power
 assembly, thermal step, policy updates) show up as timing changes across
 revisions.
+
+The case list is shared with ``repro bench`` / ``BENCH_engine.json``
+(see :mod:`repro.sim.bench`): the four policy configs, a faulted DVFS
+run (fusion blocked, fault hot paths exercised), and a full-length
+Table-1-style characterization run.
 """
 
 import pytest
 
-from repro.core.taxonomy import spec_by_key
-from repro.sim.engine import SimulationConfig, ThermalTimingSimulator
-from repro.sim.workloads import get_workload
+from repro.sim.bench import ENGINE_BENCH_CASES, build_simulator, case_steps
 
-W7 = get_workload("workload7")
-RUN_S = 0.02  # 720 engine steps
+SHORT_CASES = [c for c in ENGINE_BENCH_CASES if c.short]
+FULL_CASES = [c for c in ENGINE_BENCH_CASES if not c.short]
 
 
-def _run(spec_key):
-    sim = ThermalTimingSimulator(
-        W7.benchmarks,
-        spec_by_key(spec_key) if spec_key else None,
-        SimulationConfig(duration_s=RUN_S),
-    )
-    return sim.run()
+def _measure(benchmark, case, rounds):
+    # Fresh simulator per round, built outside the timed body — the same
+    # run()-only protocol as `repro bench` (docs/PERFORMANCE.md).
+    def setup():
+        return (build_simulator(case),), {}
 
-
-@pytest.mark.parametrize(
-    "spec_key",
-    [
-        None,
-        "distributed-stop-go-none",
-        "distributed-dvfs-none",
-        "distributed-dvfs-sensor",
-    ],
-    ids=["unthrottled", "stopgo", "dvfs", "dvfs+sensor-migration"],
-)
-def test_engine_steps_per_second(benchmark, spec_key):
     result = benchmark.pedantic(
-        _run, args=(spec_key,), rounds=3, iterations=1, warmup_rounds=1
+        lambda sim: sim.run(),
+        setup=setup, rounds=rounds, iterations=1, warmup_rounds=1,
     )
     # Sanity on the measured run itself.
     assert result.bips > 0
-    n_steps = round(RUN_S / (100_000 / 3.6e9))
-    benchmark.extra_info["simulated_steps"] = n_steps
-    benchmark.extra_info["steps_per_second"] = (
-        n_steps / benchmark.stats.stats.mean
-    )
+    n_steps = case_steps(case)
+    if benchmark.stats is not None:  # None under --benchmark-disable
+        benchmark.extra_info["simulated_steps"] = n_steps
+        benchmark.extra_info["steps_per_second"] = (
+            n_steps / benchmark.stats.stats.mean
+        )
+
+
+@pytest.mark.parametrize(
+    "case", SHORT_CASES, ids=[c.key for c in SHORT_CASES]
+)
+def test_engine_steps_per_second(benchmark, case):
+    _measure(benchmark, case, rounds=3)
+
+
+@pytest.mark.parametrize(
+    "case", FULL_CASES, ids=[c.key for c in FULL_CASES]
+)
+def test_engine_steps_per_second_full(benchmark, case):
+    # Full-length run: one round is ~25x a short round, so don't repeat.
+    _measure(benchmark, case, rounds=1)

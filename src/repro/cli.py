@@ -12,6 +12,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro profile -w workload7 -d 0.05
     python -m repro trace gzip -o gzip.npz [-d 0.25]
     python -m repro cache [--clear]
+    python -m repro bench [--short] [--check BENCH_engine.json]
 
 ``run`` simulates one (workload, policy) pair, optionally under a JSON
 fault specification (see ``docs/MODELING.md`` section 8); ``compare``
@@ -21,7 +22,9 @@ runs all 12 taxonomy cells on one workload and prints the comparison;
 taxonomy and prints the degradation table; ``profile`` times the
 engine's step sections per policy; ``trace`` generates and saves a
 benchmark power trace; ``cache`` inspects or clears the on-disk result
-cache.
+cache; ``bench`` measures engine throughput (steps/second per policy)
+and writes — or regression-checks against — the tracked
+``BENCH_engine.json`` baseline (see ``docs/PERFORMANCE.md``).
 
 Observability: ``run --events-out FILE`` exports the run's typed event
 log (DVFS transitions, stop-go trips, migrations, OS ticks, PROCHOT
@@ -56,6 +59,7 @@ from repro.obs import (
     configure_logging,
     get_logger,
 )
+from repro.sim.bench import add_bench_arguments, run_from_args as run_bench
 from repro.sim.engine import SimulationConfig, run_workload
 from repro.sim.report import comparison_report, save_results
 from repro.sim.runner import ParallelRunner, ResultCache
@@ -181,6 +185,13 @@ def _build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached result")
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure engine throughput (steps/s per policy) and write "
+             "or check BENCH_engine.json",
+    )
+    add_bench_arguments(bench)
 
     return parser
 
@@ -394,6 +405,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench":
+        # Timed inline runs: never touches the result cache or the
+        # parallel runner (timings must come from this process).
+        return run_bench(args)
 
     runner = ParallelRunner(
         jobs=args.jobs, cache=None if args.no_cache else ResultCache()

@@ -81,13 +81,26 @@ class DVFSPolicy(ThrottlePolicy):
         temperatures" (Section 4.1).
         """
         self._check_readings(readings)
+        return self.scales_from_hottest(
+            time_s, [self.hottest(r) for r in readings]
+        )
+
+    def scales_from_hottest(
+        self, time_s: float, hottest: Sequence[float]
+    ) -> List[float]:
+        """Validation-free :meth:`scales` on per-core hottest readings.
+
+        The controllers only ever consume each core's hottest monitored
+        temperature, so the engine's hot loop can hand that in directly
+        (skipping per-step dict assembly); results are identical to
+        :meth:`scales` on the readings the values came from.
+        """
         if self.scope == "distributed":
             return [
-                self.controllers[core].step(self.hottest(readings[core]), time_s)
+                self.controllers[core].step(hottest[core], time_s)
                 for core in range(self.n_cores)
             ]
-        hottest_anywhere = max(self.hottest(r) for r in readings)
-        scale = self.controllers[0].step(hottest_anywhere, time_s)
+        scale = self.controllers[0].step(max(hottest), time_s)
         return [scale] * self.n_cores
 
     def average_scale(self, core: int) -> float:

@@ -69,10 +69,22 @@ class StopGoPolicy(ThrottlePolicy):
     def scales(self, time_s: float, readings: SensorReadings) -> List[float]:
         """0.0 for frozen cores, 1.0 otherwise; freezes cores that trip."""
         self._check_readings(readings)
-        tripped = [
-            self.hottest(reading) >= self.trip_temperature_c
-            for reading in readings
-        ]
+        return self.scales_from_hottest(
+            time_s, [self.hottest(r) for r in readings]
+        )
+
+    def scales_from_hottest(
+        self, time_s: float, hottest: Sequence[float]
+    ) -> List[float]:
+        """Validation-free :meth:`scales` on per-core hottest readings.
+
+        The trip decision only ever consumes each core's hottest
+        monitored temperature, so the engine's hot loop can hand that in
+        directly (skipping per-step dict assembly); results are
+        identical to :meth:`scales` on the readings the values came
+        from.
+        """
+        tripped = [h >= self.trip_temperature_c for h in hottest]
         for core in range(self.n_cores):
             frozen = time_s < self._frozen_until[core]
             if not frozen and tripped[core]:

@@ -114,6 +114,7 @@ class RunEventLog:
     """
 
     def __init__(self) -> None:
+        """Start with an empty capture buffer."""
         self.events: List[RunEvent] = []
         self._counts: Dict[str, int] = {}
 
@@ -137,9 +138,11 @@ class RunEventLog:
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:
+        """Number of captured events."""
         return len(self.events)
 
     def __iter__(self) -> Iterator[RunEvent]:
+        """Iterate events in emission (time) order."""
         return iter(self.events)
 
     def count(self, event_type: str) -> int:

@@ -29,15 +29,18 @@ class _Section:
     __slots__ = ("_profiler", "_name", "_t0")
 
     def __init__(self, profiler: "StepProfiler", name: str):
+        """Bind the section to its profiler and charge name."""
         self._profiler = profiler
         self._name = name
         self._t0 = 0.0
 
     def __enter__(self) -> "_Section":
+        """Start the clock."""
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
+        """Charge the elapsed time to the section's name."""
         self._profiler._record(self._name, time.perf_counter() - self._t0)
 
 
@@ -45,6 +48,7 @@ class StepProfiler:
     """Accumulates wall time and entry counts per named section."""
 
     def __init__(self) -> None:
+        """Start with no sections and zero accumulated time."""
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
         self._sections: Dict[str, _Section] = {}
@@ -91,9 +95,11 @@ class _NullSection:
     __slots__ = ()
 
     def __enter__(self) -> "_NullSection":
+        """No-op."""
         return self
 
     def __exit__(self, *exc) -> None:
+        """No-op."""
         pass
 
 
@@ -103,9 +109,11 @@ class NullProfiler:
     _SECTION = _NullSection()
 
     def section(self, name: str) -> _NullSection:
+        """The shared no-op section, whatever the ``name``."""
         return self._SECTION
 
     def totals(self) -> Dict[str, float]:
+        """Always empty — nothing is measured."""
         return {}
 
 

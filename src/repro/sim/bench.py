@@ -1,0 +1,392 @@
+"""Engine throughput benchmark suite (steps/second per policy).
+
+One canonical case list drives three consumers so they can never drift
+apart:
+
+* ``benchmarks/test_engine_speed.py`` — the pytest-benchmark suite;
+* ``benchmarks/bench_to_json.py`` / ``repro bench`` — measures the same
+  cases with :func:`time.perf_counter` (no pytest dependency) and writes
+  the tracked ``BENCH_engine.json`` artifact at the repo root;
+* the CI bench job — reruns the *short* cases and fails when any drops
+  more than :data:`DEFAULT_TOLERANCE` below the committed baseline
+  (``repro bench --short --check BENCH_engine.json``).
+
+Measurement protocol: each case builds a fresh simulator per round
+(engine state is single-shot) and times ``sim.run()`` only — simulator
+construction (trace synthesis, RC-network assembly, ``expm``) is
+one-time setup cost, not hot-loop throughput. ``steps_per_second`` is
+computed from the *best* round, which is far more stable under machine
+noise than the mean and is therefore what the regression gate compares.
+See ``docs/PERFORMANCE.md`` for schema and interpretation.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import spec_by_key
+from repro.faults.models import (
+    DriftFault,
+    DropoutFault,
+    DVFSRejectFault,
+    FaultPlan,
+    SpikeFault,
+)
+from repro.sim.engine import SimulationConfig, ThermalTimingSimulator
+
+#: Current ``BENCH_engine.json`` schema identifier.
+SCHEMA = "repro-bench-engine/1"
+
+#: Regression gate: fail when a case drops more than this fraction below
+#: the committed baseline's steps/second.
+DEFAULT_TOLERANCE = 0.30
+
+#: Default timing repetitions (the best round is reported).
+DEFAULT_ROUNDS = 3
+
+#: Horizon of the short cases (seconds of silicon time; 720 steps).
+SHORT_RUN_S = 0.02
+
+#: Horizon of the full-length Table-1-style case (the paper's default
+#: measurement window used by ``experiments/table1.py``).
+FULL_RUN_S = 0.5
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmarked engine configuration.
+
+    Attributes:
+        key: Stable identifier; the case's name in ``BENCH_engine.json``
+            and the pytest parametrize id.
+        spec_key: Policy key from the taxonomy, or ``None`` for an
+            unthrottled run.
+        duration_s: Silicon time simulated per round.
+        faulted: Whether the run carries the benchmark fault plan
+            (exercises the sensor-fault and actuation hot paths, and —
+            because a plan blocks fusion — keeps the stepwise loop
+            honest on an otherwise-fusible config).
+        short: Whether the case belongs to the quick suite that CI
+            reruns on every push; the full-length case is excluded.
+        description: One line for humans, recorded in the artifact.
+    """
+
+    key: str
+    spec_key: Optional[str]
+    duration_s: float
+    faulted: bool
+    short: bool
+    description: str
+
+
+ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(
+        "unthrottled", None, SHORT_RUN_S, False, True,
+        "no policy: pure power/thermal stepping (fused whole-run path)",
+    ),
+    BenchCase(
+        "stopgo", "distributed-stop-go-none", SHORT_RUN_S, False, True,
+        "per-core stop-go throttling, counter-free",
+    ),
+    BenchCase(
+        "dvfs", "distributed-dvfs-none", SHORT_RUN_S, False, True,
+        "per-core PI-controlled DVFS",
+    ),
+    BenchCase(
+        "dvfs+sensor-migration", "distributed-dvfs-sensor", SHORT_RUN_S,
+        False, True,
+        "per-core DVFS plus sensor-based thread migration",
+    ),
+    BenchCase(
+        "faulted-dvfs", "distributed-dvfs-none", SHORT_RUN_S, True, True,
+        "per-core DVFS under an active fault plan (fusion blocked, "
+        "sensor-fault + DVFS-reject hot paths exercised)",
+    ),
+    BenchCase(
+        "table1-full", None, FULL_RUN_S, False, False,
+        "full-length Table-1-style unthrottled characterization run",
+    ),
+)
+
+
+def _bench_fault_plan(duration_s: float) -> FaultPlan:
+    """The fixed fault plan carried by the ``faulted-dvfs`` case.
+
+    Deliberately touches all three faultable hot paths — per-sample
+    sensor rewrites (drift + spikes), a windowed dropout, and DVFS
+    commit rejection — without changing which code *exists* on the
+    path; windows scale with the horizon so the plan is meaningful at
+    any ``duration_s``.
+    """
+    d = float(duration_s)
+    return FaultPlan(
+        name="bench",
+        faults=(
+            DriftFault(
+                core=0, unit="intreg",
+                start_s=0.2 * d, end_s=d, rate_c_per_s=10.0,
+            ),
+            SpikeFault(start_s=0.0, end_s=d, magnitude_c=8.0, prob=0.01),
+            DropoutFault(
+                core=1, start_s=0.3 * d, end_s=0.7 * d, mode="last-good",
+            ),
+            DVFSRejectFault(start_s=0.25 * d, end_s=0.75 * d, prob=0.5),
+        ),
+    )
+
+
+def case_config(case: BenchCase) -> SimulationConfig:
+    """The :class:`SimulationConfig` a case runs under."""
+    kwargs = {"duration_s": case.duration_s}
+    if case.faulted:
+        kwargs["fault_plan"] = _bench_fault_plan(case.duration_s)
+    return SimulationConfig(**kwargs)
+
+
+def build_simulator(case: BenchCase) -> ThermalTimingSimulator:
+    """A fresh simulator for one benchmark round of ``case``."""
+    from repro.sim.workloads import get_workload
+
+    workload = get_workload("workload7")
+    spec = spec_by_key(case.spec_key) if case.spec_key else None
+    return ThermalTimingSimulator(
+        workload.benchmarks, spec, case_config(case)
+    )
+
+
+def case_steps(case: BenchCase) -> int:
+    """Engine steps one round of ``case`` simulates."""
+    config = SimulationConfig(duration_s=case.duration_s)
+    return max(1, int(round(case.duration_s / config.machine.sample_period_s)))
+
+
+@dataclass(frozen=True)
+class BenchCaseResult:
+    """Measured throughput for one case."""
+
+    case: BenchCase
+    simulated_steps: int
+    round_seconds: Tuple[float, ...]
+
+    @property
+    def best_seconds(self) -> float:
+        """Fastest round's wall time."""
+        return min(self.round_seconds)
+
+    @property
+    def steps_per_second(self) -> float:
+        """Throughput of the best round — the gated headline number."""
+        return self.simulated_steps / self.best_seconds
+
+    @property
+    def steps_per_second_mean(self) -> float:
+        """Mean-round throughput, recorded for context."""
+        mean = sum(self.round_seconds) / len(self.round_seconds)
+        return self.simulated_steps / mean
+
+
+def run_case(
+    case: BenchCase,
+    rounds: int = DEFAULT_ROUNDS,
+    warmup_rounds: int = 1,
+) -> BenchCaseResult:
+    """Time ``case`` for ``rounds`` measured rounds (plus warmup)."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    timings: List[float] = []
+    for i in range(warmup_rounds + rounds):
+        sim = build_simulator(case)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        if i >= warmup_rounds:
+            timings.append(elapsed)
+    return BenchCaseResult(case, case_steps(case), tuple(timings))
+
+
+def run_suite(
+    short_only: bool = False,
+    rounds: int = DEFAULT_ROUNDS,
+    cases: Optional[Sequence[BenchCase]] = None,
+) -> Dict:
+    """Run the suite and return the ``BENCH_engine.json`` payload.
+
+    Args:
+        short_only: Restrict to the quick cases CI reruns.
+        rounds: Measured rounds per case (best round is reported).
+        cases: Explicit case list; defaults to
+            :data:`ENGINE_BENCH_CASES` (filtered by ``short_only``).
+
+    Returns:
+        A JSON-serializable dict following :data:`SCHEMA`.
+    """
+    selected = list(cases if cases is not None else ENGINE_BENCH_CASES)
+    if short_only:
+        selected = [c for c in selected if c.short]
+    payload: Dict = {
+        "schema": SCHEMA,
+        "suite": "engine",
+        "workload": "workload7",
+        "rounds": rounds,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": __import__("numpy").__version__,
+            "platform": platform.platform(),
+        },
+        "cases": {},
+    }
+    for case in selected:
+        result = run_case(case, rounds=rounds)
+        payload["cases"][case.key] = {
+            "policy": case.spec_key,
+            "description": case.description,
+            "duration_s": case.duration_s,
+            "faulted": case.faulted,
+            "short": case.short,
+            "simulated_steps": result.simulated_steps,
+            "steps_per_second": round(result.steps_per_second, 1),
+            "steps_per_second_mean": round(result.steps_per_second_mean, 1),
+            "best_round_s": round(result.best_seconds, 6),
+        }
+    return payload
+
+
+def write_bench_json(payload: Dict, path: str) -> str:
+    """Write a suite payload as pretty-printed JSON; returns ``path``."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_bench_json(path: str) -> Dict:
+    """Load and sanity-check a ``BENCH_engine.json`` payload."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got "
+            f"{payload.get('schema')!r}"
+        )
+    return payload
+
+
+def compare_to_baseline(
+    current: Dict,
+    baseline: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regression check of ``current`` against a committed ``baseline``.
+
+    Only cases present in both payloads are compared (so adding a case
+    does not invalidate an old baseline, and the short CI suite can be
+    checked against the full committed artifact). A case regresses when
+    its ``steps_per_second`` falls more than ``tolerance`` below the
+    baseline's.
+
+    Returns:
+        Human-readable regression messages; empty means the gate passes.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    problems: List[str] = []
+    for key, base in baseline["cases"].items():
+        cur = current["cases"].get(key)
+        if cur is None:
+            continue
+        floor = base["steps_per_second"] * (1.0 - tolerance)
+        if cur["steps_per_second"] < floor:
+            problems.append(
+                f"{key}: {cur['steps_per_second']:.0f} steps/s is "
+                f"{1 - cur['steps_per_second'] / base['steps_per_second']:.0%} "
+                f"below baseline {base['steps_per_second']:.0f} "
+                f"(floor {floor:.0f} at tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def render_suite(payload: Dict) -> str:
+    """One-line-per-case text summary of a suite payload."""
+    lines = [
+        f"engine throughput ({payload['workload']}, best of "
+        f"{payload['rounds']} rounds):"
+    ]
+    for key, entry in payload["cases"].items():
+        lines.append(
+            f"  {key:24s} {entry['steps_per_second']:>10,.0f} steps/s  "
+            f"({entry['simulated_steps']} steps, "
+            f"{entry['duration_s']:g} s silicon)"
+        )
+    return "\n".join(lines)
+
+
+def add_bench_arguments(parser) -> None:
+    """Install the ``bench`` flags on an argparse parser (or subparser)."""
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the JSON payload (default: BENCH_engine.json unless "
+             "--check is given)",
+    )
+    parser.add_argument(
+        "--short", action="store_true",
+        help="run only the quick cases (the set CI regression-gates)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=DEFAULT_ROUNDS,
+        help=f"measured rounds per case (default: {DEFAULT_ROUNDS})",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a committed BENCH_engine.json and exit "
+             "non-zero on regression instead of writing a new artifact",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below the baseline before --check "
+             f"fails (default: {DEFAULT_TOLERANCE})",
+    )
+
+
+def run_from_args(args) -> int:
+    """Execute a parsed ``bench`` invocation; returns the exit code."""
+    payload = run_suite(short_only=args.short, rounds=args.rounds)
+    print(render_suite(payload))
+
+    if args.check:
+        baseline = load_bench_json(args.check)
+        problems = compare_to_baseline(
+            payload, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            print(f"\nREGRESSION vs {args.check}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"\nok: no case more than {args.tolerance:.0%} below "
+            f"{args.check}"
+        )
+        if args.output:
+            print(f"baseline updated -> {write_bench_json(payload, args.output)}")
+        return 0
+
+    path = write_bench_json(payload, args.output or "BENCH_engine.json")
+    print(f"\nbaseline written -> {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``benchmarks/bench_to_json.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="measure engine throughput and write BENCH_engine.json",
+    )
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

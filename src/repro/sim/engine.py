@@ -126,8 +126,15 @@ class SimulationConfig:
     #: watchdog that stops trusting stuck/implausible sensors and falls
     #: the affected core back to blind stop-go. Off (``None``) by default.
     guard: Optional[GuardConfig] = None
+    #: Allow the whole-run fused fast path when nothing (policy, faults,
+    #: guards, PROCHOT, instrumentation) can observe an intermediate
+    #: step. Results are bit-identical either way — see
+    #: ``docs/PERFORMANCE.md`` — so this exists for equivalence testing
+    #: and debugging, not for correctness.
+    fuse_steps: bool = True
 
     def __post_init__(self):
+        """Reject non-physical durations, scales and thresholds."""
         if not self.duration_s > 0:
             raise ValueError(f"duration_s must be positive: {self.duration_s}")
         if not self.trace_duration_s > 0:
@@ -179,6 +186,7 @@ class ThermalTimingSimulator:
         event_log: Optional[RunEventLog] = None,
         profiler: Optional[StepProfiler] = None,
     ):
+        """Assemble the full simulated machine for one run."""
         self.config = config or SimulationConfig()
         self.event_log = event_log
         self.profiler = profiler
@@ -294,8 +302,10 @@ class ThermalTimingSimulator:
         for c in range(self.n_cores):
             self._block_core[self._core_unit_idx[c]] = c
 
-        # Mutable run state.
-        self._stall_until = np.zeros(self.n_cores)
+        # Mutable run state. Stall deadlines live in a plain list: the
+        # step loop reads one scalar per core per step, and list indexing
+        # is several times cheaper than numpy 0-d extraction.
+        self._stall_until = [0.0] * self.n_cores
         self._prochot_until = 0.0
         #: Hardware-trip activations over the run (0 unless enabled).
         self.prochot_events = 0
@@ -310,6 +320,64 @@ class ThermalTimingSimulator:
         # considered migration round, and when that round happened.
         self._last_critical: Optional[List[str]] = None
         self._last_round_s = 0.0
+
+        # Hot-path scratch buffers, reused every step. The step loop
+        # writes every element of the power buffer each step (the three
+        # index families partition the block set — checked here), so no
+        # per-step zeroing is needed.
+        self._unit_flat = self._core_unit_idx.reshape(-1)
+        self._l2_idx_list = [int(i) for i in self._l2_idx]
+        self._xbar_i = int(self._xbar_idx)
+        covered = sorted(
+            self._unit_flat.tolist() + self._l2_idx_list + [self._xbar_i]
+        )
+        if covered != list(range(net.n_blocks)):
+            raise RuntimeError(
+                "power indices do not partition the floorplan blocks"
+            )
+        n_units = len(UNIT_ORDER)
+        self._power_buf = np.zeros(net.n_blocks)
+        self._unit_pw_buf = np.empty((self.n_cores, n_units))
+        self._scaled_buf = np.empty((self.n_cores, n_units))
+        self._dyn_arr = np.empty(self.n_cores)
+        self._dyn_col = self._dyn_arr[:, None]
+        self._ssq_arr = np.empty(self.n_cores)
+        self._ssq_col = self._ssq_arr[:, None]
+        self._leak_mult = np.ones(net.n_blocks)
+        # Per-trace scalar columns pre-extracted to plain Python lists:
+        # list indexing hands back a float directly, several times faster
+        # than numpy 0-d extraction, and the inner loop reads four
+        # scalars per core per step.
+        self._trace_aux = {
+            p.pid: _TraceAux(p.trace) for p in self.scheduler.processes
+        }
+
+        # Whole-run step fusion (see run()): any entry here means some
+        # per-step observer could see or perturb an intermediate state,
+        # so the engine must take the general stepwise path.
+        blockers = []
+        if self.throttle is not None:
+            blockers.append("throttle-policy")
+        if self.migration is not None:
+            blockers.append("migration-policy")
+        if self._faults is not None:
+            blockers.append("fault-plan")
+        if self._guards is not None:
+            blockers.append("sensor-guards")
+        if self.config.hardware_trip:
+            blockers.append("hardware-trip")
+        if self.config.record_series:
+            blockers.append("record-series")
+        if event_log is not None:
+            blockers.append("event-log")
+        if profiler is not None:
+            blockers.append("profiler")
+        if not self.config.fuse_steps:
+            blockers.append("disabled")
+        #: Why the fused fast path cannot be used (empty = eligible).
+        self.fusion_blockers: Tuple[str, ...] = tuple(blockers)
+        #: Whether the most recent :meth:`run` took the fused fast path.
+        self.last_run_fused = False
 
     # -- helpers -----------------------------------------------------------
 
@@ -341,9 +409,9 @@ class ThermalTimingSimulator:
         """Block power vector at a uniform fraction of trace-mean power."""
         p = np.zeros(self.thermal.network.n_blocks)
         for c in range(self.n_cores):
-            trace = self.scheduler.process_on(c).trace
-            p[self._core_unit_idx[c]] = trace.unit_power.mean(axis=0) * frac
-            act = float(trace.l2_activity.mean()) * frac
+            aux = self._trace_aux[self.scheduler.process_on(c).pid]
+            p[self._core_unit_idx[c]] = aux.unit_power_mean * frac
+            act = aux.l2_activity_mean * frac
             p[self._l2_idx[c]] = self.config.power_scale * L2_BANK_PEAK_W * (
                 L2_IDLE_FRACTION + (1 - L2_IDLE_FRACTION) * act
             )
@@ -371,6 +439,7 @@ class ThermalTimingSimulator:
         n_blocks = self.thermal.network.n_blocks
 
         def max_block_temp(fraction: float) -> float:
+            """Hottest block at ``fraction`` of mean power, self-consistently."""
             # A diverging leakage fixed point means the operating point is
             # unsustainable — for bisection purposes, "infinitely hot".
             try:
@@ -396,37 +465,194 @@ class ThermalTimingSimulator:
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Execute the full run and return its result."""
-        cfg = self.config
-        dt = self.dt
-        n_steps = max(1, int(round(cfg.duration_s / dt)))
-        self._warm_start()
+        """Execute the full run and return its result.
 
+        Dispatches to the fused whole-run fast path when
+        :attr:`fusion_blockers` is empty, and to the general stepwise loop
+        otherwise. The two paths perform the same floating-point
+        operations in the same order, so results are bit-identical.
+        """
+        cfg = self.config
+        n_steps = max(1, int(round(cfg.duration_s / self.dt)))
+        self._warm_start()
         metrics = MetricsAccumulator(self.n_cores, cfg.threshold_c)
-        n_blocks = self.thermal.network.n_blocks
-        dvfs = isinstance(self.throttle, DVFSPolicy)
-        stopgo = isinstance(self.throttle, StopGoPolicy)
-        clock = cfg.machine.clock_hz
-        events = self.event_log
-        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        self.last_run_fused = not self.fusion_blockers
         logger.debug(
-            "run start: workload=%s policy=%s steps=%d dt=%.3g",
+            "run start: workload=%s policy=%s steps=%d dt=%.3g fused=%s",
             "-".join(self.benchmarks),
             self.spec.name if self.spec else "unthrottled",
             n_steps,
-            dt,
+            self.dt,
+            self.last_run_fused,
         )
+        if self.last_run_fused:
+            series = None
+            self._run_fused(n_steps, metrics)
+        else:
+            series = self._run_stepwise(n_steps, metrics)
+        self.metrics = metrics
+        logger.debug(
+            "run end: bips=%.3f duty=%.3f migrations=%d",
+            metrics.bips,
+            metrics.duty_cycle,
+            self.scheduler.total_migrations,
+        )
+        return self._build_result(metrics, series)
 
-        series = _SeriesRecorder(n_steps, self.n_cores) if cfg.record_series else None
+    def _run_stepwise(
+        self, n_steps: int, metrics: MetricsAccumulator
+    ) -> Optional["_SeriesRecorder"]:
+        """The general per-step loop: every edge is checked every step.
 
+        The paper's controllers sample the sensors at every trace step, so
+        any active policy collapses the fusion horizon to a single step —
+        this loop is the fast path for every throttled run. It assembles
+        the power vector into preallocated buffers (the index families
+        partition the block set, so every element is overwritten each
+        step), keeps per-core scalar work in plain Python, and advances
+        temperatures through the cached
+        :class:`~repro.thermal.model.StepOperator`.
+        """
+        cfg = self.config
+        dt = self.dt
+        n_cores = self.n_cores
+        n_blocks = self.thermal.network.n_blocks
+        dvfs = isinstance(self.throttle, DVFSPolicy)
+        stopgo = isinstance(self.throttle, StopGoPolicy)
+        nominal_cycles = dt * cfg.machine.clock_hz
+        events = self.event_log
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        thermal = self.thermal
+        apply_step = thermal.operator_for(dt).apply
+        leak_power = self.leakage.power_fast
+        throttle = self.throttle
+        guards = self._guards
+        faults = self._faults
+        window = self._window
+        record_step = metrics.record_step
+        process_on = self.scheduler.process_on
+        trace_aux = self._trace_aux
+        actuators = self.actuators
+        # Core -> process binding changes only when a migration executes,
+        # which only happens inside _os_tick — refreshed there below.
+        procs = [process_on(c) for c in range(n_cores)]
+        core_aux = [trace_aux[p.pid] for p in procs]
+        stall_until = self._stall_until
+        hotspot_idx = self._hotspot_idx
+        migration_due = self._migration_timer.fire_due
+
+        series = _SeriesRecorder(n_steps, n_cores) if cfg.record_series else None
+
+        # What the sensor path must produce: policies, guards, faults and
+        # series all consume readings every step; the profiler keeps the
+        # sensors section observable even for unthrottled runs. Per-core
+        # dicts are materialized only for the dict-API consumers.
+        need_sensors = (
+            throttle is not None
+            or guards is not None
+            or faults is not None
+            or series is not None
+            or self.profiler is not None
+        )
+        # Hottest-only fast path: both throttle families consume nothing
+        # but each core's hottest reading (scales_from_hottest), so when
+        # no other consumer needs the full per-unit dicts the loop hands
+        # the policy a plain float list instead. Migration ticks build
+        # dicts on demand (a few per run). Results are identical either
+        # way — scales() delegates to scales_from_hottest() on exactly
+        # these values.
+        policy_fast = (
+            throttle is not None
+            and hasattr(throttle, "scales_from_hottest")
+            and guards is None
+            and faults is None
+            and series is None
+        )
+        need_dicts = (
+            (throttle is not None and not policy_fast)
+            or guards is not None
+            or series is not None
+        )
+        window_live = throttle is not None and self.migration is not None
+        offset = cfg.sensor_offset_c
+        noise = cfg.sensor_noise_std_c
+        quant = cfg.sensor_quantization_c
+        units = HOTSPOT_UNITS
+        two_units = len(units) == 2
+        u0 = u1 = None
+        if two_units:
+            u0, u1 = units
+
+        # Reusable profiler section handles (no-ops when unprofiled).
+        sec_sensors = prof.section("sensors")
+        sec_throttle = prof.section("throttle")
+        sec_power = prof.section("power")
+        sec_thermal = prof.section("thermal-step")
+        sec_os_tick = prof.section("os-tick")
+
+        # Preallocated step-scope buffers: consumers read, never keep.
+        power = self._power_buf
+        unit_buf = self._unit_pw_buf
+        scaled_buf = self._scaled_buf
+        dyn_arr = self._dyn_arr
+        ssq_arr = self._ssq_arr
+        leak_mult = self._leak_mult
+        unit_flat = self._unit_flat
+        l2_idx = self._l2_idx_list
+        xbar_i = self._xbar_i
+        core_range = range(n_cores)
+        core_work = [0.0] * n_cores
+        core_stall = [0.0] * n_cores
+        core_frozen = [False] * n_cores
+        core_instr = [0.0] * n_cores
+        ones_scales = [1.0] * n_cores
+        l2_base = cfg.power_scale * L2_BANK_PEAK_W
+        xbar_base = cfg.power_scale * XBAR_PEAK_W
+
+        readings: List[Dict[str, float]] = []
+        hot: List[float] = []
+        temps = None
         for step in range(n_steps):
             t = step * dt
-            with prof.section("sensors"):
-                readings = self._read_sensors(t)
+
+            if need_sensors:
+                with sec_sensors:
+                    temps = thermal.temperatures[hotspot_idx]  # (n_cores, 2)
+                    if offset:
+                        temps = temps + offset
+                    if noise > 0:
+                        temps = temps + self._sensor_rng.normal(
+                            0.0, noise, temps.shape
+                        )
+                    if quant > 0:
+                        # Round-half-up-to-grid (x.5 snaps toward +inf),
+                        # the rule SensorBank documents — not np.round's
+                        # round-half-even.
+                        temps = np.floor(temps / quant + 0.5) * quant
+                    if faults is not None:
+                        # Dynamic faults apply after the static pipeline:
+                        # a stuck or dropped channel latches the
+                        # *reported* (already offset/noisy/quantized)
+                        # value, as real readout paths do.
+                        temps = faults.apply_sensor_faults(t, temps)
+                    if need_dicts:
+                        if two_units:
+                            readings = [
+                                {u0: r[0], u1: r[1]} for r in temps.tolist()
+                            ]
+                        else:
+                            readings = [
+                                dict(zip(units, row)) for row in temps.tolist()
+                            ]
+                    elif policy_fast:
+                        if two_units:
+                            hot = [max(r[0], r[1]) for r in temps.tolist()]
+                        else:
+                            hot = [max(row) for row in temps.tolist()]
 
             # Sensor-sanity watchdog: sees exactly what the policies see.
-            if self._guards is not None:
-                for core, transition in self._guards.observe(t, readings):
+            if guards is not None:
+                for core, transition in guards.observe(t, readings):
                     logger.debug("guard %s core=%d t=%.6f", transition, core, t)
                     if events is not None:
                         events.emit(
@@ -436,19 +662,36 @@ class ThermalTimingSimulator:
                         )
 
             # Outer loop: OS timer + migration.
-            if self._migration_timer.fire_due(t):
-                with prof.section("os-tick"):
+            if migration_due(t):
+                with sec_os_tick:
+                    if policy_fast and self.migration is not None:
+                        # The tick's migration trigger wants full dicts;
+                        # build them for this step only (same values the
+                        # hot list was reduced from).
+                        if two_units:
+                            readings = [
+                                {u0: r[0], u1: r[1]} for r in temps.tolist()
+                            ]
+                        else:
+                            readings = [
+                                dict(zip(units, row)) for row in temps.tolist()
+                            ]
                     self._os_tick(t, readings)
+                procs = [process_on(c) for c in core_range]
+                core_aux = [trace_aux[p.pid] for p in procs]
 
             # Inner loop: throttling.
-            prev_trips = self.throttle.trip_count if stopgo else 0
-            with prof.section("throttle"):
-                if self.throttle is None:
-                    scales = [1.0] * self.n_cores
-                else:
-                    scales = self.throttle.scales(t, readings)
-            if events is not None and stopgo:
-                self._emit_stopgo_events(events, t, scales, prev_trips)
+            if throttle is None:
+                scales = ones_scales
+            else:
+                prev_trips = throttle.trip_count if stopgo else 0
+                with sec_throttle:
+                    if policy_fast:
+                        scales = throttle.scales_from_hottest(t, hot)
+                    else:
+                        scales = throttle.scales(t, readings)
+                if events is not None and stopgo:
+                    self._emit_stopgo_events(events, t, scales, prev_trips)
 
             # Independent hardware overtemperature trip (PROCHOT-style):
             # reads true silicon, not the (possibly miscalibrated) digital
@@ -457,7 +700,7 @@ class ThermalTimingSimulator:
             if cfg.hardware_trip:
                 if t < self._prochot_until:
                     prochot_active = True
-                elif self.thermal.max_block_temperature() >= cfg.threshold_c:
+                elif thermal.max_block_temperature() >= cfg.threshold_c:
                     self._prochot_until = t + cfg.hardware_trip_freeze_s
                     self.prochot_events += 1
                     prochot_active = True
@@ -465,31 +708,22 @@ class ThermalTimingSimulator:
                         events.emit(
                             t,
                             "prochot-trip",
-                            temp_c=float(self.thermal.max_block_temperature()),
+                            temp_c=float(thermal.max_block_temperature()),
                         )
                     logger.debug("prochot trip #%d at t=%.6f", self.prochot_events, t)
 
-            power = np.zeros(n_blocks)
-            core_work = [0.0] * self.n_cores
-            core_stall = [0.0] * self.n_cores
-            core_frozen = [False] * self.n_cores
-            core_instr = [0.0] * self.n_cores
-            leak_mult = np.ones(n_blocks)
-            total_l2_act = 0.0
-
-            with prof.section("power"):
-                for c in range(self.n_cores):
-                    proc = self.scheduler.process_on(c)
-                    trace = proc.trace
-                    idx = trace.sample_index(proc.position)
+            with sec_power:
+                total_l2_act = 0.0
+                for c in core_range:
+                    proc = procs[c]
+                    aux = core_aux[c]
+                    idx = int(proc.position) % aux.n_samples
 
                     guard_scale = (
-                        self._guards.override(c, t)
-                        if self._guards is not None
-                        else None
+                        guards.override(c, t) if guards is not None else None
                     )
                     if dvfs:
-                        actuator = self.actuators[c]
+                        actuator = actuators[c]
                         if guard_scale is not None:
                             # Fallback: the PLL is left where it is (no
                             # re-lock on distrusted feedback); the blind
@@ -508,9 +742,7 @@ class ThermalTimingSimulator:
                             prev_transitions = actuator.transitions
                             penalty = actuator.request(requested, t)
                             if penalty > 0:
-                                self._stall_until[c] = (
-                                    max(self._stall_until[c], t) + penalty
-                                )
+                                stall_until[c] = max(stall_until[c], t) + penalty
                             s = actuator.current_scale
                             frozen = False
                             if events is not None:
@@ -539,37 +771,40 @@ class ThermalTimingSimulator:
                     if prochot_active:
                         frozen = True  # hardware gate overrides everything
 
-                    stalled = min(max(self._stall_until[c] - t, 0.0), dt)
+                    stalled = min(max(stall_until[c] - t, 0.0), dt)
                     active = 0.0 if frozen else dt - stalled
                     work = s * active  # full-speed-equivalent seconds
+                    adv = work / dt  # fraction of a full-speed sample
 
                     # Dynamic power: cubic DVFS scaling x active fraction.
-                    dyn_mult = (s ** 3) * (active / dt)
-                    power[self._core_unit_idx[c]] += trace.unit_power[idx] * dyn_mult
+                    dyn_arr[c] = (s ** 3) * (active / dt)
+                    unit_buf[c] = aux.unit_power[idx]
 
                     # Shared structures driven by this core's traffic.
-                    l2_act = trace.l2_activity[idx] * s * (active / dt)
+                    l2_act = aux.l2_activity[idx] * s * (active / dt)
                     total_l2_act += l2_act
-                    power[self._l2_idx[c]] += cfg.power_scale * L2_BANK_PEAK_W * (
+                    power[l2_idx[c]] = l2_base * (
                         L2_IDLE_FRACTION + (1 - L2_IDLE_FRACTION) * l2_act
                     )
 
-                    # Leakage voltage scaling: DVFS lowers Vdd with frequency;
-                    # stop-go keeps nominal voltage (state is preserved).
+                    # Leakage voltage scaling: DVFS lowers Vdd with
+                    # frequency; stop-go keeps nominal voltage (state is
+                    # preserved).
                     if dvfs:
-                        leak_mult[self._core_unit_idx[c]] = s ** 2
+                        ssq_arr[c] = s ** 2
 
-                    # Progress.
-                    adv = work / dt  # fraction of a full-speed sample
-                    instr = trace.instructions[idx] * adv
-                    proc.counters.update(
-                        instructions=instr,
-                        int_rf_accesses=trace.int_rf_accesses[idx] * adv,
-                        fp_rf_accesses=trace.fp_rf_accesses[idx] * adv,
-                        nominal_cycles=dt * clock,
-                        frequency_scale=work / dt,
-                    )
-                    proc.advance(adv)
+                    # Progress: PerformanceCounters.update and
+                    # Process.advance inlined (their validation can never
+                    # fire here — ``adv`` is in [0, 1] by construction —
+                    # and the call overhead dominates at this rate).
+                    instr = aux.instructions[idx] * adv
+                    ctr = proc.counters
+                    ctr.instructions += instr
+                    ctr.int_rf_accesses += aux.int_rf[idx] * adv
+                    ctr.fp_rf_accesses += aux.fp_rf[idx] * adv
+                    ctr.cycles += nominal_cycles
+                    ctr.adjusted_cycles += nominal_cycles * adv
+                    proc.position += adv
 
                     core_work[c] = work
                     # Overhead stalls (PLL re-locks, migration context
@@ -581,21 +816,25 @@ class ThermalTimingSimulator:
                     core_frozen[c] = frozen
                     core_instr[c] = instr
 
-                power[self._xbar_idx] += cfg.power_scale * XBAR_PEAK_W * (
+                # Vectorized tail: scale each core's unit-power row by its
+                # dynamic multiplier and scatter into the power vector.
+                np.multiply(unit_buf, self._dyn_col, out=scaled_buf)
+                power[unit_flat] = scaled_buf.reshape(-1)
+                power[xbar_i] = xbar_base * (
                     XBAR_IDLE_FRACTION
-                    + (1 - XBAR_IDLE_FRACTION) * min(1.0, total_l2_act / self.n_cores)
+                    + (1 - XBAR_IDLE_FRACTION) * min(1.0, total_l2_act / n_cores)
                 )
-                power += (
-                    self.leakage.power(self.thermal.temperatures[:n_blocks])
-                    * leak_mult[:n_blocks]
-                )
+                leak = leak_power(thermal.temperatures[:n_blocks])
+                if dvfs:
+                    leak_mult[self._core_unit_idx] = self._ssq_col
+                    np.multiply(leak, leak_mult, out=leak)
+                np.add(power, leak, out=power)
 
-            with prof.section("thermal-step"):
-                self.thermal.step(power)
-            max_temp = self.thermal.max_block_temperature()
-            metrics.record_step(
-                dt, core_work, core_stall, core_frozen, core_instr, max_temp
-            )
+            with sec_thermal:
+                new_temps = apply_step(thermal.temperatures, power)
+                thermal.temperatures = new_temps
+            max_temp = float(new_temps[:n_blocks].max())
+            record_step(dt, core_work, core_stall, core_frozen, core_instr, max_temp)
             if events is not None:
                 emergency = max_temp > cfg.threshold_c + EMERGENCY_TOLERANCE_C
                 if emergency and not self._in_emergency:
@@ -603,22 +842,125 @@ class ThermalTimingSimulator:
                 elif self._in_emergency and not emergency:
                     events.emit(t, "emergency-exit", temp_c=float(max_temp))
                 self._in_emergency = emergency
-            self._window.accumulate(readings, dt)
+            if window_live:
+                # The trend window only feeds the OS-tick fold into the
+                # thread-core thermal table, whose sole reader is an
+                # active migration policy — without one the fold
+                # self-skips (duration_s stays 0) and nothing observable
+                # changes. The dict path preserves the order-sensitive
+                # NaN semantics faulted readings need.
+                if faults is None:
+                    window.accumulate_array(temps, dt)
+                else:
+                    window.accumulate(readings, dt)
 
             if series is not None:
-                eff_scales = [
-                    core_work[c] / dt for c in range(self.n_cores)
-                ]
+                eff_scales = [core_work[c] / dt for c in core_range]
                 series.record(step, t, eff_scales, readings, self.scheduler.assignment)
 
-        self.metrics = metrics
-        logger.debug(
-            "run end: bips=%.3f duty=%.3f migrations=%d",
-            metrics.bips,
-            metrics.duty_cycle,
-            self.scheduler.total_migrations,
-        )
-        return self._build_result(metrics, series)
+        return series
+
+    def _run_fused(self, n_steps: int, metrics: MetricsAccumulator) -> None:
+        """Fused whole-run fast path for runs with no per-step observers.
+
+        Eligible only when :attr:`fusion_blockers` is empty: no throttle
+        or migration policy, faults, guards, PROCHOT, series capture,
+        event log or profiler — nothing that could observe or perturb an
+        intermediate step. Every core then runs at scale 1.0 with no
+        stalls, so the dynamic-power schedule is a pure function of the
+        trace positions and is assembled in vectorized chunks up front.
+        Temperature-dependent leakage still forces a sequential thermal
+        recursion, but each step collapses to one leakage evaluation, one
+        affine :meth:`~repro.thermal.model.StepOperator.apply` and one
+        metrics fold — the same floating-point operations, in the same
+        order, as the stepwise path under this configuration, so results
+        are bit-identical (asserted by ``tests/sim/test_fusion.py``).
+        """
+        cfg = self.config
+        dt = self.dt
+        n_cores = self.n_cores
+        thermal = self.thermal
+        n_blocks = thermal.network.n_blocks
+        apply_step = thermal.operator_for(dt).apply
+        leak_power = self.leakage.power_fast
+        record_step = metrics.record_step
+        nominal_cycles = dt * cfg.machine.clock_hz
+        l2_base = cfg.power_scale * L2_BANK_PEAK_W
+        xbar_base = cfg.power_scale * XBAR_PEAK_W
+
+        procs = [self.scheduler.process_on(c) for c in range(n_cores)]
+        base_pos = [int(p.position) for p in procs]
+        core_work = [dt] * n_cores  # scale 1.0, fully active
+        core_stall = [0.0] * n_cores
+        core_frozen = [False] * n_cores
+
+        temps = thermal.temperatures
+        chunk = 8192
+        for start in range(0, n_steps, chunk):
+            k = min(chunk, n_steps - start)
+            steps = np.arange(start, start + k)
+            dyn = np.empty((k, n_blocks))
+            total_l2 = np.zeros(k)
+            instr_cols = []
+            int_rf_cols = []
+            fp_rf_cols = []
+            for c in range(n_cores):
+                tr = procs[c].trace
+                idx = (base_pos[c] + steps) % tr.n_samples
+                # Same op order as the stepwise loop (multiplying by the
+                # unit dynamic factor included), element-for-element.
+                dyn[:, self._core_unit_idx[c]] = tr.unit_power[idx] * 1.0
+                l2_act = tr.l2_activity[idx] * 1.0 * 1.0
+                total_l2 += l2_act
+                dyn[:, self._l2_idx_list[c]] = l2_base * (
+                    L2_IDLE_FRACTION + (1 - L2_IDLE_FRACTION) * l2_act
+                )
+                instr_cols.append(tr.instructions[idx] * 1.0)
+                int_rf_cols.append(tr.int_rf_accesses[idx] * 1.0)
+                fp_rf_cols.append(tr.fp_rf_accesses[idx] * 1.0)
+            dyn[:, self._xbar_i] = xbar_base * (
+                XBAR_IDLE_FRACTION
+                + (1 - XBAR_IDLE_FRACTION) * np.minimum(1.0, total_l2 / n_cores)
+            )
+
+            # Sequential thermal recursion: leakage depends on the current
+            # temperatures, so steps cannot collapse into one matrix
+            # power, but each iteration is only leakage + apply + fold.
+            instr_rows = np.stack(instr_cols, axis=1).tolist()
+            for i in range(k):
+                p = dyn[i] + leak_power(temps[:n_blocks])
+                temps = apply_step(temps, p)
+                max_temp = float(temps[:n_blocks].max())
+                record_step(
+                    dt, core_work, core_stall, core_frozen, instr_rows[i], max_temp
+                )
+
+            # Fold per-process bookkeeping exactly as the stepwise loop
+            # would: sequential adds per step, in step order.
+            for c in range(n_cores):
+                ctr = procs[c].counters
+                ic = instr_cols[c].tolist()
+                rc = int_rf_cols[c].tolist()
+                fc = fp_rf_cols[c].tolist()
+                si = ctr.instructions
+                sr = ctr.int_rf_accesses
+                sf = ctr.fp_rf_accesses
+                cyc = ctr.cycles
+                adj = ctr.adjusted_cycles
+                for j in range(k):
+                    si += ic[j]
+                    sr += rc[j]
+                    sf += fc[j]
+                    cyc += nominal_cycles
+                    adj += nominal_cycles
+                ctr.instructions = si
+                ctr.int_rf_accesses = sr
+                ctr.fp_rf_accesses = sf
+                ctr.cycles = cyc
+                ctr.adjusted_cycles = adj
+                procs[c].advance(float(k))
+
+        thermal.temperatures = temps
 
     def _emit_stopgo_events(
         self,
@@ -807,15 +1149,55 @@ class ThermalTimingSimulator:
         )
 
 
+class _TraceAux:
+    """Hot-loop view of one power trace.
+
+    Scalar columns are pre-extracted to plain Python lists — list
+    indexing hands back a float directly, several times cheaper than
+    numpy 0-d extraction — and ``n_samples`` is pinned as an ``int`` for
+    the position modulo in the step loop. Values are unchanged (a Python
+    float and the ``float64`` it came from are the same number), so
+    arithmetic downstream is bit-identical.
+    """
+
+    __slots__ = (
+        "n_samples",
+        "unit_power",
+        "unit_power_mean",
+        "l2_activity",
+        "l2_activity_mean",
+        "instructions",
+        "int_rf",
+        "fp_rf",
+    )
+
+    def __init__(self, trace):
+        """Unpack hot-loop fields of ``trace`` into plain lists/arrays."""
+        self.n_samples = int(trace.n_samples)
+        self.unit_power = trace.unit_power
+        # Trace-mean power, precomputed once: the warm-start bisection
+        # evaluates these means up to a dozen times per run, and at
+        # full-trace length each fresh `.mean()` costs more than an
+        # engine step.
+        self.unit_power_mean = trace.unit_power.mean(axis=0)
+        self.l2_activity_mean = float(trace.l2_activity.mean())
+        self.l2_activity = trace.l2_activity.tolist()
+        self.instructions = trace.instructions.tolist()
+        self.int_rf = trace.int_rf_accesses.tolist()
+        self.fp_rf = trace.fp_rf_accesses.tolist()
+
+
 class _TrendWindow:
     """Accumulates sensor statistics between OS ticks."""
 
     def __init__(self, n_cores: int, n_units: int):
+        """Size the window for ``n_cores`` x ``n_units`` hotspots."""
         self.n_cores = n_cores
         self.n_units = n_units
         self.reset()
 
     def reset(self) -> None:
+        """Empty the window (called at every OS tick)."""
         self._sum = np.zeros((self.n_cores, self.n_units))
         self._first = np.full((self.n_cores, self.n_units), np.nan)
         self._last = np.zeros((self.n_cores, self.n_units))
@@ -824,6 +1206,7 @@ class _TrendWindow:
         self.duration_s = 0.0
 
     def accumulate(self, readings: List[Dict[str, float]], dt: float) -> None:
+        """Fold one step's sensor readings into the window."""
         # Unit order is the insertion order of the reading dicts, which the
         # engine builds in HOTSPOT_UNITS order.
         chip_min = np.inf
@@ -835,6 +1218,23 @@ class _TrendWindow:
                 self._last[c, k] = temp
                 chip_min = min(chip_min, temp)
         self._min_sum += chip_min
+        self._steps += 1
+        self.duration_s += dt
+
+    def accumulate_array(self, temps: np.ndarray, dt: float) -> None:
+        """Vectorized :meth:`accumulate` for NaN-free readings.
+
+        Each state update is element-wise identical to the dict path. The
+        only semantic divergence is the chip-min reduction, which is
+        order-dependent when a reading is NaN (Python's ``min`` latches a
+        NaN first operand, ``np.min`` always propagates it) — callers
+        with faulted readings must use :meth:`accumulate`.
+        """
+        self._sum += temps
+        if self._steps == 0:
+            np.copyto(self._first, temps)
+        self._last[...] = temps
+        self._min_sum += temps.min()
         self._steps += 1
         self.duration_s += dt
 
@@ -870,6 +1270,7 @@ class _SeriesRecorder:
     """Preallocated per-step series storage."""
 
     def __init__(self, n_steps: int, n_cores: int):
+        """Preallocate ``n_steps`` rows of series storage."""
         self.times = np.zeros(n_steps)
         self.scales = np.zeros((n_steps, n_cores))
         self.temps = {
@@ -886,6 +1287,7 @@ class _SeriesRecorder:
         readings: List[Dict[str, float]],
         assignment: Sequence[int],
     ) -> None:
+        """Store one step's scales, hotspot readings and assignment."""
         self.times[step] = t
         self.scales[step] = scales
         for unit in self.temps:
@@ -894,6 +1296,7 @@ class _SeriesRecorder:
         self._n = step + 1
 
     def finish(self, scheduler: Scheduler) -> TimeSeries:
+        """Trim to the recorded length and build the result series."""
         n = self._n
         return TimeSeries(
             times=self.times[:n],

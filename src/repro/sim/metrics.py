@@ -42,6 +42,7 @@ class MetricsAccumulator:
     per_core_instructions: List[float] = field(default_factory=list)
 
     def __post_init__(self):
+        """Default the per-core tallies and validate the core count."""
         if self.n_cores < 1:
             raise ValueError(f"n_cores must be >= 1: {self.n_cores}")
         if not self.per_core_instructions:

@@ -104,6 +104,7 @@ def comparison_report(
         by_policy.setdefault(r.policy, []).append(r)
 
     def avg(items: List[RunResult], attr: str) -> float:
+        """Mean of ``attr`` over ``items``."""
         return sum(getattr(r, attr) for r in items) / len(items)
 
     base_bips = (

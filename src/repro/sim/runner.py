@@ -190,6 +190,7 @@ class ResultCache:
     """
 
     def __init__(self, root: Optional[os.PathLike] = None):
+        """Root the store at ``root`` (default: the user cache dir)."""
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
@@ -198,9 +199,11 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def __contains__(self, key: str) -> bool:
+        """Whether a value is stored under ``key``."""
         return self._path(key).exists()
 
     def __len__(self) -> int:
+        """Number of cached results on disk."""
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.glob("*/*.pkl"))
@@ -341,23 +344,21 @@ def _execute_task(item: Tuple[Callable, object]) -> Tuple[object, float]:
 class ParallelRunner:
     """Executes batches of independent simulation points.
 
-    Parameters
-    ----------
-    jobs:
-        Worker process count. ``1`` (the default) runs every point inline
-        in the current process — no pool is created, preserving the exact
-        serial execution path. ``0`` or ``None`` means "all cores".
-    cache:
-        A :class:`ResultCache`, or ``None`` to disable disk caching.
-    version:
-        Code-version string folded into every cache key; defaults to
-        :func:`code_version`. Tests pin it to make keys independent of
-        the working tree.
-    profile:
-        When true, every simulated point runs with the engine step
-        profiler attached; per-point section timings land in
-        ``stats.reports`` and are aggregated in ``stats.section_totals``.
-        Profiling never changes results or cache keys.
+    Args:
+        jobs: Worker process count. ``1`` (the default) runs every point
+            inline in the current process — no pool is created,
+            preserving the exact serial execution path. ``0`` or
+            ``None`` means "all cores".
+        cache: A :class:`ResultCache`, or ``None`` to disable disk
+            caching.
+        version: Code-version string folded into every cache key;
+            defaults to :func:`code_version`. Tests pin it to make keys
+            independent of the working tree.
+        profile: When true, every simulated point runs with the engine
+            step profiler attached; per-point section timings land in
+            ``stats.reports`` and are aggregated in
+            ``stats.section_totals``. Profiling never changes results or
+            cache keys.
 
     Determinism: each simulation derives every random stream from its own
     configuration seed, so a point's result is a pure function of the
@@ -373,6 +374,7 @@ class ParallelRunner:
         version: Optional[str] = None,
         profile: bool = False,
     ):
+        """Configure the pool size, cache binding and version salt."""
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
         if jobs < 1:

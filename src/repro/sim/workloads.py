@@ -22,6 +22,7 @@ class Workload:
     benchmarks: Tuple[str, str, str, str]
 
     def __post_init__(self):
+        """Reject workloads naming unknown benchmarks."""
         for b in self.benchmarks:
             if b not in ALL_BENCHMARKS:
                 raise ValueError(f"workload {self.name}: unknown benchmark {b!r}")

@@ -48,21 +48,18 @@ def coupled_steady_state(
 ) -> Tuple[np.ndarray, int]:
     """Steady-state temperatures with self-consistent leakage.
 
-    Parameters
-    ----------
-    model, leakage:
-        The thermal network and its leakage model (same floorplan).
-    dynamic_power_w:
-        Per-block dynamic power (W).
-    tolerance_c:
-        Convergence threshold on the max temperature change per round.
-    max_iterations:
-        Safety cap; exceeding it raises :class:`LeakageCouplingError`.
+    Args:
+        model: The thermal network.
+        leakage: Its leakage model (same floorplan).
+        dynamic_power_w: Per-block dynamic power (W).
+        tolerance_c: Convergence threshold on the max temperature change
+            per round.
+        max_iterations: Safety cap; exceeding it raises
+            :class:`LeakageCouplingError`.
 
-    Returns
-    -------
-    (temperatures, iterations):
-        Full node-temperature vector and the rounds needed.
+    Returns:
+        ``(temperatures, iterations)`` — the full node-temperature
+        vector and the rounds needed.
     """
     p_dyn = np.asarray(dynamic_power_w, dtype=float)
     n_blocks = model.network.n_blocks

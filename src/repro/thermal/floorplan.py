@@ -27,6 +27,7 @@ class Block:
     height: float
 
     def __post_init__(self):
+        """Reject degenerate (zero/negative extent) rectangles."""
         if not self.width > 0 or not self.height > 0:
             raise ValueError(
                 f"block {self.name!r} must have positive extent "
@@ -94,6 +95,7 @@ class Floorplan:
     """An ordered collection of named, non-overlapping blocks."""
 
     def __init__(self, blocks: Sequence[Block]):
+        """Validate uniqueness and geometry of ``blocks`` and index them."""
         names = [b.name for b in blocks]
         if len(set(names)) != len(names):
             dupes = sorted({n for n in names if names.count(n) > 1})
@@ -109,12 +111,15 @@ class Floorplan:
                     raise ValueError(f"blocks {a.name!r} and {b.name!r} overlap")
 
     def __len__(self) -> int:
+        """Number of blocks."""
         return len(self.blocks)
 
     def __iter__(self) -> Iterator[Block]:
+        """Iterate blocks in floorplan (node) order."""
         return iter(self.blocks)
 
     def __contains__(self, name: str) -> bool:
+        """Whether a block named ``name`` exists."""
         return name in self._index
 
     @property

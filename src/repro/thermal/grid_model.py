@@ -40,13 +40,12 @@ from repro.util.units import mm_to_m
 class GridThermalModel:
     """Steady-state thermal solver on a regular die mesh.
 
-    Parameters
-    ----------
-    floorplan, package:
-        Same inputs as the block model.
-    nx, ny:
-        Mesh resolution. Cells are ``(width/nx) x (height/ny)`` over the
-        floorplan's bounding box.
+    Args:
+        floorplan: Same geometry input as the block model.
+        package: Same package/materials input as the block model.
+        nx: Horizontal mesh resolution; cells are ``width/nx`` wide over
+            the floorplan's bounding box.
+        ny: Vertical mesh resolution; cells are ``height/ny`` tall.
     """
 
     def __init__(
@@ -56,6 +55,7 @@ class GridThermalModel:
         nx: int = 32,
         ny: int = 24,
     ):
+        """Rasterise the floorplan onto the mesh and assemble the system."""
         if nx < 2 or ny < 2:
             raise ValueError(f"grid must be at least 2x2, got {nx}x{ny}")
         self.floorplan = floorplan
@@ -113,6 +113,7 @@ class GridThermalModel:
         g = np.zeros((n + 2, n + 2))
 
         def add(i: int, j: int, value: float) -> None:
+            """Stamp conductance ``value`` between nodes ``i`` and ``j``."""
             g[i, i] += value
             g[j, j] += value
             g[i, j] -= value

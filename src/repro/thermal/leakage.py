@@ -54,18 +54,14 @@ _L2_LEAKAGE_DENSITY = 0.8
 class LeakageModel:
     """Per-block exponential leakage model.
 
-    Parameters
-    ----------
-    floorplan:
-        Geometry; determines block areas and unit types.
-    total_reference_w:
-        Chip-wide leakage at the reference temperature. The default
-        calibration (see ``repro.uarch.power``) puts leakage near 20% of
-        peak chip power at 85 C, the commonly-cited 90 nm share.
-    beta:
-        Exponential coefficient (1/K).
-    t_ref_c:
-        Temperature at which ``total_reference_w`` is specified.
+    Args:
+        floorplan: Geometry; determines block areas and unit types.
+        total_reference_w: Chip-wide leakage at the reference
+            temperature. The default calibration (see
+            ``repro.uarch.power``) puts leakage near 20% of peak chip
+            power at 85 C, the commonly-cited 90 nm share.
+        beta: Exponential coefficient (1/K).
+        t_ref_c: Temperature at which ``total_reference_w`` is specified.
     """
 
     def __init__(
@@ -75,6 +71,7 @@ class LeakageModel:
         beta: float = DEFAULT_BETA,
         t_ref_c: float = DEFAULT_T_REF_C,
     ):
+        """Distribute the reference budget over blocks by area and density."""
         if not total_reference_w >= 0:
             raise ValueError(f"total_reference_w must be >= 0: {total_reference_w}")
         if not beta >= 0:
@@ -114,6 +111,25 @@ class LeakageModel:
                 f"got {temps.shape}"
             )
         temps = np.minimum(temps, self.max_eval_temp_c)
+        return self.reference_w * np.exp(self.beta * (temps - self.t_ref_c))
+
+    def power_fast(self, block_temperatures_c: np.ndarray) -> np.ndarray:
+        """Leakage power per block, skipping input validation.
+
+        Performs the identical floating-point operations as
+        :meth:`power` — callers get bit-identical results — but assumes
+        ``block_temperatures_c`` is already a correctly-shaped float
+        array. Exists for the simulation engine's step loop, which calls
+        this once per simulated step.
+
+        Args:
+            block_temperatures_c: Block temperatures, shape
+                ``(n_blocks,)``, dtype float64.
+
+        Returns:
+            Freshly allocated per-block leakage power (W).
+        """
+        temps = np.minimum(block_temperatures_c, self.max_eval_temp_c)
         return self.reference_w * np.exp(self.beta * (temps - self.t_ref_c))
 
     def total_power(self, block_temperatures_c: Sequence[float]) -> float:

@@ -20,6 +20,7 @@ class Material:
     volumetric_heat_capacity: float  # J / (m^3 K)
 
     def __post_init__(self):
+        """Reject non-physical (non-positive) material constants."""
         if not self.conductivity > 0:
             raise ValueError(f"conductivity must be positive: {self.conductivity}")
         if not self.volumetric_heat_capacity > 0:

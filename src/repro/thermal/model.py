@@ -7,9 +7,15 @@ the update
 
     T[k+1] = T_ss(u) + A_d (T[k] - T_ss(u)),   A_d = expm(-C^-1 G dt)
 
-is *exact*, unconditionally stable, and costs two dense mat-vecs per step
-after a one-time ``expm``. ``T_ss(u) = G^-1 u`` is the steady state under
-input ``u``.
+is *exact*, unconditionally stable, and — rewritten in the affine form
+
+    T[k+1] = A_d T[k] + B_d p[k] + c_amb
+
+with ``B_d = (I - A_d) G^-1`` restricted to the power-injecting block
+columns and ``c_amb`` the folded ambient boundary term — costs exactly
+two dense mat-vecs and one vector add per step after a one-time ``expm``
+and matrix solve. ``T_ss(u) = G^-1 u`` is the steady state under input
+``u``. See ``docs/PERFORMANCE.md`` for the full derivation.
 """
 
 from __future__ import annotations
@@ -24,16 +30,69 @@ from repro.thermal.package import ThermalPackage
 from repro.thermal.rc_network import RCNetwork, build_rc_network
 
 
+class StepOperator:
+    """Precomputed affine propagator for one step size.
+
+    Applies the exact exponential-integrator update
+    ``T' = a_d @ T + b_d @ p + c_amb`` where ``p`` is the block power
+    vector. Instances are immutable and cached per ``dt`` by
+    :meth:`ThermalModel.operator_for`; the engine's fused and stepwise
+    paths both advance temperatures exclusively through :meth:`apply`,
+    which is what makes their trajectories bit-identical.
+
+    Attributes:
+        dt: Step size (seconds) this operator integrates over.
+        a_d: Homogeneous propagator ``expm(-C^-1 G dt)``, ``(n, n)``.
+        b_d: Input map ``(I - a_d) G^-1`` restricted to block columns,
+            ``(n, n_blocks)``.
+        c_amb: Folded constant ambient-boundary contribution, ``(n,)``.
+    """
+
+    __slots__ = ("dt", "a_d", "b_d", "c_amb")
+
+    def __init__(self, dt: float, a_d: np.ndarray, b_d: np.ndarray, c_amb: np.ndarray):
+        """Wrap precomputed matrices; see :meth:`ThermalModel.operator_for`."""
+        self.dt = float(dt)
+        self.a_d = a_d
+        self.b_d = b_d
+        self.c_amb = c_amb
+
+    def apply(self, temperatures: np.ndarray, block_power_w: np.ndarray) -> np.ndarray:
+        """One exact ``dt`` step; returns the new node-temperature vector.
+
+        Args:
+            temperatures: Current node temperatures, shape ``(n_nodes,)``.
+            block_power_w: Power held constant over the step, shape
+                ``(n_blocks,)``. Not validated — hot-path callers own
+                their buffers; go through :meth:`ThermalModel.step` for a
+                validated entry point.
+
+        Returns:
+            A freshly allocated ``(n_nodes,)`` array (inputs untouched).
+        """
+        return self.a_d @ temperatures + self.b_d @ block_power_w + self.c_amb
+
+
+def _dt_key(dt: float) -> str:
+    """Exact cache key for a step size.
+
+    Keyed on the float's bit pattern (``float.hex``) so near-equal but
+    distinct ``dt`` values can never alias to one propagator — the old
+    ``round(dt, 15)`` key collapsed any two steps within 5e-16 of each
+    other onto whichever was computed first.
+    """
+    return float(dt).hex()
+
+
 class ThermalModel:
     """Stateful thermal simulator over a floorplan + package.
 
-    Parameters
-    ----------
-    floorplan, package:
-        Geometry and vertical stack; the RC network is built internally.
-    dt:
-        Default transient step (seconds). Steps of other sizes are
-        supported but recompute the propagator (cached per size).
+    Args:
+        floorplan: Geometry; the RC network is built internally.
+        package: The vertical materials stack and cooling solution.
+        dt: Default transient step (seconds). Steps of other sizes are
+            supported but recompute the propagator (cached per exact
+            size).
     """
 
     def __init__(
@@ -42,6 +101,7 @@ class ThermalModel:
         package: ThermalPackage,
         dt: float,
     ):
+        """Build the network, factor it, and start at the ambient state."""
         if not dt > 0:
             raise ValueError(f"dt must be positive, got {dt}")
         self.floorplan = floorplan
@@ -50,8 +110,8 @@ class ThermalModel:
         self.network: RCNetwork = build_rc_network(floorplan, package)
         self._g_lu = lu_factor(self.network.conductance)
         self._c_inv = 1.0 / self.network.capacitance
-        self._propagators: Dict[float, np.ndarray] = {}
-        self._propagator_for(self.dt)
+        self._propagators: Dict[str, StepOperator] = {}
+        self.operator_for(self.dt)
         #: Current node temperatures (deg C), initialized to ambient.
         self.temperatures = np.full(
             self.network.n_nodes, self.network.ambient_c, dtype=float
@@ -59,14 +119,45 @@ class ThermalModel:
 
     # -- propagator management ---------------------------------------------
 
-    def _propagator_for(self, dt: float) -> np.ndarray:
-        key = round(float(dt), 15)
+    def operator_for(self, dt: float) -> StepOperator:
+        """The cached affine :class:`StepOperator` for a step size.
+
+        Builds ``a_d = expm(-C^-1 G dt)``, the input map
+        ``b_d = (I - a_d) G^-1`` (block columns only — spreader and sink
+        inject no power), and the constant ambient term
+        ``c_amb = (I - a_d) G^-1 e_sink g_amb T_amb`` on first use.
+        """
+        key = _dt_key(dt)
         cached = self._propagators.get(key)
         if cached is None:
-            a = -(self._c_inv[:, None] * self.network.conductance) * dt
-            cached = expm(a)
+            dt = float(dt)
+            n = self.network.n_nodes
+            a_d = expm(-(self._c_inv[:, None] * self.network.conductance) * dt)
+            # (I - A) G^-1, one column solve per node, reusing the LU
+            # factorization steady_state already carries.
+            g_inv = lu_solve(self._g_lu, np.eye(n))
+            input_map = (np.eye(n) - a_d) @ g_inv
+            c_amb = input_map[:, -1] * (
+                self.network.ambient_conductance * self.network.ambient_c
+            )
+            cached = StepOperator(
+                dt, a_d, input_map[:, : self.network.n_blocks].copy(), c_amb
+            )
             self._propagators[key] = cached
         return cached
+
+    def _propagator_for(self, dt: float) -> np.ndarray:
+        """The homogeneous propagator matrix ``A_d`` for ``dt`` (cached)."""
+        return self.operator_for(dt).a_d
+
+    def _checked_power(self, block_power_w: Sequence[float]) -> np.ndarray:
+        """Validate and coerce a block power vector."""
+        p = np.asarray(block_power_w, dtype=float)
+        if p.shape != (self.network.n_blocks,):
+            raise ValueError(
+                f"expected {self.network.n_blocks} block powers, got {p.shape}"
+            )
+        return p
 
     # -- solvers -------------------------------------------------------------
 
@@ -81,11 +172,34 @@ class ThermalModel:
         ``block_power_w`` is held constant over the step. Returns (a copy
         of) the new node temperatures.
         """
-        dt = self.dt if dt is None else float(dt)
-        a_d = self._propagator_for(dt)
-        t_ss = self.steady_state(block_power_w)
-        self.temperatures = t_ss + a_d @ (self.temperatures - t_ss)
+        op = self.operator_for(self.dt if dt is None else float(dt))
+        p = self._checked_power(block_power_w)
+        self.temperatures = op.apply(self.temperatures, p)
         return self.temperatures.copy()
+
+    def step_n(
+        self,
+        block_power_w: Sequence[float],
+        n: int,
+        dt: Optional[float] = None,
+    ) -> np.ndarray:
+        """Advance ``n`` steps of ``dt`` with power held constant throughout.
+
+        The fused propagation applies the identical per-step affine update
+        ``n`` times, so the result is bit-identical to calling
+        :meth:`step` ``n`` times with the same arguments — it just skips
+        ``n - 1`` rounds of validation and state copy-out. Returns (a copy
+        of) the final node temperatures.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        op = self.operator_for(self.dt if dt is None else float(dt))
+        p = self._checked_power(block_power_w)
+        temps = self.temperatures
+        for _ in range(n):
+            temps = op.apply(temps, p)
+        self.temperatures = temps
+        return temps.copy()
 
     def run(
         self,

@@ -20,23 +20,22 @@ from repro.thermal.materials import COPPER, INTERFACE, SILICON, Material
 class ThermalPackage:
     """Vertical thermal stack and boundary conditions.
 
-    Attributes
-    ----------
-    die_thickness_m:
-        Silicon bulk thickness under the active layer.
-    tim_thickness_m:
-        Thermal-interface-material bond line.
-    spreader_side_m, spreader_thickness_m:
-        Copper integrated heat spreader dimensions.
-    sink_resistance_k_per_w:
-        Lumped conduction resistance from spreader to heatsink body.
-    convection_resistance_k_per_w:
-        Heatsink-to-air convection resistance (fan included).
-    sink_heat_capacity_j_per_k:
-        Lumped heatsink capacitance; large, so the sink is quasi-static
-        over a 0.5 s experiment (runs start from a warmed-up steady state).
-    ambient_c:
-        Air temperature inside the chassis.
+    Attributes:
+        die_thickness_m: Silicon bulk thickness under the active layer.
+        tim_thickness_m: Thermal-interface-material bond line.
+        spreader_side_m: Copper integrated-heat-spreader edge length.
+        spreader_thickness_m: Copper integrated-heat-spreader thickness.
+        sink_resistance_k_per_w: Lumped conduction resistance from
+            spreader to heatsink body.
+        convection_resistance_k_per_w: Heatsink-to-air convection
+            resistance (fan included).
+        sink_heat_capacity_j_per_k: Lumped heatsink capacitance; large,
+            so the sink is quasi-static over a 0.5 s experiment (runs
+            start from a warmed-up steady state).
+        ambient_c: Air temperature inside the chassis.
+        silicon: Die material.
+        tim: Thermal-interface material.
+        spreader_material: Heat-spreader material.
     """
 
     die_thickness_m: float = 0.3e-3
@@ -52,6 +51,7 @@ class ThermalPackage:
     spreader_material: Material = field(default=COPPER)
 
     def __post_init__(self):
+        """Reject non-physical (non-positive) dimensions and resistances."""
         for name in (
             "die_thickness_m",
             "tim_thickness_m",

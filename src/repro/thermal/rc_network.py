@@ -25,6 +25,7 @@ the ambient enters as a fixed-temperature boundary on the sink node.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -39,21 +40,15 @@ from repro.util.units import mm2_to_m2, mm_to_m
 class RCNetwork:
     """The assembled thermal network.
 
-    Attributes
-    ----------
-    node_names:
-        Names of all nodes — floorplan blocks, then ``"spreader"`` and
-        ``"sink"``.
-    conductance:
-        Symmetric positive-definite matrix ``G`` (W/K) including the
-        ambient tie on the sink diagonal.
-    capacitance:
-        Per-node heat capacities ``C`` (J/K).
-    ambient_c:
-        Boundary temperature (deg C).
-    ambient_conductance:
-        ``g_amb`` (W/K) — the sink-to-ambient tie, needed to form the
-        constant input term.
+    Attributes:
+        node_names: Names of all nodes — floorplan blocks, then
+            ``"spreader"`` and ``"sink"``.
+        conductance: Symmetric positive-definite matrix ``G`` (W/K)
+            including the ambient tie on the sink diagonal.
+        capacitance: Per-node heat capacities ``C`` (J/K).
+        ambient_c: Boundary temperature (deg C).
+        ambient_conductance: ``g_amb`` (W/K) — the sink-to-ambient tie,
+            needed to form the constant input term.
     """
 
     node_names: Tuple[str, ...]
@@ -96,8 +91,27 @@ class RCNetwork:
         return u
 
 
+#: Memoised assemblies keyed by floorplan *object* (weak, so a discarded
+#: plan frees its networks) then by the (hashable, frozen) package.
+#: Floorplans and built networks are treated as immutable everywhere, and
+#: memoised floorplans (see :func:`repro.thermal.layouts.build_cmp_floorplan`)
+#: make repeated simulator construction hit this cache.
+_NETWORK_CACHE: "weakref.WeakKeyDictionary[Floorplan, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def build_rc_network(floorplan: Floorplan, package: ThermalPackage) -> RCNetwork:
-    """Assemble the :class:`RCNetwork` for ``floorplan`` under ``package``."""
+    """Assemble the :class:`RCNetwork` for ``floorplan`` under ``package``.
+
+    Repeated calls with the same floorplan instance and an equal package
+    return a shared, memoised network.
+    """
+    per_plan = _NETWORK_CACHE.get(floorplan)
+    if per_plan is not None:
+        cached = per_plan.get(package)
+        if cached is not None:
+            return cached
     n = len(floorplan)
     n_total = n + 2
     spreader = n
@@ -107,6 +121,7 @@ def build_rc_network(floorplan: Floorplan, package: ThermalPackage) -> RCNetwork
     c = np.zeros(n_total)
 
     def add_conductance(i: int, j: int, value: float) -> None:
+        """Stamp conductance ``value`` between nodes ``i`` and ``j``."""
         g[i, i] += value
         g[j, j] += value
         g[i, j] -= value
@@ -136,10 +151,12 @@ def build_rc_network(floorplan: Floorplan, package: ThermalPackage) -> RCNetwork
     c[sink] = package.sink_heat_capacity_j_per_k
 
     names = tuple(floorplan.names) + ("spreader", "sink")
-    return RCNetwork(
+    network = RCNetwork(
         node_names=names,
         conductance=g,
         capacitance=c,
         ambient_c=package.ambient_c,
         ambient_conductance=g_amb,
     )
+    _NETWORK_CACHE.setdefault(floorplan, {})[package] = network
+    return network

@@ -51,25 +51,20 @@ def quantize_half_up(value: float, grid: float) -> float:
 class ThermalSensor:
     """One sensor attached to a named floorplan block.
 
-    Attributes
-    ----------
-    block:
-        Floorplan block whose temperature the sensor observes.
-    offset_c:
-        Static calibration error added to every reading.
-    noise_std_c:
-        Standard deviation of white Gaussian read noise.
-    quantization_c:
-        Reading granularity (0 disables quantization; the Table 1
-        experiment uses 1.0 to match the ACPI interface). Ties round
-        half-up — see :func:`quantize_half_up`.
-    lag:
-        First-order smoothing weight in [0, 1): 0 means the sensor tracks
-        silicon instantly, larger values blend in the previous reading.
-        The smoothing state seeds from the *true* temperature on the
-        first read (a sensor powered up against settled silicon), so the
-        first sample is un-lagged but still carries offset, noise and
-        quantization.
+    Attributes:
+        block: Floorplan block whose temperature the sensor observes.
+        offset_c: Static calibration error added to every reading.
+        noise_std_c: Standard deviation of white Gaussian read noise.
+        quantization_c: Reading granularity (0 disables quantization;
+            the Table 1 experiment uses 1.0 to match the ACPI
+            interface). Ties round half-up — see
+            :func:`quantize_half_up`.
+        lag: First-order smoothing weight in [0, 1): 0 means the sensor
+            tracks silicon instantly, larger values blend in the
+            previous reading. The smoothing state seeds from the *true*
+            temperature on the first read (a sensor powered up against
+            settled silicon), so the first sample is un-lagged but still
+            carries offset, noise and quantization.
     """
 
     block: str
@@ -79,6 +74,7 @@ class ThermalSensor:
     lag: float = 0.0
 
     def __post_init__(self):
+        """Reject out-of-range noise, quantization and lag parameters."""
         if not 0.0 <= self.lag < 1.0:
             raise ValueError(f"lag must be in [0, 1): {self.lag}")
         if self.noise_std_c < 0:
@@ -102,6 +98,7 @@ class SensorBank:
         rng: Optional[RngStream] = None,
         fault_filter: Optional[Callable[[float, str, float], float]] = None,
     ):
+        """Attach ``sensors`` to a (default fresh) RNG stream."""
         if not sensors:
             raise ValueError("a sensor bank needs at least one sensor")
         names = [s.block for s in sensors]

@@ -117,6 +117,59 @@ class TestTransient:
         np.testing.assert_allclose(model.temperatures, target, atol=0.05)
 
 
+class TestStepOperator:
+    """The cached affine propagator and its fused k-step application."""
+
+    def test_apply_matches_step(self, model):
+        n = model.network.n_blocks
+        p = np.full(n, 1.0)
+        op = model.operator_for(DT)
+        expected = op.apply(model.temperatures, p)
+        got = model.step(p)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_step_n_equals_repeated_step(self):
+        """step_n(p, k) is bit-identical to k calls of step(p)."""
+        a, b = make_model(), make_model()
+        n = a.network.n_blocks
+        rng = np.random.default_rng(7)
+        p = rng.uniform(0, 3, n)
+        k = 17
+        for _ in range(k):
+            a.step(p)
+        fused = b.step_n(p, k)
+        np.testing.assert_array_equal(fused, a.temperatures)
+        np.testing.assert_array_equal(b.temperatures, a.temperatures)
+
+    def test_step_n_zero_is_noop(self, model):
+        before = model.temperatures.copy()
+        after = model.step_n(np.ones(model.network.n_blocks), 0)
+        np.testing.assert_array_equal(after, before)
+
+    def test_step_n_negative_raises(self, model):
+        with pytest.raises(ValueError):
+            model.step_n(np.zeros(model.network.n_blocks), -1)
+
+    def test_operator_for_caches_instances(self, model):
+        assert model.operator_for(DT) is model.operator_for(DT)
+
+    def test_near_equal_dts_get_distinct_operators(self, model):
+        """Regression: cache keyed on round(dt, 15) aliased close dts.
+
+        Two adjacent floats are distinct step sizes and must yield
+        distinct propagators; the old key collapsed them onto whichever
+        was computed first.
+        """
+        dt2 = float(np.nextafter(DT, np.inf))
+        assert dt2 != DT
+        assert round(dt2, 15) == round(DT, 15)  # the old key would alias
+        op1 = model.operator_for(DT)
+        op2 = model.operator_for(dt2)
+        assert op1 is not op2
+        assert op1.dt != op2.dt
+        assert len(model._propagators) == 2
+
+
 class TestStateManagement:
     def test_initialize_steady(self, model):
         n = model.network.n_blocks
