@@ -6,6 +6,9 @@ Exposes the library's main entry points without writing Python::
     python -m repro run -w workload7 -p distributed-dvfs-sensor -d 0.1
     python -m repro run -p dvfs-dist-none --events-out events.jsonl --profile
     python -m repro run -p global-dvfs-none --fault-spec faults.json
+    python -m repro run -p dvfs-dist-none --sample-period 1e-3 --telemetry-out out/run
+    python -m repro report out/run [--html dash.html]
+    python -m repro report --diff out/runA out/runB
     python -m repro compare -w workload7 -d 0.1 [-o results.json]
     python -m repro --jobs 4 experiment table5 [-d 0.2]
     python -m repro --jobs 4 robustness -d 0.1 [--guards] [-o table.txt]
@@ -29,9 +32,16 @@ and writes — or regression-checks against — the tracked
 Observability: ``run --events-out FILE`` exports the run's typed event
 log (DVFS transitions, stop-go trips, migrations, OS ticks, PROCHOT
 trips, emergencies) as JSONL and prints the per-type counts;
-``run --profile`` prints the engine section-timing table; the global
-``--log-level debug|info|warning|error`` flag turns on structured
-logging on stderr.
+``run --profile`` prints the engine section-timing table (add
+``--trace-out FILE`` for a Perfetto-loadable Chrome trace);
+``run --sample-period S`` attaches the fusion-aware telemetry sampler
+and ``--telemetry-out PREFIX`` writes the run's observability bundle
+(result + time series + Prometheus snapshot + events); ``report``
+renders a bundle as an ASCII or ``--html`` dashboard and ``report
+--diff A B`` compares two bundles metric-by-metric; ``compare
+--trace-out FILE`` exports the batch's per-worker spans as a Chrome
+trace; the global ``--log-level debug|info|warning|error`` flag turns
+on structured logging on stderr. See ``docs/OBSERVABILITY.md``.
 
 The global ``--jobs N`` flag fans independent simulations out over N
 worker processes (``--jobs 0`` = all cores), and results are cached
@@ -120,6 +130,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="time the engine's step sections and print the table",
     )
     run.add_argument(
+        "--sample-period", type=float, default=None, metavar="SECONDS",
+        help="attach the telemetry sampler at this silicon-time period "
+             "(fusion-aware: sampled runs keep the fused fast path)",
+    )
+    run.add_argument(
+        "--telemetry-out", default=None, metavar="PREFIX",
+        help="write the run's observability bundle (result + telemetry "
+             "series + Prometheus snapshot [+ events]) under PREFIX; "
+             "implies --sample-period 1e-3 unless given",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the profiled engine sections as Chrome trace-event "
+             "JSON (requires --profile)",
+    )
+    run.add_argument(
         "--fault-spec", default=None, metavar="FILE",
         help="inject faults from a JSON fault specification "
              "(docs/MODELING.md section 8); prints the fault/guard "
@@ -137,6 +163,33 @@ def _build_parser() -> argparse.ArgumentParser:
              "representative policy from each taxonomy class)",
     )
 
+    report = sub.add_parser(
+        "report",
+        help="render a run-observability bundle as a dashboard, or diff "
+             "two bundles",
+    )
+    report.add_argument(
+        "prefix", nargs="?", default=None,
+        help="bundle prefix written by 'run --telemetry-out PREFIX'",
+    )
+    report.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="write a self-contained HTML dashboard instead of ASCII",
+    )
+    report.add_argument(
+        "--diff", nargs=2, default=None, metavar=("A", "B"),
+        help="compare two bundle prefixes metric-by-metric",
+    )
+    report.add_argument(
+        "--tolerance", type=float, default=1e-9,
+        help="relative tolerance before a --diff metric is flagged "
+             "(default: 1e-9)",
+    )
+    report.add_argument(
+        "--width", type=int, default=60,
+        help="sparkline width of the ASCII dashboard (default: 60)",
+    )
+
     compare = sub.add_parser(
         "compare", help="run all 12 policies on one workload"
     )
@@ -144,6 +197,11 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-d", "--duration", type=float, default=0.1)
     compare.add_argument("-o", "--output", default=None,
                          help="save per-run results as JSON")
+    compare.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export the batch's per-worker execution spans as Chrome "
+             "trace-event JSON",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -219,6 +277,11 @@ def _config(duration: float, seed: Optional[int] = None) -> SimulationConfig:
 def _cmd_run(args) -> int:
     from dataclasses import replace
 
+    from repro.obs import TelemetrySampler
+
+    if args.trace_out and not args.profile:
+        print("error: --trace-out requires --profile", file=sys.stderr)
+        return 2
     workload = get_workload(args.workload)
     spec = None if args.policy == "none" else spec_by_key(args.policy)
     config = _config(args.duration, args.seed)
@@ -227,12 +290,19 @@ def _cmd_run(args) -> int:
         config = replace(config, fault_plan=plan, guard=guard)
     event_log = RunEventLog() if args.events_out else None
     profiler = StepProfiler() if args.profile else None
-    if event_log is not None or profiler is not None:
+    sample_period = args.sample_period
+    if sample_period is None and args.telemetry_out:
+        sample_period = 1e-3
+    sampler = (
+        TelemetrySampler(sample_period) if sample_period is not None else None
+    )
+    if event_log is not None or profiler is not None or sampler is not None:
         # Observability capture needs the simulation to actually run, so
         # instrumented runs execute inline instead of consulting the
         # result cache (results are identical either way).
         result = run_workload(
-            workload, spec, config, event_log=event_log, profiler=profiler
+            workload, spec, config,
+            event_log=event_log, profiler=profiler, telemetry=sampler,
         )
     else:
         result = get_default_runner().run_workload(workload, spec, config)
@@ -253,6 +323,13 @@ def _cmd_run(args) -> int:
             f"  guards: trips={f.guard_trips}  "
             f"fallback={f.guard_fallback_s * 1000:.2f} ms"
         )
+    if sampler is not None:
+        summary = sampler.summary()
+        print(
+            f"  telemetry: {summary.samples} samples @ "
+            f"{summary.sample_period_s:g} s, "
+            f"{summary.instruments} instruments"
+        )
     if event_log is not None:
         path = event_log.write_jsonl(args.events_out)
         counts = event_log.counts()
@@ -260,8 +337,30 @@ def _cmd_run(args) -> int:
         for name in sorted(counts):
             print(f"  {name:20s} {counts[name]}")
     if profiler is not None:
+        from repro.obs import render_engine_sections
+
         print()
-        print(profiler.render(title="engine sections:"))
+        print(render_engine_sections(profiler.totals(),
+                                     title="engine sections:"))
+    if args.trace_out:
+        from repro.obs import profile_trace_events, write_chrome_trace
+
+        write_chrome_trace(
+            profile_trace_events(
+                profiler.as_dict(),
+                label=f"{args.policy} on {args.workload}",
+            ),
+            args.trace_out,
+        )
+        print(f"\nengine trace -> {args.trace_out}")
+    if args.telemetry_out:
+        from repro.obs import write_bundle
+
+        paths = write_bundle(args.telemetry_out, result, sampler, event_log)
+        print(f"\ntelemetry bundle ({len(paths)} files):")
+        for p in paths:
+            print(f"  {p}")
+        print(f"render it with: repro report {args.telemetry_out}")
     return 0
 
 
@@ -283,17 +382,51 @@ def _cmd_profile(args) -> int:
         if args.policies
         else list(PROFILE_DEFAULT_POLICIES)
     )
+    from repro.obs import render_engine_sections
+
     config = _config(args.duration)
     print(
         f"engine step sections on {workload.name} "
-        f"({args.duration:g} s of silicon time), hottest first:\n"
+        f"({args.duration:g} s of silicon time), canonical order:\n"
     )
     for key in keys:
         spec = None if key == "none" else spec_by_key(key)
         profiler = StepProfiler()
         run_workload(workload, spec, config, profiler=profiler)
-        print(profiler.render(title=f"{spec.key if spec else 'unthrottled'}:"))
+        print(render_engine_sections(
+            profiler.totals(), title=f"{spec.key if spec else 'unthrottled'}:"
+        ))
         print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import (
+        diff_metrics,
+        load_bundle,
+        render_ascii,
+        render_diff,
+        render_html,
+    )
+
+    if args.diff:
+        a, b = (load_bundle(p) for p in args.diff)
+        deltas = diff_metrics(a.result, b.result, rel_tol=args.tolerance)
+        print(render_diff(deltas, a.label, b.label), end="")
+        return 0
+    if not args.prefix:
+        print(
+            "error: report needs a bundle prefix (or --diff A B)",
+            file=sys.stderr,
+        )
+        return 2
+    bundle = load_bundle(args.prefix)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(bundle))
+        print(f"dashboard -> {args.html}")
+        return 0
+    print(render_ascii(bundle, width=args.width), end="")
     return 0
 
 
@@ -316,6 +449,14 @@ def _cmd_compare(args) -> int:
     if args.output:
         path = save_results(results, args.output)
         print(f"\nresults saved to {path}")
+    if args.trace_out:
+        from repro.obs import runner_trace_events, write_chrome_trace
+
+        events = runner_trace_events(get_default_runner().stats.reports)
+        write_chrome_trace(events, args.trace_out)
+        print(
+            f"runner trace ({len(events)} events) -> {args.trace_out}"
+        )
     return 0
 
 
@@ -405,6 +546,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "report":
+        # Pure file rendering: no simulations, no runner, no cache.
+        return _cmd_report(args)
     if args.command == "bench":
         # Timed inline runs: never touches the result cache or the
         # parallel runner (timings must come from this process).

@@ -165,6 +165,15 @@ class DiscretePIController:
         self._output_sum = 0.0
 
     @property
+    def last_error(self) -> float:
+        """Most recent error ``e[n] = measured - setpoint`` (0.0 pre-step).
+
+        Telemetry reads this at sample instants; it is exactly the
+        ``e[n-1]`` the next :meth:`step` will use.
+        """
+        return self._previous_error
+
+    @property
     def average_output(self) -> float:
         """Mean output since construction or the last window reset.
 

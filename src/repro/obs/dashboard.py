@@ -1,0 +1,492 @@
+"""Run dashboards: on-disk bundles, ASCII and HTML rendering, run diffs.
+
+A *bundle* is the observability artefact set one instrumented run leaves
+behind, sharing a filename prefix:
+
+* ``<prefix>.result.json`` — the scalar result
+  (:func:`repro.sim.report.result_to_dict`) plus telemetry/event roll-ups;
+* ``<prefix>.telemetry.jsonl`` — the sampled time series
+  (:func:`repro.obs.exporters.write_series_jsonl`);
+* ``<prefix>.prom`` — the end-of-run metrics snapshot in Prometheus
+  text exposition format;
+* ``<prefix>.events.jsonl`` — optional, the full event log.
+
+``repro report <prefix>`` loads a bundle and renders it as an ASCII
+dashboard (per-core temperature/frequency sparklines over an event
+annotation track) or, with ``--html``, as a single self-contained
+XHTML file with inline SVG sparklines — no JavaScript, no external
+assets, parseable by ``xml.etree``. ``repro report --diff A B``
+compares two bundles metric-by-metric and flags deviations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from repro.obs.events import RunEventLog
+from repro.obs.exporters import (
+    read_series_jsonl,
+    write_prometheus,
+    write_series_jsonl,
+)
+from repro.obs.telemetry import TelemetrySampler, TelemetrySeries
+from repro.sim.report import result_to_dict
+from repro.sim.results import RunResult
+from repro.util.ascii_plot import multi_series, timeline_markers
+from repro.util.tables import render_table
+
+#: Bundle filename suffixes, by artefact.
+RESULT_SUFFIX = ".result.json"
+SERIES_SUFFIX = ".telemetry.jsonl"
+PROM_SUFFIX = ".prom"
+EVENTS_SUFFIX = ".events.jsonl"
+
+#: Scalar result fields compared by ``repro report --diff``.
+DIFF_METRICS = (
+    "bips",
+    "duty_cycle",
+    "instructions",
+    "max_temp_c",
+    "emergency_s",
+    "migrations",
+    "dvfs_transitions",
+    "stopgo_trips",
+    "prochot_events",
+)
+
+#: Event types drawn as annotation marks on the dashboards. High-rate
+#: bookkeeping events (``os-tick``, per-step DVFS traffic) are excluded —
+#: they would blanket the track without adding information.
+ANNOTATION_EVENTS = (
+    "migration",
+    "stopgo-trip",
+    "prochot-trip",
+    "emergency-enter",
+    "fault.sensor",
+    "fault.dvfs",
+    "fault.migration",
+    "guard.trip",
+)
+
+_CORE_COLUMN = re.compile(r'^(?P<name>[a-z_]+)\{core="(?P<core>\d+)"\}$')
+
+
+@dataclass
+class RunBundle:
+    """One loaded run-observability bundle."""
+
+    prefix: str
+    result: Dict
+    series: Optional[TelemetrySeries] = None
+    prom: Optional[str] = None
+    events: Optional[RunEventLog] = None
+
+    @property
+    def label(self) -> str:
+        """Short display name (the prefix's basename)."""
+        return os.path.basename(self.prefix)
+
+    def core_series(self, name: str) -> Dict[int, List[float]]:
+        """Per-core columns of one instrument name, e.g. ``core_temp_c``."""
+        out: Dict[int, List[float]] = {}
+        if self.series is None:
+            return out
+        for column in self.series.columns:
+            match = _CORE_COLUMN.match(column)
+            if match and match.group("name") == name:
+                out[int(match.group("core"))] = self.series.column(column)
+        return out
+
+    def annotation_times(self) -> List[float]:
+        """Timestamps of the events drawn as dashboard annotations."""
+        if self.events is None:
+            return []
+        return [
+            e.time_s for e in self.events if e.type in ANNOTATION_EVENTS
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Bundle persistence
+# ---------------------------------------------------------------------------
+
+
+def write_bundle(
+    prefix: str,
+    result: RunResult,
+    sampler: TelemetrySampler,
+    event_log: Optional[RunEventLog] = None,
+) -> List[str]:
+    """Write a run's observability bundle; returns the paths written.
+
+    The result document is :func:`~repro.sim.report.result_to_dict`
+    output (unchanged scalar schema) extended with a ``telemetry``
+    roll-up and, when an event log was captured, per-type ``events``
+    counts — both additive keys the plain result loader ignores.
+    """
+    paths: List[str] = []
+    doc = result_to_dict(result)
+    summary = sampler.summary()
+    doc["telemetry"] = {
+        "sample_period_s": summary.sample_period_s,
+        "samples": summary.samples,
+        "instruments": summary.instruments,
+    }
+    if event_log is not None:
+        doc["events"] = event_log.counts()
+    result_path = prefix + RESULT_SUFFIX
+    with open(result_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    paths.append(result_path)
+
+    series_path = prefix + SERIES_SUFFIX
+    write_series_jsonl(sampler.series, series_path)
+    paths.append(series_path)
+
+    prom_path = prefix + PROM_SUFFIX
+    write_prometheus(sampler.registry, prom_path)
+    paths.append(prom_path)
+
+    if event_log is not None:
+        events_path = prefix + EVENTS_SUFFIX
+        event_log.write_jsonl(events_path)
+        paths.append(events_path)
+    return paths
+
+
+def load_bundle(prefix: str) -> RunBundle:
+    """Load the bundle written under ``prefix``.
+
+    The result document is required; series, Prometheus snapshot and
+    event log are attached when their files exist.
+    """
+    result_path = prefix + RESULT_SUFFIX
+    if not os.path.exists(result_path):
+        raise FileNotFoundError(
+            f"no run bundle at {prefix!r} (missing {result_path})"
+        )
+    with open(result_path, "r", encoding="utf-8") as fh:
+        result = json.load(fh)
+    bundle = RunBundle(prefix=prefix, result=result)
+    if os.path.exists(prefix + SERIES_SUFFIX):
+        bundle.series = read_series_jsonl(prefix + SERIES_SUFFIX)
+    if os.path.exists(prefix + PROM_SUFFIX):
+        with open(prefix + PROM_SUFFIX, "r", encoding="utf-8") as fh:
+            bundle.prom = fh.read()
+    if os.path.exists(prefix + EVENTS_SUFFIX):
+        bundle.events = RunEventLog.from_jsonl(prefix + EVENTS_SUFFIX)
+    return bundle
+
+
+# ---------------------------------------------------------------------------
+# ASCII dashboard
+# ---------------------------------------------------------------------------
+
+
+def _stat_lines(result: Dict) -> List[str]:
+    """Key scalar metrics as aligned ``name: value`` lines."""
+    lines = [
+        f"policy:    {result.get('policy', '?')}",
+        f"workload:  {result.get('workload', '?')}"
+        f"  ({', '.join(result.get('benchmarks', []))})",
+        f"duration:  {result.get('duration_s', 0.0):g} s"
+        f"   BIPS: {result.get('bips', 0.0):.3f}"
+        f"   duty: {result.get('duty_cycle', 0.0):.1%}"
+        f"   max T: {result.get('max_temp_c', 0.0):.2f} C",
+        f"events:    migrations={result.get('migrations', 0)}"
+        f" dvfs={result.get('dvfs_transitions', 0)}"
+        f" trips={result.get('stopgo_trips', 0)}"
+        f" prochot={result.get('prochot_events', 0)}"
+        f" emergency={result.get('emergency_s', 0.0):g}s",
+    ]
+    telemetry = result.get("telemetry")
+    if telemetry:
+        lines.append(
+            f"telemetry: {telemetry['samples']} samples @ "
+            f"{telemetry['sample_period_s']:g} s, "
+            f"{telemetry['instruments']} instruments"
+        )
+    return lines
+
+
+def render_ascii(bundle: RunBundle, width: int = 60) -> str:
+    """The run dashboard as monospace text.
+
+    Header stats, then per-core temperature and frequency-scale
+    sparklines sharing one time axis, with an event annotation track
+    underneath when the bundle carries an event log.
+    """
+    lines = [f"run dashboard: {bundle.label}", ""]
+    lines.extend(_stat_lines(bundle.result))
+    if bundle.series is not None and bundle.series.n_samples:
+        series: Dict[str, Sequence[float]] = {}
+        temps = bundle.core_series("core_temp_c")
+        for core in sorted(temps):
+            series[f"T{core} (C)"] = temps[core]
+        hot = "chip_hotspot_max_c"
+        if hot in bundle.series.columns:
+            series["Tmax (C)"] = bundle.series.column(hot)
+        scales = bundle.core_series("core_freq_scale")
+        for core in sorted(scales):
+            series[f"f{core}"] = scales[core]
+        if series:
+            lines.append("")
+            lines.append(
+                multi_series(
+                    bundle.series.times, series, width=width, time_unit="s"
+                )
+            )
+        marks = bundle.annotation_times()
+        if marks:
+            t0 = bundle.series.times[0]
+            t1 = bundle.series.times[-1]
+            name_width = max(len(n) for n in series) if series else 6
+            track = timeline_markers(t0, t1, marks, width=width)
+            lines.append(f"{'events'.rjust(name_width)} {track} "
+                         f"({len(marks)} marks)")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML dashboard (self-contained XHTML + inline SVG)
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.05em; margin-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #bbb; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eee; }
+svg { background: #fafafa; border: 1px solid #ddd; margin: 0.2em 0.6em 0.2em 0; }
+pre { background: #f4f4f4; padding: 0.8em; overflow-x: auto; }
+.lane { display: flex; align-items: center; flex-wrap: wrap; }
+.caption { font-size: 0.85em; color: #555; }
+"""
+
+#: SVG sparkline geometry (pixels).
+_SVG_W, _SVG_H, _SVG_PAD = 360, 64, 4
+
+
+def _svg_sparkline(
+    times: Sequence[float],
+    values: Sequence[float],
+    mark_times: Sequence[float] = (),
+    color: str = "#b33",
+) -> str:
+    """One inline-SVG sparkline with optional event marker lines."""
+    n = len(times)
+    if n == 0 or n != len(values):
+        raise ValueError("sparkline needs equal, non-empty times/values")
+    t0, t1 = times[0], times[-1]
+    t_span = (t1 - t0) or 1.0
+    lo, hi = min(values), max(values)
+    v_span = (hi - lo) or 1.0
+    inner_w = _SVG_W - 2 * _SVG_PAD
+    inner_h = _SVG_H - 2 * _SVG_PAD
+
+    def x(t: float) -> float:
+        return _SVG_PAD + (t - t0) / t_span * inner_w
+
+    def y(v: float) -> float:
+        return _SVG_PAD + (hi - v) / v_span * inner_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_SVG_W}" '
+        f'height="{_SVG_H}" viewBox="0 0 {_SVG_W} {_SVG_H}">'
+    ]
+    for t in mark_times:
+        if t0 <= t <= t1:
+            parts.append(
+                f'<line x1="{x(t):.1f}" y1="0" x2="{x(t):.1f}" '
+                f'y2="{_SVG_H}" stroke="#2a6" stroke-width="1" '
+                f'opacity="0.55" />'
+            )
+    points = " ".join(
+        f"{x(t):.1f},{y(v):.1f}" for t, v in zip(times, values)
+    )
+    parts.append(
+        f'<polyline points="{points}" fill="none" stroke="{color}" '
+        f'stroke-width="1.3" />'
+    )
+    parts.append(
+        f'<text x="{_SVG_PAD}" y="{_SVG_H - 1}" font-size="9" '
+        f'fill="#777">{lo:.2f}</text>'
+    )
+    parts.append(
+        f'<text x="{_SVG_PAD}" y="{_SVG_PAD + 8}" font-size="9" '
+        f'fill="#777">{hi:.2f}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _stats_table(result: Dict) -> str:
+    """The scalar metrics as one XHTML table row set."""
+    cells_h = "".join(f"<th>{escape(m)}</th>" for m in DIFF_METRICS)
+    cells_v = "".join(
+        f"<td>{result.get(m, 0):g}</td>" for m in DIFF_METRICS
+    )
+    return (
+        f"<table><tr>{cells_h}</tr><tr>{cells_v}</tr></table>"
+    )
+
+
+def render_html(bundle: RunBundle) -> str:
+    """The run dashboard as one self-contained XHTML document.
+
+    Inline SVG sparklines (temperature with event-annotation marker
+    lines, frequency scale) per core plus the chip hotspot, the scalar
+    metrics table, and the Prometheus snapshot in a collapsible block.
+    The output is well-formed XML — ``xml.etree`` parses it — and needs
+    no JavaScript or external assets.
+    """
+    result = bundle.result
+    parts = [
+        '<?xml version="1.0" encoding="utf-8"?>',
+        '<html xmlns="http://www.w3.org/1999/xhtml">',
+        "<head>",
+        f"<title>repro run dashboard: {escape(bundle.label)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>repro run dashboard: {escape(bundle.label)}</h1>",
+        "<p class='caption'>"
+        f"policy {escape(str(result.get('policy', '?')))} · "
+        f"workload {escape(str(result.get('workload', '?')))} · "
+        f"duration {result.get('duration_s', 0.0):g} s"
+        "</p>",
+        _stats_table(result),
+    ]
+    telemetry = result.get("telemetry")
+    if telemetry:
+        parts.append(
+            "<p class='caption'>"
+            f"{telemetry['samples']} samples @ "
+            f"{telemetry['sample_period_s']:g} s · "
+            f"{telemetry['instruments']} instruments</p>"
+        )
+    if bundle.series is not None and bundle.series.n_samples:
+        times = bundle.series.times
+        marks = bundle.annotation_times()
+        temps = bundle.core_series("core_temp_c")
+        scales = bundle.core_series("core_freq_scale")
+        for core in sorted(temps):
+            parts.append(f"<h2>core {core}</h2><div class='lane'>")
+            parts.append(
+                _svg_sparkline(times, temps[core], mark_times=marks)
+            )
+            if core in scales:
+                parts.append(
+                    _svg_sparkline(times, scales[core], color="#36b")
+                )
+            parts.append(
+                "<span class='caption'>temperature (C, red) · "
+                "frequency scale (blue)"
+                + (" · event marks (green)" if marks else "")
+                + "</span></div>"
+            )
+        hot = 'chip_hotspot_max_c'
+        if hot in bundle.series.columns:
+            parts.append("<h2>chip hotspot</h2><div class='lane'>")
+            parts.append(
+                _svg_sparkline(
+                    times, bundle.series.column(hot),
+                    mark_times=marks, color="#a3a",
+                )
+            )
+            parts.append("</div>")
+    if bundle.events is not None:
+        rows = "".join(
+            f"<tr><td>{escape(kind)}</td><td>{count}</td></tr>"
+            for kind, count in sorted(bundle.events.counts().items())
+        )
+        parts.append(
+            "<h2>events</h2><table><tr><th>type</th><th>count</th></tr>"
+            + rows + "</table>"
+        )
+    if bundle.prom:
+        parts.append(
+            "<details><summary>metrics snapshot (Prometheus text)"
+            "</summary><pre>" + escape(bundle.prom) + "</pre></details>"
+        )
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Run diff
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric of ``repro report --diff``."""
+
+    metric: str
+    a: float
+    b: float
+    flagged: bool
+
+    @property
+    def delta(self) -> float:
+        """Signed difference ``b - a``."""
+        return self.b - self.a
+
+
+def diff_metrics(
+    a: Dict, b: Dict, rel_tol: float = 1e-9
+) -> List[MetricDelta]:
+    """Compare two result documents over :data:`DIFF_METRICS`.
+
+    A metric is flagged when the values differ by more than ``rel_tol``
+    relative to the larger magnitude (so bit-identical reruns produce
+    zero flags and a faulted rerun flags every perturbed metric).
+    Event-count rows (``events.<type>``) are appended when both bundles
+    carry event roll-ups.
+    """
+    rows: List[MetricDelta] = []
+    for metric in DIFF_METRICS:
+        va = float(a.get(metric, 0) or 0)
+        vb = float(b.get(metric, 0) or 0)
+        tol = rel_tol * max(abs(va), abs(vb))
+        rows.append(MetricDelta(metric, va, vb, abs(vb - va) > tol))
+    ev_a, ev_b = a.get("events"), b.get("events")
+    if isinstance(ev_a, dict) and isinstance(ev_b, dict):
+        for kind in sorted(set(ev_a) | set(ev_b)):
+            va = float(ev_a.get(kind, 0))
+            vb = float(ev_b.get(kind, 0))
+            rows.append(MetricDelta(f"events.{kind}", va, vb, va != vb))
+    return rows
+
+
+def render_diff(
+    deltas: Sequence[MetricDelta], label_a: str, label_b: str
+) -> str:
+    """Render a metric diff as a table; flagged rows end with ``<<``."""
+    rows = [
+        [
+            d.metric,
+            f"{d.a:g}",
+            f"{d.b:g}",
+            f"{d.delta:+g}",
+            "<<" if d.flagged else "",
+        ]
+        for d in deltas
+    ]
+    flagged = sum(d.flagged for d in deltas)
+    table = render_table(
+        ["metric", label_a, label_b, "delta", "flag"],
+        rows,
+        title=f"run diff: {label_a} vs {label_b}",
+    )
+    tail = (
+        f"{flagged} metric(s) differ"
+        if flagged
+        else "no metric deviations"
+    )
+    return f"{table}\n{tail}\n"

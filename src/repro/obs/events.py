@@ -55,7 +55,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, TextIO, Union
 
 #: Every event type the engine can emit, in rough lifecycle order.
 EVENT_TYPES = (
@@ -167,11 +167,55 @@ class RunEventLog:
         """The whole log as JSON-lines text (one event per line)."""
         return "".join(e.to_json() + "\n" for e in self.events)
 
-    def write_jsonl(self, path: os.PathLike) -> str:
-        """Write the log to ``path`` as JSONL; returns the path written."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_jsonl())
-        return os.fspath(path)
+    def dump_jsonl(self, fh: TextIO) -> int:
+        """Stream the log to an open text file object, one line per event.
+
+        Never materialises the full serialisation in memory — a long
+        run's log (one event per DVFS transition) streams in constant
+        space. Returns the number of events written.
+        """
+        for event in self.events:
+            fh.write(event.to_json() + "\n")
+        return len(self.events)
+
+    def write_jsonl(self, dest: Union[os.PathLike, TextIO]) -> Optional[str]:
+        """Write the log as JSONL to a path or an open file object.
+
+        Returns the path written for a path-like ``dest``, ``None`` when
+        streaming to a file object (the caller owns that handle).
+        """
+        if hasattr(dest, "write"):
+            self.dump_jsonl(dest)
+            return None
+        with open(dest, "w", encoding="utf-8") as fh:
+            self.dump_jsonl(fh)
+        return os.fspath(dest)
+
+    @classmethod
+    def from_jsonl(cls, src: Union[os.PathLike, TextIO]) -> "RunEventLog":
+        """Rebuild a log from its JSONL export (path or open file object).
+
+        The inverse of :meth:`write_jsonl`: every documented event type
+        round-trips through ``log.write_jsonl(f)`` /
+        ``RunEventLog.from_jsonl(f)`` with identical re-serialisation
+        (``repro report`` loads event annotations through this).
+        """
+        log = cls()
+        if hasattr(src, "read"):
+            lines = iter(src)
+        else:
+            with open(src, "r", encoding="utf-8") as fh:
+                lines = iter(fh.readlines())
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            time_s = record.pop("t")
+            event_type = record.pop("type")
+            core = record.pop("core", None)
+            log.emit(time_s, event_type, core, **record)
+        return log
 
 
 def read_jsonl(path: os.PathLike) -> List[Dict[str, object]]:

@@ -51,11 +51,14 @@ class StepProfiler:
         """Start with no sections and zero accumulated time."""
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
+        self._maxes: Dict[str, float] = {}
         self._sections: Dict[str, _Section] = {}
 
     def _record(self, name: str, elapsed: float) -> None:
         self._totals[name] = self._totals.get(name, 0.0) + elapsed
         self._counts[name] = self._counts.get(name, 0) + 1
+        if elapsed > self._maxes.get(name, 0.0):
+            self._maxes[name] = elapsed
 
     def section(self, name: str) -> _Section:
         """A context manager charging its body's wall time to ``name``."""
@@ -73,6 +76,27 @@ class StepProfiler:
     def counts(self) -> Dict[str, int]:
         """Number of entries per section."""
         return dict(self._counts)
+
+    def maxes(self) -> Dict[str, float]:
+        """Longest single entry (seconds) per section."""
+        return dict(self._maxes)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-section statistics: total, count, and derived mean/max.
+
+        Merged-in totals (:meth:`merge`) carry no entry counts, so their
+        sections report ``count`` 0 and ``mean_s``/``max_s`` 0.0.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name, total in self._totals.items():
+            count = self._counts.get(name, 0)
+            out[name] = {
+                "total_s": total,
+                "count": count,
+                "mean_s": total / count if count else 0.0,
+                "max_s": self._maxes.get(name, 0.0),
+            }
+        return out
 
     @property
     def total_s(self) -> float:
@@ -137,6 +161,34 @@ def render_sections(totals: Dict[str, float], title: Optional[str] = None) -> st
         return "\n".join(lines)
     width = max(len(name) for name in totals)
     for name, elapsed in sorted_sections(totals):
+        share = elapsed / grand if grand > 0 else 0.0
+        lines.append(f"  {name:{width}s}  {elapsed * 1000:9.2f} ms  {share:6.1%}")
+    lines.append(f"  {'total':{width}s}  {grand * 1000:9.2f} ms")
+    return "\n".join(lines)
+
+
+def render_engine_sections(
+    totals: Dict[str, float], title: Optional[str] = None
+) -> str:
+    """Render engine step sections in canonical :data:`ENGINE_SECTIONS` order.
+
+    Every canonical section appears — with a 0.00 ms row when it never
+    ran (an unthrottled run has no throttle entries, a short horizon may
+    never reach an OS tick) — so tables from different policies line up
+    row-for-row. Percent-of-total accompanies every section; sections
+    outside the canonical set (if any) follow in hottest-first order.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    extras = sorted_sections(
+        {n: v for n, v in totals.items() if n not in ENGINE_SECTIONS}
+    )
+    ordered = list(ENGINE_SECTIONS) + [name for name, _ in extras]
+    grand = sum(totals.values())
+    width = max(len(name) for name in ordered)
+    for name in ordered:
+        elapsed = totals.get(name, 0.0)
         share = elapsed / grand if grand > 0 else 0.0
         lines.append(f"  {name:{width}s}  {elapsed * 1000:9.2f} ms  {share:6.1%}")
     lines.append(f"  {'total':{width}s}  {grand * 1000:9.2f} ms")

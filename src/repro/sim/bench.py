@@ -56,6 +56,12 @@ SHORT_RUN_S = 0.02
 #: measurement window used by ``experiments/table1.py``).
 FULL_RUN_S = 0.5
 
+#: Horizon of the telemetry-vs-record_series contrast cases (3600
+#: steps). Longer than :data:`SHORT_RUN_S` on purpose: the fused path's
+#: per-run setup cost amortizes with horizon, so the short window would
+#: understate the sampled path's steady-state advantage.
+TELEMETRY_RUN_S = 0.1
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -74,6 +80,13 @@ class BenchCase:
         short: Whether the case belongs to the quick suite that CI
             reruns on every push; the full-length case is excluded.
         description: One line for humans, recorded in the artifact.
+        sample_period_s: When set, the run carries a
+            :class:`~repro.obs.telemetry.TelemetrySampler` at this
+            period — the fusion-aware instrumentation path.
+        record_series: When true, the run records full per-step series
+            (``SimulationConfig.record_series``), the pre-telemetry way
+            to get time-series data; it blocks fusion, which is exactly
+            the contrast the sampled cases measure against.
     """
 
     key: str
@@ -82,6 +95,8 @@ class BenchCase:
     faulted: bool
     short: bool
     description: str
+    sample_period_s: Optional[float] = None
+    record_series: bool = False
 
 
 ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
@@ -110,6 +125,32 @@ ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
         "table1-full", None, FULL_RUN_S, False, False,
         "full-length Table-1-style unthrottled characterization run",
+    ),
+    # Telemetry-vs-record_series contrast pairs (docs/PERFORMANCE.md §3):
+    # the sampled cases keep whatever fast path the config allows (the
+    # unthrottled one stays fully fused), while record_series blocks
+    # fusion and pays per-step Python-list appends.
+    BenchCase(
+        "sampled-unthrottled", None, TELEMETRY_RUN_S, False, True,
+        "unthrottled with the telemetry sampler at 1 ms: fused chunks "
+        "between sample instants",
+        sample_period_s=1e-3,
+    ),
+    BenchCase(
+        "recorded-unthrottled", None, TELEMETRY_RUN_S, False, True,
+        "unthrottled with full per-step series recording (fusion "
+        "blocked): the pre-telemetry time-series path",
+        record_series=True,
+    ),
+    BenchCase(
+        "sampled-dvfs", "distributed-dvfs-none", TELEMETRY_RUN_S, False, True,
+        "per-core DVFS with the telemetry sampler at 1 ms",
+        sample_period_s=1e-3,
+    ),
+    BenchCase(
+        "recorded-dvfs", "distributed-dvfs-none", TELEMETRY_RUN_S, False, True,
+        "per-core DVFS with full per-step series recording",
+        record_series=True,
     ),
 )
 
@@ -145,17 +186,25 @@ def case_config(case: BenchCase) -> SimulationConfig:
     kwargs = {"duration_s": case.duration_s}
     if case.faulted:
         kwargs["fault_plan"] = _bench_fault_plan(case.duration_s)
+    if case.record_series:
+        kwargs["record_series"] = True
     return SimulationConfig(**kwargs)
 
 
 def build_simulator(case: BenchCase) -> ThermalTimingSimulator:
     """A fresh simulator for one benchmark round of ``case``."""
+    from repro.obs.telemetry import TelemetrySampler
     from repro.sim.workloads import get_workload
 
     workload = get_workload("workload7")
     spec = spec_by_key(case.spec_key) if case.spec_key else None
+    telemetry = (
+        TelemetrySampler(case.sample_period_s)
+        if case.sample_period_s is not None
+        else None
+    )
     return ThermalTimingSimulator(
-        workload.benchmarks, spec, case_config(case)
+        workload.benchmarks, spec, case_config(case), telemetry=telemetry
     )
 
 
@@ -248,6 +297,8 @@ def run_suite(
             "duration_s": case.duration_s,
             "faulted": case.faulted,
             "short": case.short,
+            "sample_period_s": case.sample_period_s,
+            "record_series": case.record_series,
             "simulated_steps": result.simulated_steps,
             "steps_per_second": round(result.steps_per_second, 1),
             "steps_per_second_mean": round(result.steps_per_second_mean, 1),

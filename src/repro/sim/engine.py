@@ -44,6 +44,7 @@ from repro.osmodel.thermal_table import ThreadCoreThermalTable
 from repro.obs.events import RunEventLog
 from repro.obs.logconfig import get_logger
 from repro.obs.profiler import NULL_PROFILER, StepProfiler
+from repro.obs.telemetry import TelemetrySampler
 from repro.osmodel.timer import DEFAULT_MIGRATION_PERIOD_S, PeriodicTimer
 from repro.sim.metrics import EMERGENCY_TOLERANCE_C, MetricsAccumulator
 from repro.sim.results import RunResult, TimeSeries
@@ -171,10 +172,16 @@ class ThermalTimingSimulator:
     Observability is strictly opt-in: pass an
     :class:`~repro.obs.events.RunEventLog` to capture typed, timestamped
     engine events (its summary is attached to the returned
-    :class:`~repro.sim.results.RunResult`), and/or a
+    :class:`~repro.sim.results.RunResult`), a
     :class:`~repro.obs.profiler.StepProfiler` to time the step loop's
-    named sections. Neither feeds anything back into the simulation, so
-    runs with both off are byte-identical to instrumented ones.
+    named sections, and/or a
+    :class:`~repro.obs.telemetry.TelemetrySampler` to capture a bounded
+    metrics time-series at a configurable sample period. None of them
+    feed anything back into the simulation, so instrumented runs are
+    byte-identical to uninstrumented ones. Event logs and profilers have
+    per-step semantics and therefore block the fused fast path; the
+    telemetry sampler is fusion-aware (it observes only at sample
+    instants) and keeps fusion-eligible runs fused.
     """
 
     def __init__(
@@ -185,11 +192,13 @@ class ThermalTimingSimulator:
         *,
         event_log: Optional[RunEventLog] = None,
         profiler: Optional[StepProfiler] = None,
+        telemetry: Optional[TelemetrySampler] = None,
     ):
         """Assemble the full simulated machine for one run."""
         self.config = config or SimulationConfig()
         self.event_log = event_log
         self.profiler = profiler
+        self.telemetry = telemetry
         machine = self.config.machine
         if len(benchmarks) != machine.n_cores:
             raise ValueError(
@@ -375,9 +384,15 @@ class ThermalTimingSimulator:
         if not self.config.fuse_steps:
             blockers.append("disabled")
         #: Why the fused fast path cannot be used (empty = eligible).
+        #: The telemetry sampler is deliberately absent from this list:
+        #: it observes only at sample instants, so sampled runs keep the
+        #: fused fast path (see docs/OBSERVABILITY.md).
         self.fusion_blockers: Tuple[str, ...] = tuple(blockers)
         #: Whether the most recent :meth:`run` took the fused fast path.
         self.last_run_fused = False
+
+        if telemetry is not None:
+            telemetry.bind(self)
 
     # -- helpers -----------------------------------------------------------
 
@@ -476,6 +491,8 @@ class ThermalTimingSimulator:
         n_steps = max(1, int(round(cfg.duration_s / self.dt)))
         self._warm_start()
         metrics = MetricsAccumulator(self.n_cores, cfg.threshold_c)
+        if self.telemetry is not None:
+            self.telemetry.begin_run()
         self.last_run_fused = not self.fusion_blockers
         logger.debug(
             "run start: workload=%s policy=%s steps=%d dt=%.3g fused=%s",
@@ -542,6 +559,18 @@ class ThermalTimingSimulator:
         migration_due = self._migration_timer.fire_due
 
         series = _SeriesRecorder(n_steps, n_cores) if cfg.record_series else None
+
+        # Telemetry sampling: one state read after every `tel_stride`-th
+        # step. The sampler consumes true post-step temperatures (never
+        # the sensor path) and feeds nothing back, so it perturbs neither
+        # need_sensors/policy_fast gating below nor any simulated value.
+        telemetry = self.telemetry
+        if telemetry is not None:
+            tel_stride = telemetry.stride_steps(dt)
+            tel_next = tel_stride - 1
+        else:
+            tel_stride = 0
+            tel_next = -1
 
         # What the sensor path must produce: policies, guards, faults and
         # series all consume readings every step; the profiler keeps the
@@ -835,6 +864,14 @@ class ThermalTimingSimulator:
                 thermal.temperatures = new_temps
             max_temp = float(new_temps[:n_blocks].max())
             record_step(dt, core_work, core_stall, core_frozen, core_instr, max_temp)
+            if step == tel_next:
+                telemetry.sample(
+                    (step + 1) * dt,
+                    new_temps,
+                    [core_work[c] / dt for c in core_range],
+                    metrics,
+                )
+                tel_next += tel_stride
             if events is not None:
                 emergency = max_temp > cfg.threshold_c + EMERGENCY_TOLERANCE_C
                 if emergency and not self._in_emergency:
@@ -894,6 +931,21 @@ class ThermalTimingSimulator:
         core_stall = [0.0] * n_cores
         core_frozen = [False] * n_cores
 
+        # Telemetry sampling between fused spans: the run still executes
+        # as vectorized chunk assembly plus the sequential thermal
+        # recursion below; the sampler reads the recursion's state only
+        # at sample instants. Same values, at the same instants, as the
+        # stepwise tap — an unthrottled step has effective scale 1.0 and
+        # work dt, exactly what the stepwise loop computes.
+        telemetry = self.telemetry
+        if telemetry is not None:
+            tel_stride = telemetry.stride_steps(dt)
+            tel_next = tel_stride - 1
+            tel_scales = [1.0] * n_cores
+        else:
+            tel_stride = 0
+            tel_next = -1
+
         temps = thermal.temperatures
         chunk = 8192
         for start in range(0, n_steps, chunk):
@@ -934,6 +986,11 @@ class ThermalTimingSimulator:
                 record_step(
                     dt, core_work, core_stall, core_frozen, instr_rows[i], max_temp
                 )
+                if start + i == tel_next:
+                    telemetry.sample(
+                        (start + i + 1) * dt, temps, tel_scales, metrics
+                    )
+                    tel_next += tel_stride
 
             # Fold per-process bookkeeping exactly as the stepwise loop
             # would: sequential adds per step, in step order.
@@ -1146,6 +1203,9 @@ class ThermalTimingSimulator:
                 self.event_log.summary() if self.event_log is not None else None
             ),
             faults=fault_summary,
+            telemetry=(
+                self.telemetry.summary() if self.telemetry is not None else None
+            ),
         )
 
 
@@ -1314,14 +1374,20 @@ def run_workload(
     *,
     event_log: Optional[RunEventLog] = None,
     profiler: Optional[StepProfiler] = None,
+    telemetry: Optional[TelemetrySampler] = None,
 ) -> RunResult:
     """Convenience: simulate one Table 4 workload under one policy.
 
-    ``event_log`` and ``profiler`` opt into observability capture; see
-    :class:`ThermalTimingSimulator`.
+    ``event_log``, ``profiler`` and ``telemetry`` opt into observability
+    capture; see :class:`ThermalTimingSimulator`.
     """
     sim = ThermalTimingSimulator(
-        workload.benchmarks, spec, config, event_log=event_log, profiler=profiler
+        workload.benchmarks,
+        spec,
+        config,
+        event_log=event_log,
+        profiler=profiler,
+        telemetry=telemetry,
     )
     result = sim.run()
     return replace(result, workload=workload.name)

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.faults.models import FaultSummary
 from repro.obs.events import EventLogSummary
+from repro.obs.telemetry import TelemetrySummary
 
 
 @dataclass
@@ -66,6 +67,11 @@ class RunResult:
     #: :class:`~repro.faults.guards.GuardConfig`; ``None`` otherwise, so
     #: un-faulted results stay identical to the pre-fault engine's.
     faults: Optional[FaultSummary] = None
+    #: Telemetry-capture roll-up when the run carried a
+    #: :class:`~repro.obs.telemetry.TelemetrySampler`; ``None`` otherwise.
+    #: Like ``events``, this is an attachment, never a metric: sampled
+    #: runs report bit-identical numbers to uninstrumented ones.
+    telemetry: Optional[TelemetrySummary] = None
 
     @property
     def had_emergency(self) -> bool:

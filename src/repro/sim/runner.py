@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.taxonomy import PolicySpec
 from repro.obs.logconfig import get_logger
 from repro.obs.profiler import StepProfiler, render_sections
+from repro.obs.telemetry import MetricsRegistry
 from repro.sim.engine import SimulationConfig, run_workload
 from repro.sim.results import RunResult
 from repro.sim.workloads import Workload
@@ -189,11 +190,32 @@ class ResultCache:
     cache directory without torn reads.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None):
-        """Root the store at ``root`` (default: the user cache dir)."""
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        """Root the store at ``root`` (default: the user cache dir).
+
+        With a ``registry``, the cache registers ``cache_hits_total`` /
+        ``cache_misses_total`` / ``cache_puts_total`` counters and keeps
+        them in step with its own ``hits``/``misses`` attributes.
+        """
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        if registry is not None:
+            self._ctr_hits = registry.counter(
+                "cache_hits_total", help="result-cache lookups served from disk"
+            )
+            self._ctr_misses = registry.counter(
+                "cache_misses_total", help="result-cache lookups that missed"
+            )
+            self._ctr_puts = registry.counter(
+                "cache_puts_total", help="results written to the cache"
+            )
+        else:
+            self._ctr_hits = self._ctr_misses = self._ctr_puts = None
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -223,12 +245,18 @@ class ResultCache:
                 value = pickle.load(fh)
         except Exception:
             self.misses += 1
+            if self._ctr_misses is not None:
+                self._ctr_misses.inc()
             return None
         self.hits += 1
+        if self._ctr_hits is not None:
+            self._ctr_hits.inc()
         return value
 
     def put(self, key: str, value) -> None:
         """Store ``value`` under ``key`` atomically."""
+        if self._ctr_puts is not None:
+            self._ctr_puts.inc()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -259,6 +287,20 @@ class ResultCache:
 
 
 @dataclass(frozen=True)
+class SpanTiming:
+    """Wall-clock span of one worker-side execution (picklable)."""
+
+    #: Epoch seconds (``time.time``) at execution start, comparable
+    #: across worker processes — the Chrome-trace exporter aligns every
+    #: span against the batch's earliest start.
+    started_at: float
+    elapsed_s: float
+    #: OS pid of the executing process (a pool worker, or the parent for
+    #: inline execution) — one trace lane per pid.
+    pid: int
+
+
+@dataclass(frozen=True)
 class PointReport:
     """Observability record for one executed (or cache-served) point."""
 
@@ -270,6 +312,11 @@ class PointReport:
     #: constructed with ``profile=True`` and the point was simulated
     #: (cache hits carry no sections).
     sections: Optional[Dict[str, float]] = None
+    #: Execution-span start (epoch seconds) and worker pid; zero for
+    #: cache hits. :func:`repro.obs.exporters.runner_trace_events` turns
+    #: these into per-worker Chrome-trace lanes.
+    started_at: float = 0.0
+    pid: int = 0
 
 
 @dataclass
@@ -310,16 +357,18 @@ class RunnerStats:
         )
 
 
-def _execute_point(point: RunPoint) -> Tuple[RunResult, float, None]:
-    """Process-pool task: simulate one point, returning (result, seconds)."""
+def _execute_point(point: RunPoint) -> Tuple[RunResult, SpanTiming, None]:
+    """Process-pool task: simulate one point, returning (result, span)."""
+    started = time.time()
     t0 = time.perf_counter()
     result = run_workload(point.workload, point.spec, point.config)
-    return result, time.perf_counter() - t0, None
+    span = SpanTiming(started, time.perf_counter() - t0, os.getpid())
+    return result, span, None
 
 
 def _execute_point_profiled(
     point: RunPoint,
-) -> Tuple[RunResult, float, Dict[str, float]]:
+) -> Tuple[RunResult, SpanTiming, Dict[str, float]]:
     """Like :func:`_execute_point`, with the engine step profiler attached.
 
     The profiler only reads the clock, so the returned result is
@@ -327,18 +376,22 @@ def _execute_point_profiled(
     separately and never enter the cached value.
     """
     profiler = StepProfiler()
+    started = time.time()
     t0 = time.perf_counter()
     result = run_workload(
         point.workload, point.spec, point.config, profiler=profiler
     )
-    return result, time.perf_counter() - t0, profiler.totals()
+    span = SpanTiming(started, time.perf_counter() - t0, os.getpid())
+    return result, span, profiler.totals()
 
 
-def _execute_task(item: Tuple[Callable, object]) -> Tuple[object, float]:
+def _execute_task(item: Tuple[Callable, object]) -> Tuple[object, SpanTiming]:
     """Process-pool task for :meth:`ParallelRunner.map_cached`."""
     fn, payload = item
+    started = time.time()
     t0 = time.perf_counter()
-    return fn(payload), time.perf_counter() - t0
+    value = fn(payload)
+    return value, SpanTiming(started, time.perf_counter() - t0, os.getpid())
 
 
 class ParallelRunner:
@@ -373,8 +426,14 @@ class ParallelRunner:
         cache: Optional[ResultCache] = None,
         version: Optional[str] = None,
         profile: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ):
-        """Configure the pool size, cache binding and version salt."""
+        """Configure the pool size, cache binding and version salt.
+
+        With a ``registry``, the runner registers
+        ``runner_points_simulated_total`` / ``runner_points_cached_total``
+        counters (batch-level mirrors of ``stats``).
+        """
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -384,6 +443,17 @@ class ParallelRunner:
         self.profile = bool(profile)
         self._version = version
         self.stats = RunnerStats()
+        if registry is not None:
+            self._ctr_simulated = registry.counter(
+                "runner_points_simulated_total",
+                help="Points actually simulated by the runner",
+            )
+            self._ctr_cached = registry.counter(
+                "runner_points_cached_total",
+                help="Points served from the result cache",
+            )
+        else:
+            self._ctr_simulated = self._ctr_cached = None
 
     @property
     def version(self) -> str:
@@ -407,6 +477,8 @@ class ParallelRunner:
                     results[i] = value
                     done[i] = True
                     self.stats.cache_hits += 1
+                    if self._ctr_cached is not None:
+                        self._ctr_cached.inc()
                     self.stats.reports.append(
                         PointReport(points[i].label, key, True, 0.0)
                     )
@@ -430,14 +502,19 @@ class ParallelRunner:
             [(key, points[idxs[0]]) for key, idxs in pending.items()],
             _execute_point_profiled if self.profile else _execute_point,
         )
-        for (key, point), (value, elapsed, sections) in executed:
+        for (key, point), (value, span, sections) in executed:
             for i in pending[key]:
                 results[i] = value
                 done[i] = True
             self.stats.simulated += 1
-            self.stats.elapsed_s += elapsed
+            if self._ctr_simulated is not None:
+                self._ctr_simulated.inc()
+            self.stats.elapsed_s += span.elapsed_s
             self.stats.reports.append(
-                PointReport(point.label, key, False, elapsed, sections)
+                PointReport(
+                    point.label, key, False, span.elapsed_s, sections,
+                    started_at=span.started_at, pid=span.pid,
+                )
             )
             if sections:
                 self.stats.add_sections(sections)
@@ -491,6 +568,8 @@ class ParallelRunner:
                     results[i] = value
                     done[i] = True
                     self.stats.cache_hits += 1
+                    if self._ctr_cached is not None:
+                        self._ctr_cached.inc()
                     self.stats.reports.append(
                         PointReport(labels[i], key, True, 0.0)
                     )
@@ -500,13 +579,18 @@ class ParallelRunner:
         executed = self._execute(
             [(i, (fn, payloads[i])) for i in todo], _execute_task
         )
-        for (i, _item), (value, elapsed) in executed:
+        for (i, _item), (value, span) in executed:
             results[i] = value
             done[i] = True
             self.stats.simulated += 1
-            self.stats.elapsed_s += elapsed
+            if self._ctr_simulated is not None:
+                self._ctr_simulated.inc()
+            self.stats.elapsed_s += span.elapsed_s
             self.stats.reports.append(
-                PointReport(labels[i], keys[i], False, elapsed)
+                PointReport(
+                    labels[i], keys[i], False, span.elapsed_s,
+                    started_at=span.started_at, pid=span.pid,
+                )
             )
             if self.cache is not None:
                 self.cache.put(keys[i], value)

@@ -118,3 +118,29 @@ def multi_series(
     )
     lines.append(ruler)
     return "\n".join(lines)
+
+
+def timeline_markers(
+    t0: float,
+    t1: float,
+    mark_times: Sequence[float],
+    width: int = 60,
+    mark: str = "┆",
+) -> str:
+    """A one-line annotation track: ``mark`` at each event time.
+
+    Aligns with the sparkline columns of :func:`multi_series` (same
+    ``width``), so run events — migrations, trips, injected faults — can
+    be overlaid under the temperature traces. Times outside ``[t0, t1]``
+    are ignored; coincident events share one column.
+    """
+    if width < 1:
+        raise ValueError(f"width too small: {width}")
+    if not t1 > t0:
+        raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+    row = [" "] * width
+    for t in mark_times:
+        if t0 <= t <= t1:
+            col = min(width - 1, int((t - t0) / (t1 - t0) * width))
+            row[col] = mark
+    return "".join(row)

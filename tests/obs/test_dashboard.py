@@ -1,0 +1,168 @@
+"""Tests for run bundles and the report dashboards (ASCII, HTML, diff)."""
+
+import xml.etree.ElementTree as ET
+from dataclasses import replace
+
+import pytest
+
+from repro.core.taxonomy import spec_by_key
+from repro.faults.models import FaultPlan, StuckAtFault
+from repro.obs.dashboard import (
+    MetricDelta,
+    diff_metrics,
+    load_bundle,
+    render_ascii,
+    render_diff,
+    render_html,
+    write_bundle,
+)
+from repro.obs.events import RunEventLog
+from repro.obs.telemetry import TelemetrySampler
+from repro.sim.engine import SimulationConfig, run_workload
+from repro.sim.workloads import get_workload
+
+W1 = get_workload("workload1")
+CFG = SimulationConfig(duration_s=0.02)
+DVFS = spec_by_key("distributed-dvfs-none")
+
+
+def _bundle(tmp_path, name="run", config=CFG, with_events=True):
+    sampler = TelemetrySampler(1e-3)
+    log = RunEventLog() if with_events else None
+    result = run_workload(W1, DVFS, config, telemetry=sampler, event_log=log)
+    prefix = str(tmp_path / name)
+    write_bundle(prefix, result, sampler, log)
+    return prefix, result
+
+
+class TestBundleRoundTrip:
+    def test_all_artifacts_written_and_loaded(self, tmp_path):
+        prefix, result = _bundle(tmp_path)
+        bundle = load_bundle(prefix)
+        assert bundle.result["bips"] == result.bips
+        assert bundle.result["policy"] == result.policy
+        assert bundle.result["telemetry"]["samples"] == 21
+        assert bundle.series is not None
+        assert bundle.series.n_samples == 21
+        assert bundle.prom is not None
+        assert bundle.events is not None
+        assert (
+            bundle.events.count("dvfs-transition") == result.dvfs_transitions
+        )
+
+    def test_eventless_bundle_loads(self, tmp_path):
+        prefix, _ = _bundle(tmp_path, with_events=False)
+        bundle = load_bundle(prefix)
+        assert bundle.events is None
+        assert "events" not in bundle.result
+        assert bundle.annotation_times() == []
+
+    def test_missing_bundle_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bundle(str(tmp_path / "nope"))
+
+    def test_core_series_extraction(self, tmp_path):
+        prefix, _ = _bundle(tmp_path)
+        bundle = load_bundle(prefix)
+        temps = bundle.core_series("core_temp_c")
+        assert sorted(temps) == [0, 1, 2, 3]
+        assert all(len(v) == 21 for v in temps.values())
+
+
+class TestAsciiDashboard:
+    def test_contains_stats_and_sparklines(self, tmp_path):
+        prefix, result = _bundle(tmp_path)
+        text = render_ascii(load_bundle(prefix))
+        assert "Dist. DVFS" in text
+        assert f"{result.bips:.3f}" in text
+        for core in range(4):
+            assert f"T{core} (C)" in text
+            assert f"f{core}" in text
+        assert "Tmax (C)" in text
+        assert "telemetry: 21 samples" in text
+
+    def test_event_track_rendered_when_events_present(self, tmp_path):
+        plan = FaultPlan(faults=(StuckAtFault(core=0, value_c=60.0),),
+                         name="stuck")
+        prefix, _ = _bundle(tmp_path, config=replace(CFG, fault_plan=plan))
+        text = render_ascii(load_bundle(prefix))
+        assert "events" in text
+        assert "marks)" in text
+
+
+class TestHtmlDashboard:
+    def test_well_formed_xml_with_per_core_svgs(self, tmp_path):
+        prefix, _ = _bundle(tmp_path)
+        html = render_html(load_bundle(prefix))
+        root = ET.fromstring(html)
+        ns = {"x": "http://www.w3.org/1999/xhtml",
+              "svg": "http://www.w3.org/2000/svg"}
+        svgs = root.findall(".//svg:svg", ns)
+        # temp + freq per core, plus the chip-hotspot lane.
+        assert len(svgs) == 2 * 4 + 1
+        for svg in svgs:
+            assert svg.findall("svg:polyline", ns)
+        headings = [h.text for h in root.findall(".//x:h2", ns)]
+        for core in range(4):
+            assert f"core {core}" in headings
+
+    def test_event_annotations_and_prom_snapshot_inline(self, tmp_path):
+        plan = FaultPlan(faults=(StuckAtFault(core=0, value_c=60.0),),
+                         name="stuck")
+        prefix, _ = _bundle(tmp_path, config=replace(CFG, fault_plan=plan))
+        html = render_html(load_bundle(prefix))
+        root = ET.fromstring(html)
+        ns = {"svg": "http://www.w3.org/2000/svg",
+              "x": "http://www.w3.org/1999/xhtml"}
+        # The stuck-sensor fault emits a fault.sensor event -> marker line.
+        assert root.findall(".//svg:line", ns)
+        pre = root.findall(".//x:pre", ns)
+        assert pre and "core_temp_c" in pre[0].text
+
+    def test_self_contained(self, tmp_path):
+        """No scripts, no external resources — viewable from a file://."""
+        prefix, _ = _bundle(tmp_path)
+        html = render_html(load_bundle(prefix))
+        assert "<script" not in html
+        assert "http-equiv" not in html
+        assert 'src="http' not in html
+
+
+class TestDiff:
+    def test_identical_runs_produce_no_flags(self, tmp_path):
+        prefix_a, _ = _bundle(tmp_path, "a")
+        prefix_b, _ = _bundle(tmp_path, "b")
+        deltas = diff_metrics(
+            load_bundle(prefix_a).result, load_bundle(prefix_b).result
+        )
+        assert all(not d.flagged for d in deltas)
+
+    def test_faulted_run_flags_metric_deltas(self, tmp_path):
+        """The acceptance path: --diff flags a faulted run's deviation."""
+        prefix_a, _ = _bundle(tmp_path, "a")
+        plan = FaultPlan(faults=(StuckAtFault(core=0, value_c=60.0),),
+                         name="stuck")
+        prefix_b, _ = _bundle(
+            tmp_path, "b", config=replace(CFG, fault_plan=plan)
+        )
+        deltas = diff_metrics(
+            load_bundle(prefix_a).result, load_bundle(prefix_b).result
+        )
+        flagged = {d.metric for d in deltas if d.flagged}
+        assert "bips" in flagged
+        assert "max_temp_c" in flagged
+        assert "events.fault.sensor" in flagged
+
+    def test_render_marks_flagged_rows(self):
+        deltas = [
+            MetricDelta("bips", 10.0, 12.0, True),
+            MetricDelta("migrations", 3.0, 3.0, False),
+        ]
+        text = render_diff(deltas, "a", "b")
+        bips_line = next(line for line in text.splitlines() if "bips" in line)
+        assert "<<" in bips_line
+        assert "1 metric(s) differ" in text
+
+    def test_render_clean_diff(self):
+        text = render_diff([MetricDelta("bips", 1.0, 1.0, False)], "a", "b")
+        assert "no metric deviations" in text

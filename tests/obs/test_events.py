@@ -97,3 +97,69 @@ class TestJsonl:
         assert len(lines) == 5
         for line in lines:
             json.loads(line)
+
+    def test_streaming_to_file_object(self):
+        import io
+
+        log = RunEventLog()
+        log.emit(0.0, "os-tick")
+        log.emit(0.01, "migration", 1, pid=2)
+        buf = io.StringIO()
+        assert log.write_jsonl(buf) is None  # caller owns the handle
+        assert buf.getvalue() == log.to_jsonl()
+
+    def test_dump_jsonl_returns_event_count(self):
+        import io
+
+        log = RunEventLog()
+        for i in range(3):
+            log.emit(i * 0.01, "os-tick")
+        assert log.dump_jsonl(io.StringIO()) == 3
+
+    def test_from_jsonl_round_trips_every_documented_type(self, tmp_path):
+        """write_jsonl -> from_jsonl is the identity for every event
+        type, including per-type data payloads."""
+        payloads = {
+            "dvfs-transition": {"from": 1.0, "to": 0.8, "penalty_s": 1e-5},
+            "dvfs-rejected": {"requested": 0.81, "current": 0.8},
+            "stopgo-trip": {"cores": [0, 2]},
+            "migration-decision": {"assignment": {"0": 1}},
+            "migration": {"pid": 3},
+            "prochot-trip": {"temp_c": 85.0},
+            "emergency-enter": {"temp_c": 83.2},
+            "emergency-exit": {"temp_c": 81.1},
+            "fault.sensor": {"kind": "stuck-at", "unit": "intreg",
+                             "end_s": 0.5},
+            "fault.dvfs": {"kind": "reject", "requested": 0.7,
+                           "current": 1.0},
+            "fault.migration": {"assignment": {"1": 0}},
+        }
+        log = RunEventLog()
+        for i, event_type in enumerate(EVENT_TYPES):
+            log.emit(i * 0.001, event_type, i % 4,
+                     **payloads.get(event_type, {}))
+        path = tmp_path / "all.jsonl"
+        log.write_jsonl(path)
+        loaded = RunEventLog.from_jsonl(path)
+        assert len(loaded) == len(EVENT_TYPES)
+        assert loaded.counts() == log.counts()
+        assert loaded.to_jsonl() == log.to_jsonl()
+        for original, parsed in zip(log, loaded):
+            assert parsed.type == original.type
+            assert parsed.time_s == original.time_s
+            assert parsed.core == original.core
+            assert parsed.data == original.data
+
+    def test_from_jsonl_accepts_file_object(self):
+        import io
+
+        log = RunEventLog()
+        log.emit(0.0, "os-tick")
+        buf = io.StringIO(log.to_jsonl())
+        assert RunEventLog.from_jsonl(buf).counts() == {"os-tick": 1}
+
+    def test_from_jsonl_rejects_unknown_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 0.0, "type": "quantum-tunnel", "core": null}\n')
+        with pytest.raises(ValueError, match="unknown event type"):
+            RunEventLog.from_jsonl(path)

@@ -1,0 +1,178 @@
+"""Unit tests for the telemetry export formats."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    parse_prometheus_text,
+    profile_trace_events,
+    prometheus_text,
+    read_series_jsonl,
+    runner_trace_events,
+    write_chrome_trace,
+    write_series_csv,
+    write_series_jsonl,
+)
+from repro.obs.profiler import ENGINE_SECTIONS
+from repro.obs.telemetry import MetricsRegistry, TelemetrySeries
+
+
+def _series():
+    series = TelemetrySeries(1e-3, ['temp_c{core="0"}', "hits_total"])
+    series.append(0.0, [80.123456789012345, 0.0])
+    series.append(1e-3, [81.5, 3.0])
+    return series
+
+
+class TestSeriesJsonl:
+    def test_round_trip_exact(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        original = _series()
+        write_series_jsonl(original, path)
+        loaded = read_series_jsonl(path)
+        assert loaded.sample_period_s == original.sample_period_s
+        assert list(loaded.columns) == list(original.columns)
+        assert loaded.rows() == original.rows()  # floats exact
+
+    def test_file_object_round_trip(self):
+        buf = io.StringIO()
+        write_series_jsonl(_series(), buf)
+        buf.seek(0)
+        assert read_series_jsonl(buf).n_samples == 2
+
+    def test_header_schema(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        write_series_jsonl(_series(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == "repro-telemetry/1"
+        assert header["sample_period_s"] == 1e-3
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "other/9", "sample_period_s": 1, '
+                        '"columns": []}\n')
+        with pytest.raises(ValueError, match="schema"):
+            read_series_jsonl(path)
+
+
+class TestSeriesCsv:
+    def test_csv_values_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "series.csv"
+        original = _series()
+        write_series_csv(original, path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["t"] + list(original.columns)
+        assert float(rows[1][1]) == 80.123456789012345
+
+
+class TestPrometheus:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.gauge("core_temp_c", help="true core temperature", core=0).set(81.25)
+        reg.gauge("core_temp_c", core=1).set(79.0)
+        reg.counter("dvfs_transitions_total").inc(7)
+        hist = reg.histogram("pi_error_c", buckets=(-1.0, 0.0, 1.0), domain=0)
+        for v in (-2.0, -0.5, 0.5, 3.0):
+            hist.observe(v)
+        return reg
+
+    def test_exposition_structure(self):
+        text = prometheus_text(self._registry())
+        assert "# HELP core_temp_c true core temperature" in text
+        assert "# TYPE core_temp_c gauge" in text
+        assert '# TYPE pi_error_c histogram' in text
+        assert 'core_temp_c{core="0"} 81.25' in text
+        assert 'pi_error_c_bucket{domain="0",le="+Inf"} 4' in text
+        assert 'pi_error_c_count{domain="0"} 4' in text
+
+    def test_buckets_cumulative(self):
+        text = prometheus_text(self._registry())
+        values = parse_prometheus_text(text)
+        assert values['pi_error_c_bucket{domain="0",le="-1.0"}'] == 1
+        assert values['pi_error_c_bucket{domain="0",le="0.0"}'] == 2
+        assert values['pi_error_c_bucket{domain="0",le="1.0"}'] == 3
+        assert values['pi_error_c_bucket{domain="0",le="+Inf"}'] == 4
+
+    def test_parse_inverts_format(self):
+        values = parse_prometheus_text(prometheus_text(self._registry()))
+        assert values["dvfs_transitions_total"] == 7
+        assert values['core_temp_c{core="1"}'] == 79.0
+
+
+def _valid_trace_event(event):
+    """Chrome trace-event schema check for the phases we emit."""
+    assert event["ph"] in ("X", "M")
+    assert isinstance(event["pid"], int)
+    if event["ph"] == "X":
+        assert isinstance(event["name"], str)
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert isinstance(event["tid"], int)
+    else:
+        assert event["name"] in ("process_name", "thread_name")
+        assert "name" in event["args"]
+
+
+class TestChromeTrace:
+    def _profile(self):
+        return {
+            "sensors": {"total_s": 0.002, "count": 10, "mean_s": 2e-4,
+                        "max_s": 3e-4},
+            "power": {"total_s": 0.006, "count": 10, "mean_s": 6e-4,
+                      "max_s": 7e-4},
+        }
+
+    def test_profile_events_nest_inside_run_span(self):
+        events = profile_trace_events(self._profile(), label="test run")
+        for event in events:
+            _valid_trace_event(event)
+        run = next(e for e in events if e.get("cat") == "run")
+        sections = [e for e in events if e.get("cat") == "section"]
+        assert run["dur"] == pytest.approx(0.008e6)
+        assert len(sections) == 2
+        for s in sections:
+            assert s["ts"] >= run["ts"]
+            assert s["ts"] + s["dur"] <= run["ts"] + run["dur"] + 1e-6
+
+    def test_sections_in_canonical_order(self):
+        events = profile_trace_events(self._profile())
+        names = [e["name"] for e in events if e.get("cat") == "section"]
+        canon = [n for n in ENGINE_SECTIONS if n in names]
+        assert names == canon
+
+    def test_runner_events_lane_per_pid(self):
+        class Report:
+            def __init__(self, pid, started_at, cache_hit=False):
+                self.label = f"point-{pid}"
+                self.key = "k" * 16
+                self.cache_hit = cache_hit
+                self.elapsed_s = 0.5
+                self.sections = {"power": 0.3}
+                self.started_at = started_at
+                self.pid = pid
+
+        reports = [Report(100, 10.0), Report(101, 10.2),
+                   Report(102, 0.0, cache_hit=True)]
+        events = runner_trace_events(reports)
+        for event in events:
+            _valid_trace_event(event)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {100, 101}  # cache hit skipped
+        spans = [e for e in events if e.get("cat") == "run"]
+        assert min(e["ts"] for e in spans) == 0.0  # aligned to first start
+
+    def test_runner_events_empty_without_executions(self):
+        assert runner_trace_events([]) == []
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(profile_trace_events(self._profile()), path)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+        for event in payload["traceEvents"]:
+            _valid_trace_event(event)

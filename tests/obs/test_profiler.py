@@ -5,8 +5,10 @@ import time
 import pytest
 
 from repro.obs.profiler import (
+    ENGINE_SECTIONS,
     NULL_PROFILER,
     StepProfiler,
+    render_engine_sections,
     render_sections,
     sorted_sections,
 )
@@ -44,12 +46,49 @@ class TestStepProfiler:
                 raise RuntimeError("bang")
         assert prof.counts() == {"boom": 1}
 
+    def test_max_tracks_slowest_entry(self):
+        prof = StepProfiler()
+        with prof.section("a"):
+            pass
+        with prof.section("a"):
+            time.sleep(0.002)
+        maxes = prof.maxes()
+        assert maxes["a"] >= 0.002
+        assert maxes["a"] <= prof.totals()["a"]
+
+    def test_as_dict_derives_mean_and_max(self):
+        prof = StepProfiler()
+        for _ in range(4):
+            with prof.section("a"):
+                time.sleep(0.001)
+        stats = prof.as_dict()["a"]
+        assert stats["count"] == 4
+        assert stats["mean_s"] == pytest.approx(stats["total_s"] / 4)
+        assert stats["max_s"] >= stats["mean_s"]
+
+    def test_as_dict_merged_sections_have_no_counts(self):
+        """Merged totals carry no entry counts, so mean/max stay zero."""
+        prof = StepProfiler()
+        prof.merge({"remote": 1.5})
+        stats = prof.as_dict()["remote"]
+        assert stats["total_s"] == 1.5
+        assert stats["count"] == 0
+        assert stats["mean_s"] == 0.0
+        assert stats["max_s"] == 0.0
+
 
 class TestNullProfiler:
     def test_sections_are_noops(self):
         with NULL_PROFILER.section("anything"):
             pass
         assert NULL_PROFILER.totals() == {}
+
+    def test_allocation_free(self):
+        """Every section() call returns the one shared no-op object."""
+        a = NULL_PROFILER.section("sensors")
+        b = NULL_PROFILER.section("power")
+        assert a is b
+        assert a is NULL_PROFILER.section("anything-else")
 
 
 class TestRendering:
@@ -68,3 +107,18 @@ class TestRendering:
 
     def test_render_empty(self):
         assert "no profiled sections" in render_sections({})
+
+    def test_engine_render_canonical_order_with_zero_rows(self):
+        """Canonical order, every section present even when unmeasured."""
+        text = render_engine_sections({"power": 0.9, "sensors": 0.1})
+        lines = [line.strip() for line in text.splitlines()]
+        names = [line.split()[0] for line in lines[:-1]]
+        assert names == list(ENGINE_SECTIONS)
+        os_tick_line = next(line for line in lines if line.startswith("os-tick"))
+        assert "0.00 ms" in os_tick_line
+        assert "90.0%" in next(line for line in lines if line.startswith("power"))
+
+    def test_engine_render_appends_extras_hottest_first(self):
+        text = render_engine_sections({"power": 0.5, "zeta": 0.2, "alpha": 0.3})
+        lines = [line.strip().split()[0] for line in text.splitlines()]
+        assert lines[len(ENGINE_SECTIONS):-1] == ["alpha", "zeta"]

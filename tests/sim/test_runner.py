@@ -219,6 +219,39 @@ class TestObservability:
         assert runner.jobs == 1
         assert runner.cache is None
 
+    def test_execution_spans_recorded(self, tmp_path):
+        """Simulated points carry a wall-clock span (start + pid) for the
+        Chrome-trace export; cache hits carry neither."""
+        import os
+
+        runner = ParallelRunner(cache=ResultCache(tmp_path), version="v")
+        points = quick_points(2)
+        runner.run_points(points)
+        for report in runner.stats.reports:
+            assert report.pid == os.getpid()
+            assert report.started_at > 0
+        runner.run_points(points)
+        for report in runner.stats.reports[2:]:
+            assert report.cache_hit
+            assert report.pid == 0
+            assert report.started_at == 0.0
+
+    def test_registry_counters_mirror_stats(self, tmp_path):
+        from repro.obs.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, registry=registry)
+        runner = ParallelRunner(cache=cache, version="v", registry=registry)
+        points = quick_points(2)
+        runner.run_points(points)
+        runner.run_points(points)
+        snap = registry.as_dict()
+        assert snap["runner_points_simulated_total"] == 2
+        assert snap["runner_points_cached_total"] == 2
+        assert snap["cache_misses_total"] == 2
+        assert snap["cache_hits_total"] == 2
+        assert snap["cache_puts_total"] == 2
+
 
 class TestHashingPrimitives:
     def test_canonicalize_rejects_unknown_types(self):

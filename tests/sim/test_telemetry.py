@@ -1,0 +1,129 @@
+"""Engine-level telemetry guarantees: non-perturbation and fusion-awareness.
+
+The telemetry sampler's core contract, mirrored after
+``tests/sim/test_fusion.py``: attaching a sampler changes no reported
+number (bit-identical metrics across the benchmark policy configs),
+never blocks the fused fast path, produces the identical sampled series
+whether the run fused or stepped, and never enters the result-cache key.
+"""
+
+from dataclasses import fields, replace
+
+import numpy as np
+import pytest
+
+from repro.core.taxonomy import spec_by_key
+from repro.obs.telemetry import TelemetrySampler
+from repro.sim.engine import SimulationConfig, ThermalTimingSimulator
+from repro.sim.runner import ParallelRunner, ResultCache, RunPoint, config_hash
+from repro.sim.workloads import get_workload
+
+W7 = get_workload("workload7")
+CFG = SimulationConfig(duration_s=0.02)
+PERIOD = 1e-3
+
+#: The four policy configs from benchmarks/test_engine_speed.py.
+POLICY_KEYS = [
+    None,
+    "distributed-stop-go-none",
+    "distributed-dvfs-none",
+    "distributed-dvfs-sensor",
+]
+POLICY_IDS = ["unthrottled", "stopgo", "dvfs", "dvfs+sensor-migration"]
+
+
+def _sim(spec_key, config, **kwargs):
+    spec = spec_by_key(spec_key) if spec_key else None
+    return ThermalTimingSimulator(W7.benchmarks, spec, config, **kwargs)
+
+
+def scalar_fields(result) -> dict:
+    """Every RunResult field except the observability attachments."""
+    return {
+        f.name: getattr(result, f.name)
+        for f in fields(result)
+        if f.name not in ("series", "events", "telemetry")
+    }
+
+
+class TestNonPerturbation:
+    @pytest.mark.parametrize("spec_key", POLICY_KEYS, ids=POLICY_IDS)
+    def test_sampled_run_bit_identical(self, spec_key):
+        """A sampled run reports exactly the numbers an unsampled one does."""
+        plain_sim = _sim(spec_key, CFG)
+        plain = plain_sim.run()
+        sampled_sim = _sim(spec_key, CFG, telemetry=TelemetrySampler(PERIOD))
+        sampled = sampled_sim.run()
+
+        assert scalar_fields(plain) == scalar_fields(sampled)
+        np.testing.assert_array_equal(
+            plain_sim.thermal.temperatures, sampled_sim.thermal.temperatures
+        )
+        assert plain.telemetry is None
+        assert sampled.telemetry is not None
+        assert sampled.telemetry.sample_period_s == PERIOD
+        assert sampled.telemetry.samples > 0
+
+    def test_sampler_is_not_a_fusion_blocker(self):
+        """The tentpole guarantee: telemetry keeps the fused fast path."""
+        sim = _sim(None, CFG, telemetry=TelemetrySampler(PERIOD))
+        assert sim.fusion_blockers == ()
+        sim.run()
+        assert sim.last_run_fused
+
+    @pytest.mark.parametrize("spec_key", POLICY_KEYS, ids=POLICY_IDS)
+    def test_fused_and_stepwise_series_identical(self, spec_key):
+        """The sampled series is invariant under the fuse_steps flag."""
+        sam_a = TelemetrySampler(PERIOD)
+        _sim(spec_key, CFG, telemetry=sam_a).run()
+        sam_b = TelemetrySampler(PERIOD)
+        _sim(
+            spec_key, replace(CFG, fuse_steps=False), telemetry=sam_b
+        ).run()
+
+        assert sam_a.series.times == sam_b.series.times
+        assert list(sam_a.series.columns) == list(sam_b.series.columns)
+        for column in sam_a.series.columns:
+            assert sam_a.series.column(column) == sam_b.series.column(column)
+        assert sam_a.registry.as_dict() == sam_b.registry.as_dict()
+
+    def test_sample_count_and_instants(self):
+        """t=0 plus one sample per whole-step-quantized period."""
+        sam = TelemetrySampler(PERIOD)
+        _sim(None, CFG, telemetry=sam).run()
+        dt = CFG.machine.sample_period_s
+        stride = sam.stride_steps(dt)
+        n_steps = int(round(CFG.duration_s / dt))
+        assert sam.samples == 1 + n_steps // stride
+        assert sam.series.times[0] == 0.0
+        assert sam.series.times[1] == pytest.approx(stride * dt)
+
+    def test_sampler_single_use(self):
+        sam = TelemetrySampler(PERIOD)
+        _sim(None, CFG, telemetry=sam)
+        with pytest.raises(ValueError, match="already bound"):
+            _sim(None, CFG, telemetry=sam)
+
+
+class TestCacheIndependence:
+    def test_telemetry_never_in_cache_key(self):
+        """Telemetry is an engine attachment, not configuration: the
+        cache key of a point is the same whether or not a run that
+        produced it was sampled."""
+        point = RunPoint(W7, None, CFG)
+        key = config_hash(point, "vtest")
+        assert key == config_hash(RunPoint(W7, None, CFG), "vtest")
+
+    def test_sampled_result_serves_unsampled_request(self, tmp_path):
+        """A cache warmed by an instrumented runner hits for a plain one."""
+        cache = ResultCache(tmp_path / "cache")
+        warm = ParallelRunner(jobs=1, cache=cache, version="vtest")
+        point = RunPoint(W7, None, SimulationConfig(duration_s=0.005))
+        first = warm.run_points([point])[0]
+        assert warm.stats.simulated == 1
+
+        plain = ParallelRunner(jobs=1, cache=cache, version="vtest")
+        second = plain.run_points([point])[0]
+        assert plain.stats.cache_hits == 1
+        assert plain.stats.simulated == 0
+        assert scalar_fields(first) == scalar_fields(second)

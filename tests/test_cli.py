@@ -137,6 +137,45 @@ class TestObservability:
         assert "global-stop-go-none:" in out
         assert "thermal-step" in out
 
+    def test_profile_output_canonical_golden(self, capsys):
+        """Golden shape of the profile table: canonical ENGINE_SECTIONS
+        order, every section present (os-tick even when it never fired),
+        and a percent-of-total on every section row."""
+        from repro.obs.profiler import ENGINE_SECTIONS
+
+        rc = main(["profile", "-w", "workload1", "-d", "0.005", "-p", "none"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("  ")]
+        section_lines = lines[: len(ENGINE_SECTIONS)]
+        assert [line.split()[0] for line in section_lines] == list(
+            ENGINE_SECTIONS
+        )
+        for line in section_lines:
+            assert line.rstrip().endswith("%")
+            assert " ms " in line
+        # 0.005 s never reaches the 10 ms OS tick: the row still renders.
+        os_tick = next(line for line in section_lines if "os-tick" in line)
+        assert "0.00 ms" in os_tick
+        assert lines[len(ENGINE_SECTIONS)].split()[0] == "total"
+
+    def test_run_profile_table_matches_profile_subcommand_shape(self, capsys):
+        from repro.obs.profiler import ENGINE_SECTIONS
+
+        rc = main(
+            ["--no-cache", "run", "-w", "workload1", "-p", "none",
+             "-d", "0.005", "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        start = out.index("engine sections:")
+        lines = [
+            line for line in out[start:].splitlines() if line.startswith("  ")
+        ]
+        assert [line.split()[0] for line in lines[: len(ENGINE_SECTIONS)]] == (
+            list(ENGINE_SECTIONS)
+        )
+
     def test_log_level_flag(self, capsys):
         rc = main(
             ["--no-cache", "--log-level", "debug", "run", "-d", "0.005"]
@@ -150,3 +189,108 @@ class TestObservability:
         rc = main(["--no-cache", "run", "-d", "0.005"])
         assert rc == 0
         assert "repro.sim.engine" not in capsys.readouterr().err
+
+
+class TestTelemetryAndReport:
+    def _write_bundle(self, tmp_path, name="run", extra=()):
+        prefix = str(tmp_path / name)
+        rc = main(
+            ["--no-cache", "run", "-w", "workload1",
+             "-p", "distributed-dvfs-none", "-d", "0.02",
+             "--sample-period", "1e-3", "--telemetry-out", prefix,
+             "--events-out", str(tmp_path / f"{name}.raw-events.jsonl"),
+             *extra]
+        )
+        assert rc == 0
+        return prefix
+
+    def test_run_telemetry_out_writes_bundle(self, capsys, tmp_path):
+        import os
+
+        prefix = self._write_bundle(tmp_path)
+        out = capsys.readouterr().out
+        assert "telemetry: 21 samples" in out
+        assert "telemetry bundle" in out
+        for suffix in (".result.json", ".telemetry.jsonl", ".prom",
+                       ".events.jsonl"):
+            assert os.path.exists(prefix + suffix), suffix
+
+    def test_report_ascii(self, capsys, tmp_path):
+        prefix = self._write_bundle(tmp_path)
+        capsys.readouterr()
+        assert main(["report", prefix]) == 0
+        out = capsys.readouterr().out
+        assert "run dashboard" in out
+        assert "T0 (C)" in out
+        assert "f0" in out
+
+    def test_report_html(self, capsys, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        prefix = self._write_bundle(tmp_path)
+        html_file = tmp_path / "dash.html"
+        assert main(["report", prefix, "--html", str(html_file)]) == 0
+        root = ET.parse(html_file).getroot()
+        ns = {"svg": "http://www.w3.org/2000/svg"}
+        assert len(root.findall(".//svg:svg", ns)) >= 8
+
+    def test_report_diff_flags_faulted_run(self, capsys, tmp_path):
+        spec = tmp_path / "fault.json"
+        spec.write_text(
+            '{"faults": [{"kind": "stuck-at", "core": 0, "value_c": 60.0}]}'
+        )
+        prefix_a = self._write_bundle(tmp_path, "a")
+        prefix_b = self._write_bundle(
+            tmp_path, "b", extra=["--fault-spec", str(spec)]
+        )
+        capsys.readouterr()
+        assert main(["report", "--diff", prefix_a, prefix_b]) == 0
+        out = capsys.readouterr().out
+        assert "run diff" in out
+        assert "<<" in out
+        assert "metric(s) differ" in out
+
+    def test_report_diff_identical_runs_clean(self, capsys, tmp_path):
+        prefix_a = self._write_bundle(tmp_path, "a")
+        prefix_b = self._write_bundle(tmp_path, "b")
+        capsys.readouterr()
+        assert main(["report", "--diff", prefix_a, prefix_b]) == 0
+        assert "no metric deviations" in capsys.readouterr().out
+
+    def test_report_without_prefix_errors(self, capsys):
+        assert main(["report"]) == 2
+        assert "bundle prefix" in capsys.readouterr().err
+
+    def test_trace_out_requires_profile(self, capsys, tmp_path):
+        rc = main(
+            ["--no-cache", "run", "-d", "0.005",
+             "--trace-out", str(tmp_path / "t.json")]
+        )
+        assert rc == 2
+        assert "--profile" in capsys.readouterr().err
+
+    def test_run_trace_out_writes_perfetto_loadable_json(self, tmp_path):
+        import json as json_mod
+
+        trace_file = tmp_path / "engine.trace.json"
+        rc = main(
+            ["--no-cache", "run", "-w", "workload1", "-p", "none",
+             "-d", "0.005", "--profile", "--trace-out", str(trace_file)]
+        )
+        assert rc == 0
+        payload = json_mod.loads(trace_file.read_text())
+        assert payload["traceEvents"]
+        assert {e["ph"] for e in payload["traceEvents"]} <= {"X", "M"}
+
+    def test_compare_trace_out(self, tmp_path):
+        import json as json_mod
+
+        trace_file = tmp_path / "runner.trace.json"
+        rc = main(
+            ["--no-cache", "compare", "-w", "workload1", "-d", "0.005",
+             "--trace-out", str(trace_file)]
+        )
+        assert rc == 0
+        payload = json_mod.loads(trace_file.read_text())
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 12  # one per simulated policy point
