@@ -24,7 +24,10 @@ of the paper makes exactly this observation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.control.c2d import discretize_pi_increments
 from repro.control.transfer import TransferFunction, pi_transfer_function
@@ -68,17 +71,41 @@ class PIDesign:
         return pi_transfer_function(self.kp, self.ki)
 
 
-def design_pi(kp: float, ki: float, dt: float, method: str = "euler") -> PIDesign:
-    """Build a :class:`PIDesign` by discretizing ``Kp + Ki/s`` at ``dt``."""
-    if not dt > 0:
-        raise ValueError(f"dt must be positive, got {dt}")
+@lru_cache(maxsize=64)
+def _design_pi_cached(kp: float, ki: float, dt: float, method: str) -> PIDesign:
     b0, b1 = discretize_pi_increments(kp, ki, dt, method)
     return PIDesign(kp=kp, ki=ki, dt=dt, b0=b0, b1=b1)
+
+
+def design_pi(kp: float, ki: float, dt: float, method: str = "euler") -> PIDesign:
+    """Build a :class:`PIDesign` by discretizing ``Kp + Ki/s`` at ``dt``.
+
+    Designs are memoized on ``(kp, ki, dt, method)``: the ``c2d``
+    polynomial algebra costs ~1 ms, which dominated simulator
+    construction when a fleet builds hundreds of identically-designed
+    controllers. :class:`PIDesign` is frozen, so sharing one instance
+    across controllers is safe.
+    """
+    if not dt > 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    return _design_pi_cached(float(kp), float(ki), float(dt), str(method))
 
 
 def design_paper_controller(dt: float) -> PIDesign:
     """The paper's controller (``Kp = 0.0107``, ``Ki = 248.5``) at ``dt``."""
     return design_pi(PAPER_KP, PAPER_KI, dt)
+
+
+def pi_raw_update(output, error, previous_error, design: "PIDesign"):
+    """One unclipped step of the paper's incremental PI law.
+
+    ``u_raw[n] = u[n-1] - b0*e[n] - b1*e[n-1]`` with the paper's negated
+    sign convention (``e = measured - target``). Works elementwise on
+    floats and on numpy arrays alike; :class:`DiscretePIController` and
+    :class:`PIBank` both step through this one expression, which is what
+    makes a bank lane bit-identical to a scalar controller.
+    """
+    return output - design.b0 * error - design.b1 * previous_error
 
 
 @dataclass
@@ -144,7 +171,7 @@ class DiscretePIController:
         error = measured - self.setpoint
         # Incremental form with the paper's negated sign convention:
         # u[n] = u[n-1] - b0*e[n] - b1*e[n-1].
-        raw = self.output - self.design.b0 * error - self.design.b1 * self._previous_error
+        raw = pi_raw_update(self.output, error, self._previous_error, self.design)
         self.output = min(self.output_max, max(self.output_min, raw))
         self._previous_error = error
         self._steps += 1
@@ -188,3 +215,103 @@ class DiscretePIController:
         """Clear the averaging window without disturbing control state."""
         self._steps = 0
         self._output_sum = 0.0
+
+
+#: A lane address in a :class:`PIBank`: an index, or a tuple of indices
+#: for banks with multi-dimensional lane layouts (e.g. ``(chip, core)``).
+LaneIndex = Union[int, Tuple[int, ...]]
+
+
+class PIBank:
+    """A vectorized bank of independent PI controllers.
+
+    Lanes share one :class:`PIDesign` and clip range but carry
+    independent state (output, previous error, averaging window) and
+    per-lane setpoints; :meth:`step_prefix` advances the first ``m``
+    rows of every lane array in one shot using the same
+    :func:`pi_raw_update` law and the same clamp composition
+    (``min(max_, max(min_, raw))``) as :class:`DiscretePIController`, so
+    each lane's trajectory is bit-identical to a scalar controller fed
+    the same measurements. The fleet engine uses one bank per chip
+    batch, with lane layout ``(chips, cores)`` for distributed control
+    and ``(chips,)`` for global control.
+
+    :meth:`read_lane` / :meth:`write_lane` move one lane's state between
+    the bank and a scalar controller — the bridge the fleet uses to hand
+    control decisions to real policy objects at OS ticks.
+    """
+
+    def __init__(
+        self,
+        design: PIDesign,
+        setpoints: np.ndarray,
+        output_min: float = MIN_FREQUENCY_SCALE,
+        output_max: float = MAX_FREQUENCY_SCALE,
+    ):
+        """One lane per element of ``setpoints``, all at ``output_max``."""
+        if not output_min < output_max:
+            raise ValueError(
+                f"output_min ({output_min}) must be < output_max ({output_max})"
+            )
+        self.design = design
+        self.setpoints = np.asarray(setpoints, dtype=float)
+        self.output_min = float(output_min)
+        self.output_max = float(output_max)
+        shape = self.setpoints.shape
+        self.output = np.full(shape, self.output_max)
+        self.previous_error = np.zeros(shape)
+        self.window_steps = np.zeros(shape, dtype=np.int64)
+        self.output_sum = np.zeros(shape)
+
+    @property
+    def n_lanes(self) -> int:
+        """Total number of controller lanes in the bank."""
+        return int(self.setpoints.size)
+
+    def step_prefix(self, m: int, measured: np.ndarray) -> np.ndarray:
+        """Advance lanes ``[:m]`` one sample period; returns their outputs.
+
+        ``measured`` must match the shape of ``self.output[:m]``. The
+        returned array is the live output slice — callers must treat it
+        as read-only.
+        """
+        out = self.output[:m]
+        prev = self.previous_error[:m]
+        error = measured - self.setpoints[:m]
+        raw = pi_raw_update(out, error, prev, self.design)
+        out[...] = np.minimum(self.output_max, np.maximum(self.output_min, raw))
+        prev[...] = error
+        self.window_steps[:m] += 1
+        self.output_sum[:m] += out
+        return out
+
+    def step(self, measured: np.ndarray) -> np.ndarray:
+        """Advance every lane one sample period; returns all outputs."""
+        return self.step_prefix(self.output.shape[0], measured)
+
+    def average_output(self) -> np.ndarray:
+        """Per-lane mean output over the window (current output pre-step)."""
+        return np.where(
+            self.window_steps == 0,
+            self.output,
+            self.output_sum / np.maximum(self.window_steps, 1),
+        )
+
+    def reset_window_prefix(self, m: int) -> None:
+        """Clear the averaging window of lanes ``[:m]``."""
+        self.window_steps[:m] = 0
+        self.output_sum[:m] = 0.0
+
+    def write_lane(self, lane: LaneIndex, controller: DiscretePIController) -> None:
+        """Copy one lane's state into a scalar controller."""
+        controller.output = float(self.output[lane])
+        controller._previous_error = float(self.previous_error[lane])
+        controller._steps = int(self.window_steps[lane])
+        controller._output_sum = float(self.output_sum[lane])
+
+    def read_lane(self, lane: LaneIndex, controller: DiscretePIController) -> None:
+        """Copy a scalar controller's state into one lane."""
+        self.output[lane] = controller.output
+        self.previous_error[lane] = controller._previous_error
+        self.window_steps[lane] = controller._steps
+        self.output_sum[lane] = controller._output_sum

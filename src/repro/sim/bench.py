@@ -62,6 +62,23 @@ FULL_RUN_S = 0.5
 #: understate the sampled path's steady-state advantage.
 TELEMETRY_RUN_S = 0.1
 
+#: Horizon of each point in the backend-contrast sweep cases (72 steps).
+#: Deliberately short: a sweep point's cost is dominated by per-point
+#: overhead (simulator construction, warm start, pool dispatch), which
+#: is precisely what the fleet backend amortizes — the paper-style
+#: characterization sweeps this models use many short screening runs,
+#: not a few long ones.
+SWEEP_RUN_S = 0.002
+
+#: Warm-start power fraction for sweep points. Fixing the fraction makes
+#: the warm start threshold-independent, so the fleet's warm cache
+#: computes it once per batch (the pool path still pays it per worker).
+SWEEP_WARM_FRACTION = 0.5
+
+#: Worker count of the pool-backend comparator cases: a typical
+#: ``repro --jobs 4 sweep`` invocation.
+SWEEP_POOL_JOBS = 4
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -87,6 +104,16 @@ class BenchCase:
             (``SimulationConfig.record_series``), the pre-telemetry way
             to get time-series data; it blocks fusion, which is exactly
             the contrast the sampled cases measure against.
+        backend: ``None`` (default) for a plain single-engine case.
+            ``"fleet"`` / ``"pool"`` turn the case into a *sweep-batch*
+            case: one round runs a :data:`SWEEP_THRESHOLDS`-sized batch
+            of points end-to-end through a fresh
+            :class:`~repro.sim.runner.ParallelRunner` with that backend
+            (fleet: ``jobs=1``; pool: ``jobs=SWEEP_POOL_JOBS`` worker
+            processes; no cache), timing runner + engine construction +
+            stepping. ``steps_per_second`` then counts total engine
+            steps across the batch, so fleet/pool ratios equal
+            sweep-point throughput ratios.
     """
 
     key: str
@@ -97,6 +124,7 @@ class BenchCase:
     description: str
     sample_period_s: Optional[float] = None
     record_series: bool = False
+    backend: Optional[str] = None
 
 
 ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
@@ -152,6 +180,49 @@ ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
         "per-core DVFS with full per-step series recording",
         record_series=True,
     ),
+    # Backend-contrast sweep pairs: the same fine-grained threshold
+    # sweep, end to end, through the batched fleet engine vs the
+    # process-pool ParallelRunner path (jobs=SWEEP_POOL_JOBS). The
+    # gated >=10x fleet advantage comes from sharing traces, the
+    # thermal kernel, the PI design and one warm start across the
+    # batch, and stepping all chips in lockstep ("one einsum per
+    # step") — where the pool pays per-point construction, a per-point
+    # warm start, per-worker trace regeneration and pool dispatch.
+    BenchCase(
+        "fleet-sweep-unthrottled", None, SWEEP_RUN_S, False, True,
+        "threshold sweep of unthrottled runs batched through the fleet "
+        "engine (shared substrate, vectorised fused stepping)",
+        backend="fleet",
+    ),
+    BenchCase(
+        "pool-sweep-unthrottled", None, SWEEP_RUN_S, False, True,
+        "the same unthrottled threshold sweep, one engine per point "
+        "through the process-pool ParallelRunner",
+        backend="pool",
+    ),
+    BenchCase(
+        "fleet-sweep-dvfs", "distributed-dvfs-none", SWEEP_RUN_S, False,
+        True,
+        "threshold sweep of per-core PI-DVFS runs batched through the "
+        "fleet engine (vectorised PI bank + stop-go-free stepwise loop)",
+        backend="fleet",
+    ),
+    BenchCase(
+        "pool-sweep-dvfs", "distributed-dvfs-none", SWEEP_RUN_S, False,
+        True,
+        "the same PI-DVFS threshold sweep, one engine per point through "
+        "the process-pool ParallelRunner",
+        backend="pool",
+    ),
+)
+
+#: Trip-threshold values (deg C) swept by the backend-contrast cases;
+#: every threshold is a distinct simulation point (different setpoints,
+#: trip levels and emergency accounting), as in the paper's severity
+#: sweeps. 64 points at 0.125 C spacing: batch sizes this large are
+#: where the fleet's shared-cost amortization pays off.
+SWEEP_THRESHOLDS: Tuple[float, ...] = tuple(
+    80.0 + 0.125 * i for i in range(64)
 )
 
 
@@ -191,11 +262,39 @@ def case_config(case: BenchCase) -> SimulationConfig:
     return SimulationConfig(**kwargs)
 
 
+def sweep_case_points(case: BenchCase) -> List["RunPoint"]:
+    """The point batch a sweep-backend case runs each round."""
+    from repro.sim.runner import RunPoint
+    from repro.sim.workloads import get_workload
+
+    if case.backend is None:
+        raise ValueError(f"{case.key} is not a sweep-backend case")
+    workload = get_workload("workload7")
+    spec = spec_by_key(case.spec_key) if case.spec_key else None
+    return [
+        RunPoint(
+            workload,
+            spec,
+            SimulationConfig(
+                duration_s=case.duration_s,
+                threshold_c=threshold,
+                warm_start_fraction=SWEEP_WARM_FRACTION,
+            ),
+        )
+        for threshold in SWEEP_THRESHOLDS
+    ]
+
+
 def build_simulator(case: BenchCase) -> ThermalTimingSimulator:
     """A fresh simulator for one benchmark round of ``case``."""
     from repro.obs.telemetry import TelemetrySampler
     from repro.sim.workloads import get_workload
 
+    if case.backend is not None:
+        raise ValueError(
+            f"{case.key} is a sweep-backend case; it has no single "
+            "simulator (see sweep_case_points)"
+        )
     workload = get_workload("workload7")
     spec = spec_by_key(case.spec_key) if case.spec_key else None
     telemetry = (
@@ -209,9 +308,17 @@ def build_simulator(case: BenchCase) -> ThermalTimingSimulator:
 
 
 def case_steps(case: BenchCase) -> int:
-    """Engine steps one round of ``case`` simulates."""
+    """Engine steps one round of ``case`` simulates.
+
+    Sweep-backend cases count the whole 64-point batch, not one run.
+    """
     config = SimulationConfig(duration_s=case.duration_s)
-    return max(1, int(round(case.duration_s / config.machine.sample_period_s)))
+    per_run = max(
+        1, int(round(case.duration_s / config.machine.sample_period_s))
+    )
+    if case.backend is not None:
+        return per_run * len(SWEEP_THRESHOLDS)
+    return per_run
 
 
 @dataclass(frozen=True)
@@ -248,6 +355,26 @@ def run_case(
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
     timings: List[float] = []
+    if case.backend is not None:
+        # Sweep-batch case: time the whole batch end to end — runner,
+        # engine construction and stepping — with a fresh runner per
+        # round so nothing (substrates, traces) leaks across rounds.
+        # That is the cost a cold `repro sweep` invocation actually
+        # pays per backend.
+        from repro.sim.runner import ParallelRunner
+
+        points = sweep_case_points(case)
+        jobs = SWEEP_POOL_JOBS if case.backend == "pool" else 1
+        for i in range(warmup_rounds + rounds):
+            runner = ParallelRunner(
+                jobs=jobs, cache=None, backend=case.backend
+            )
+            start = time.perf_counter()
+            runner.run_points(points)
+            elapsed = time.perf_counter() - start
+            if i >= warmup_rounds:
+                timings.append(elapsed)
+        return BenchCaseResult(case, case_steps(case), tuple(timings))
     for i in range(warmup_rounds + rounds):
         sim = build_simulator(case)
         start = time.perf_counter()
@@ -299,6 +426,10 @@ def run_suite(
             "short": case.short,
             "sample_period_s": case.sample_period_s,
             "record_series": case.record_series,
+            "backend": case.backend,
+            "sweep_points": (
+                len(SWEEP_THRESHOLDS) if case.backend is not None else None
+            ),
             "simulated_steps": result.simulated_steps,
             "steps_per_second": round(result.steps_per_second, 1),
             "steps_per_second_mean": round(result.steps_per_second_mean, 1),
@@ -392,6 +523,13 @@ def add_bench_arguments(parser) -> None:
         help=f"measured rounds per case (default: {DEFAULT_ROUNDS})",
     )
     parser.add_argument(
+        "--cases", nargs="+", default=None, metavar="KEY",
+        choices=sorted(c.key for c in ENGINE_BENCH_CASES),
+        help="run only the named cases (e.g. the fleet-sweep-*/"
+             "pool-sweep-* backend contrast); composes with --check, "
+             "which only compares cases present in both payloads",
+    )
+    parser.add_argument(
         "--check", default=None, metavar="BASELINE",
         help="compare against a committed BENCH_engine.json and exit "
              "non-zero on regression instead of writing a new artifact",
@@ -405,7 +543,13 @@ def add_bench_arguments(parser) -> None:
 
 def run_from_args(args) -> int:
     """Execute a parsed ``bench`` invocation; returns the exit code."""
-    payload = run_suite(short_only=args.short, rounds=args.rounds)
+    cases = None
+    if getattr(args, "cases", None):
+        wanted = set(args.cases)
+        cases = [c for c in ENGINE_BENCH_CASES if c.key in wanted]
+    payload = run_suite(
+        short_only=args.short, rounds=args.rounds, cases=cases
+    )
     print(render_suite(payload))
 
     if args.check:

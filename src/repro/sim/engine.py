@@ -56,7 +56,7 @@ from repro.thermal.layouts import (
 )
 from repro.thermal.coupling import LeakageCouplingError, coupled_steady_state
 from repro.thermal.leakage import LeakageModel
-from repro.thermal.model import ThermalModel
+from repro.thermal.model import ThermalKernel, ThermalModel
 from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE, ThermalPackage
 from repro.uarch.config import MachineConfig
 from repro.uarch.interval_model import UNIT_ORDER
@@ -193,8 +193,18 @@ class ThermalTimingSimulator:
         event_log: Optional[RunEventLog] = None,
         profiler: Optional[StepProfiler] = None,
         telemetry: Optional[TelemetrySampler] = None,
+        substrate: Optional["EngineSubstrate"] = None,
     ):
-        """Assemble the full simulated machine for one run."""
+        """Assemble the full simulated machine for one run.
+
+        ``substrate`` optionally shares construction-time artifacts
+        (floorplan, factored thermal kernel, generated traces) across
+        simulators of the same machine/package; it must match the
+        config's machine description. Every shared artifact is
+        deterministic in its inputs, so a substrate-built simulator is
+        bit-identical to a standalone one (asserted in
+        ``tests/sim/test_fleet.py``).
+        """
         self.config = config or SimulationConfig()
         self.event_log = event_log
         self.profiler = profiler
@@ -214,11 +224,21 @@ class ThermalTimingSimulator:
         self.dt = machine.sample_period_s
         self.n_cores = machine.n_cores
 
-        # Substrates.
-        self.floorplan = build_cmp_floorplan(
-            machine.n_cores, core_sizes_mm=self.config.core_sizes_mm
-        )
-        self.thermal = ThermalModel(self.floorplan, self.config.package, self.dt)
+        # Substrates. A shared EngineSubstrate supplies the identical
+        # floorplan/kernel/trace objects this block would otherwise
+        # build from scratch.
+        self._substrate = substrate
+        if substrate is not None:
+            substrate.check(self.config)
+            self.floorplan = substrate.floorplan
+            self.thermal = ThermalModel(
+                self.floorplan, substrate.package, self.dt, kernel=substrate.kernel
+            )
+        else:
+            self.floorplan = build_cmp_floorplan(
+                machine.n_cores, core_sizes_mm=self.config.core_sizes_mm
+            )
+            self.thermal = ThermalModel(self.floorplan, self.config.package, self.dt)
         power_model = PowerModel(machine, scale=self.config.power_scale)
         self.leakage = LeakageModel(
             self.floorplan, power_model.reference_leakage_w
@@ -226,16 +246,21 @@ class ThermalTimingSimulator:
         self._power_model = power_model
 
         # Traces and processes.
-        traces = [
-            generate_trace(
-                entry,
-                machine,
-                duration_s=self.config.trace_duration_s,
-                seed=self.config.seed,
-                power_scale=self.config.power_scale,
-            )
-            for entry in self._profiles
-        ]
+        if substrate is not None:
+            traces = [
+                substrate.trace(entry, self.config) for entry in self._profiles
+            ]
+        else:
+            traces = [
+                generate_trace(
+                    entry,
+                    machine,
+                    duration_s=self.config.trace_duration_s,
+                    seed=self.config.seed,
+                    power_scale=self.config.power_scale,
+                )
+                for entry in self._profiles
+            ]
         processes = [
             Process(pid=i, benchmark=name, trace=trace)
             for i, (name, trace) in enumerate(zip(self.benchmarks, traces))
@@ -357,9 +382,15 @@ class ThermalTimingSimulator:
         # list indexing hands back a float directly, several times faster
         # than numpy 0-d extraction, and the inner loop reads four
         # scalars per core per step.
-        self._trace_aux = {
-            p.pid: _TraceAux(p.trace) for p in self.scheduler.processes
-        }
+        if substrate is not None:
+            self._trace_aux = {
+                p.pid: substrate.trace_aux(p.trace)
+                for p in self.scheduler.processes
+            }
+        else:
+            self._trace_aux = {
+                p.pid: _TraceAux(p.trace) for p in self.scheduler.processes
+            }
 
         # Whole-run step fusion (see run()): any entry here means some
         # per-step observer could see or perturb an intermediate state,
@@ -1365,6 +1396,107 @@ class _SeriesRecorder:
             assignments=self.assignments[:n],
             migration_times=[r.time_s for r in scheduler.migration_history],
         )
+
+
+class EngineSubstrate:
+    """Shared construction-time substrate for many simulators of one chip.
+
+    Holds everything about a simulator that is a pure deterministic
+    function of the machine description rather than of any one run: the
+    floorplan, the factored :class:`~repro.thermal.model.ThermalKernel`
+    (network + LU + propagator cache), and a cache of generated power
+    traces with their :class:`_TraceAux` hot-loop views. Building N
+    simulators on one substrate pays for ``expm`` and trace synthesis
+    once instead of N times; because every cached artifact is
+    deterministic in its key, substrate-built simulators are
+    bit-identical to standalone ones.
+
+    A substrate is compatible with a :class:`SimulationConfig` iff the
+    machine, package and core sizes agree (:meth:`matches`); per-run
+    knobs (duration, threshold, seed, power scale, trace duration) vary
+    freely — traces are cached per (benchmark, trace duration, seed,
+    power scale).
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineConfig] = None,
+        package: ThermalPackage = HIGH_PERFORMANCE_PACKAGE,
+        core_sizes_mm: Optional[Tuple[float, ...]] = None,
+    ):
+        """Build the floorplan and factor the thermal kernel once."""
+        self.machine = machine if machine is not None else MachineConfig()
+        self.package = package
+        self.core_sizes_mm = core_sizes_mm
+        self.floorplan = build_cmp_floorplan(
+            self.machine.n_cores, core_sizes_mm=core_sizes_mm
+        )
+        self.kernel = ThermalKernel(self.floorplan, package)
+        # Pre-warm the propagator every simulator on this machine needs.
+        self.kernel.operator_for(self.machine.sample_period_s)
+        self._traces: Dict[tuple, object] = {}
+        self._aux: Dict[int, _TraceAux] = {}
+
+    @classmethod
+    def for_config(cls, config: SimulationConfig) -> "EngineSubstrate":
+        """A substrate matching ``config``'s machine description."""
+        return cls(config.machine, config.package, config.core_sizes_mm)
+
+    def matches(self, config: SimulationConfig) -> bool:
+        """Whether this substrate can build simulators for ``config``."""
+        return (
+            config.machine == self.machine
+            and config.package == self.package
+            and config.core_sizes_mm == self.core_sizes_mm
+        )
+
+    def check(self, config: SimulationConfig) -> None:
+        """Raise ``ValueError`` unless :meth:`matches` holds."""
+        if not self.matches(config):
+            raise ValueError(
+                "EngineSubstrate does not match the run config: the "
+                "machine, package and core_sizes_mm must all be equal"
+            )
+
+    def trace(self, entry, config: SimulationConfig):
+        """The (cached) power trace for one benchmark under ``config``.
+
+        Only string benchmark names are cached; profile objects (the SMT
+        extension) are regenerated per call.
+        """
+        if not isinstance(entry, str):
+            return generate_trace(
+                entry,
+                self.machine,
+                duration_s=config.trace_duration_s,
+                seed=config.seed,
+                power_scale=config.power_scale,
+            )
+        key = (
+            entry,
+            float(config.trace_duration_s),
+            int(config.seed),
+            float(config.power_scale),
+        )
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = generate_trace(
+                entry,
+                self.machine,
+                duration_s=config.trace_duration_s,
+                seed=config.seed,
+                power_scale=config.power_scale,
+            )
+            self._traces[key] = trace
+        return trace
+
+    def trace_aux(self, trace) -> _TraceAux:
+        """The (cached) hot-loop view of a trace produced by :meth:`trace`."""
+        aux = self._aux.get(id(trace))
+        if aux is None:
+            aux = _TraceAux(trace)
+            self._aux[id(trace)] = aux
+        return aux
 
 
 def run_workload(

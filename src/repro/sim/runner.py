@@ -412,6 +412,14 @@ class ParallelRunner:
             ``stats.reports`` and are aggregated in
             ``stats.section_totals``. Profiling never changes results or
             cache keys.
+        backend: ``"pool"`` (default) fans points out over worker
+            processes; ``"fleet"`` batches all fleet-eligible points of
+            a call into one vectorised
+            :class:`~repro.sim.fleet.FleetEngine` stepped in-process,
+            falling back to the pool path for ineligible points (fault
+            plans, guards, hardware trip, series recording, sensor
+            noise) and for profiled runners. Backends produce
+            bit-identical results and identical cache keys.
 
     Determinism: each simulation derives every random stream from its own
     configuration seed, so a point's result is a pure function of the
@@ -427,6 +435,7 @@ class ParallelRunner:
         version: Optional[str] = None,
         profile: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        backend: str = "pool",
     ):
         """Configure the pool size, cache binding and version salt.
 
@@ -438,8 +447,16 @@ class ParallelRunner:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1 (or 0 for all cores): {jobs}")
+        if backend not in ("pool", "fleet"):
+            raise ValueError(
+                f"backend must be 'pool' or 'fleet', got {backend!r}"
+            )
         self.jobs = int(jobs)
         self.cache = cache
+        self.backend = backend
+        #: Substrate pool shared across fleet batches so traces and the
+        #: thermal kernel are built once per machine description.
+        self._fleet_substrates: Dict[tuple, object] = {}
         self.profile = bool(profile)
         self._version = version
         self.stats = RunnerStats()
@@ -498,10 +515,16 @@ class ParallelRunner:
             len(pending),
             self.jobs,
         )
-        executed = self._execute(
-            [(key, points[idxs[0]]) for key, idxs in pending.items()],
-            _execute_point_profiled if self.profile else _execute_point,
-        )
+        pending_items = [
+            (key, points[idxs[0]]) for key, idxs in pending.items()
+        ]
+        if self.backend == "fleet" and not self.profile:
+            executed = self._execute_fleet(pending_items)
+        else:
+            executed = self._execute(
+                pending_items,
+                _execute_point_profiled if self.profile else _execute_point,
+            )
         for (key, point), (value, span, sections) in executed:
             for i in pending[key]:
                 results[i] = value
@@ -598,6 +621,52 @@ class ParallelRunner:
         return results
 
     # -- execution backends --------------------------------------------------
+
+    def _execute_fleet(self, tagged_items: Sequence[Tuple]) -> List:
+        """Run ``(key, point)`` items through one batched fleet engine.
+
+        Fleet-ineligible points (fault plans, guards, hardware trip,
+        series recording, sensor noise) fall back to the regular
+        :meth:`_execute` path; the returned list keeps input order and
+        the exact ``_execute`` output shape, so the caller's
+        stats/caching logic is backend-agnostic. The whole batch's wall
+        time is attributed evenly across its points.
+        """
+        from repro.sim.fleet import FleetEngine, fleet_blockers
+
+        if not tagged_items:
+            return []
+        eligible = [
+            ti for ti in tagged_items if not fleet_blockers(ti[1].config)
+        ]
+        fallback = [
+            ti for ti in tagged_items if fleet_blockers(ti[1].config)
+        ]
+        logger.debug(
+            "fleet batch: %d eligible, %d pool-fallback",
+            len(eligible),
+            len(fallback),
+        )
+        outputs: Dict[str, Tuple] = {}
+        if eligible:
+            started = time.time()
+            t0 = time.perf_counter()
+            engine = FleetEngine(
+                [point for _key, point in eligible],
+                substrates=self._fleet_substrates,
+            )
+            batch_results = engine.run()
+            per_point = (time.perf_counter() - t0) / len(eligible)
+            pid = os.getpid()
+            for (key, _point), result in zip(eligible, batch_results):
+                outputs[key] = (
+                    result,
+                    SpanTiming(started, per_point, pid),
+                    None,
+                )
+        for (key, _point), out in self._execute(fallback, _execute_point):
+            outputs[key] = out
+        return [((key, point), outputs[key]) for key, point in tagged_items]
 
     def _execute(self, tagged_items: Sequence[Tuple], fn: Callable) -> List:
         """Run ``fn`` over tagged work items, inline or in a pool.

@@ -16,6 +16,13 @@ columns and ``c_amb`` the folded ambient boundary term — costs exactly
 two dense mat-vecs and one vector add per step after a one-time ``expm``
 and matrix solve. ``T_ss(u) = G^-1 u`` is the steady state under input
 ``u``. See ``docs/PERFORMANCE.md`` for the full derivation.
+
+The matrix side of that machinery (network assembly, LU factorization,
+propagator cache) is stateless with respect to any particular chip's
+temperature trajectory, so it lives in :class:`ThermalKernel` and can be
+shared by any number of :class:`ThermalModel` instances over the same
+floorplan and package — the fleet engine stacks hundreds of chips on one
+kernel and pays for ``expm`` exactly once.
 """
 
 from __future__ import annotations
@@ -36,9 +43,19 @@ class StepOperator:
     Applies the exact exponential-integrator update
     ``T' = a_d @ T + b_d @ p + c_amb`` where ``p`` is the block power
     vector. Instances are immutable and cached per ``dt`` by
-    :meth:`ThermalModel.operator_for`; the engine's fused and stepwise
+    :meth:`ThermalKernel.operator_for`; the engine's fused and stepwise
     paths both advance temperatures exclusively through :meth:`apply`,
     which is what makes their trajectories bit-identical.
+
+    Both :meth:`apply` and the vectorised :meth:`apply_batch` evaluate
+    the mat-vecs with ``np.einsum`` rather than BLAS ``@``: einsum's
+    sum-of-products loop is shape-invariant, so row ``i`` of a batched
+    ``(m, n)`` application is **bitwise equal** to a scalar application
+    of row ``i`` for every batch size ``m`` — the contract the fleet
+    engine's batch-equals-scalar guarantee rests on. BLAS gemm/gemv
+    pick different blocking per shape and break that equality at the
+    last ulp (~1e-13 here), which is why ``@`` is not used even though
+    a lone gemv is ~2x faster than a lone einsum.
 
     Attributes:
         dt: Step size (seconds) this operator integrates over.
@@ -51,7 +68,7 @@ class StepOperator:
     __slots__ = ("dt", "a_d", "b_d", "c_amb")
 
     def __init__(self, dt: float, a_d: np.ndarray, b_d: np.ndarray, c_amb: np.ndarray):
-        """Wrap precomputed matrices; see :meth:`ThermalModel.operator_for`."""
+        """Wrap precomputed matrices; see :meth:`ThermalKernel.operator_for`."""
         self.dt = float(dt)
         self.a_d = a_d
         self.b_d = b_d
@@ -70,7 +87,35 @@ class StepOperator:
         Returns:
             A freshly allocated ``(n_nodes,)`` array (inputs untouched).
         """
-        return self.a_d @ temperatures + self.b_d @ block_power_w + self.c_amb
+        return (
+            np.einsum("ij,j->i", self.a_d, temperatures)
+            + np.einsum("ij,j->i", self.b_d, block_power_w)
+            + self.c_amb
+        )
+
+    def apply_batch(
+        self, temperatures: np.ndarray, block_power_w: np.ndarray
+    ) -> np.ndarray:
+        """One exact ``dt`` step for a whole batch of independent chips.
+
+        Args:
+            temperatures: ``(m, n_nodes)`` C-contiguous stack, one row
+                per chip.
+            block_power_w: ``(m, n_blocks)`` power rows, constant over
+                the step.
+
+        Returns:
+            ``(m, n_nodes)`` array whose row ``i`` is bitwise equal to
+            ``apply(temperatures[i], block_power_w[i])`` — einsum's
+            summation order per output element does not depend on the
+            batch size (see class docstring), so batched stepping is
+            exact, not merely close.
+        """
+        return (
+            np.einsum("ij,mj->mi", self.a_d, temperatures)
+            + np.einsum("ij,mj->mi", self.b_d, block_power_w)
+            + self.c_amb
+        )
 
 
 def _dt_key(dt: float) -> str:
@@ -84,40 +129,25 @@ def _dt_key(dt: float) -> str:
     return float(dt).hex()
 
 
-class ThermalModel:
-    """Stateful thermal simulator over a floorplan + package.
+class ThermalKernel:
+    """Shared, temperature-free thermal machinery for one floorplan/package.
 
-    Args:
-        floorplan: Geometry; the RC network is built internally.
-        package: The vertical materials stack and cooling solution.
-        dt: Default transient step (seconds). Steps of other sizes are
-            supported but recompute the propagator (cached per exact
-            size).
+    Owns the RC network, its LU factorization and the per-``dt``
+    propagator cache. A kernel carries no transient state, so one
+    instance can back any number of :class:`ThermalModel` chips — every
+    model handed the same kernel reuses the same :class:`StepOperator`
+    objects (one ``expm`` per distinct step size, ever) and therefore
+    steps through literally the same matrices.
     """
 
-    def __init__(
-        self,
-        floorplan: Floorplan,
-        package: ThermalPackage,
-        dt: float,
-    ):
-        """Build the network, factor it, and start at the ambient state."""
-        if not dt > 0:
-            raise ValueError(f"dt must be positive, got {dt}")
+    def __init__(self, floorplan: Floorplan, package: ThermalPackage):
+        """Build and factor the network; propagators are built lazily."""
         self.floorplan = floorplan
         self.package = package
-        self.dt = float(dt)
         self.network: RCNetwork = build_rc_network(floorplan, package)
         self._g_lu = lu_factor(self.network.conductance)
         self._c_inv = 1.0 / self.network.capacitance
         self._propagators: Dict[str, StepOperator] = {}
-        self.operator_for(self.dt)
-        #: Current node temperatures (deg C), initialized to ambient.
-        self.temperatures = np.full(
-            self.network.n_nodes, self.network.ambient_c, dtype=float
-        )
-
-    # -- propagator management ---------------------------------------------
 
     def operator_for(self, dt: float) -> StepOperator:
         """The cached affine :class:`StepOperator` for a step size.
@@ -127,6 +157,8 @@ class ThermalModel:
         inject no power), and the constant ambient term
         ``c_amb = (I - a_d) G^-1 e_sink g_amb T_amb`` on first use.
         """
+        if not dt > 0:
+            raise ValueError(f"dt must be positive, got {dt}")
         key = _dt_key(dt)
         cached = self._propagators.get(key)
         if cached is None:
@@ -146,6 +178,76 @@ class ThermalModel:
             self._propagators[key] = cached
         return cached
 
+    def cached_dt_keys(self) -> List[str]:
+        """Bit-pattern keys of every propagator built so far (test hook)."""
+        return list(self._propagators)
+
+    def steady_state(self, block_power_w: Sequence[float]) -> np.ndarray:
+        """Steady-state node temperatures under constant block powers."""
+        u = self.network.input_vector(np.asarray(block_power_w, dtype=float))
+        return lu_solve(self._g_lu, u)
+
+
+class ThermalModel:
+    """Stateful thermal simulator over a floorplan + package.
+
+    Args:
+        floorplan: Geometry; the RC network is built internally.
+        package: The vertical materials stack and cooling solution.
+        dt: Default transient step (seconds). Steps of other sizes are
+            supported but recompute the propagator (cached per exact
+            size).
+        kernel: Optional pre-built :class:`ThermalKernel` to share. Must
+            have been built from the same floorplan and package objects;
+            when omitted, a private kernel is constructed. Sharing a
+            kernel shares only matrices — the temperature state is always
+            per-model.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        package: ThermalPackage,
+        dt: float,
+        kernel: Optional[ThermalKernel] = None,
+    ):
+        """Attach (or build) the kernel and start at the ambient state."""
+        if not dt > 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if kernel is None:
+            kernel = ThermalKernel(floorplan, package)
+        elif kernel.floorplan is not floorplan or kernel.package is not package:
+            raise ValueError(
+                "kernel was built for a different floorplan/package; "
+                "share kernels only between models of the same chip"
+            )
+        self.floorplan = floorplan
+        self.package = package
+        self.dt = float(dt)
+        self.kernel = kernel
+        self.network: RCNetwork = kernel.network
+        self._g_lu = kernel._g_lu
+        self._c_inv = kernel._c_inv
+        self.operator_for(self.dt)
+        #: Current node temperatures (deg C), initialized to ambient.
+        self.temperatures = np.full(
+            self.network.n_nodes, self.network.ambient_c, dtype=float
+        )
+
+    # -- propagator management ---------------------------------------------
+
+    @property
+    def _propagators(self) -> Dict[str, StepOperator]:
+        """The kernel's propagator cache (shared when the kernel is)."""
+        return self.kernel._propagators
+
+    def operator_for(self, dt: float) -> StepOperator:
+        """The cached affine :class:`StepOperator` for a step size.
+
+        Delegates to the (possibly shared) kernel's per-``dt`` cache.
+        """
+        return self.kernel.operator_for(dt)
+
     def _propagator_for(self, dt: float) -> np.ndarray:
         """The homogeneous propagator matrix ``A_d`` for ``dt`` (cached)."""
         return self.operator_for(dt).a_d
@@ -163,8 +265,7 @@ class ThermalModel:
 
     def steady_state(self, block_power_w: Sequence[float]) -> np.ndarray:
         """Steady-state node temperatures under constant block powers."""
-        u = self.network.input_vector(np.asarray(block_power_w, dtype=float))
-        return lu_solve(self._g_lu, u)
+        return self.kernel.steady_state(block_power_w)
 
     def step(self, block_power_w: Sequence[float], dt: Optional[float] = None) -> np.ndarray:
         """Advance the transient state by one step of ``dt`` seconds.

@@ -50,6 +50,30 @@ class TestCaseList:
         assert case_steps(short) == 720
 
 
+class TestCaseSelectionFlag:
+    def _parser(self):
+        import argparse
+
+        from repro.sim.bench import add_bench_arguments
+
+        parser = argparse.ArgumentParser()
+        add_bench_arguments(parser)
+        return parser
+
+    def test_known_keys_parse(self):
+        args = self._parser().parse_args(
+            ["--cases", "fleet-sweep-dvfs", "pool-sweep-dvfs"]
+        )
+        assert args.cases == ["fleet-sweep-dvfs", "pool-sweep-dvfs"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SystemExit):
+            self._parser().parse_args(["--cases", "no-such-case"])
+
+    def test_default_is_all_cases(self):
+        assert self._parser().parse_args([]).cases is None
+
+
 class TestRegressionGate:
     def test_passes_when_equal(self):
         p = _payload(a=1000.0, b=2000.0)

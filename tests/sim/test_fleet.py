@@ -1,0 +1,329 @@
+"""Fleet-vs-scalar equivalence: the batched engine's acceptance bar.
+
+:class:`~repro.sim.fleet.FleetEngine` is a pure batching optimization —
+for any eligible batch, every member's result must be **bit-identical**
+to running that member alone through the scalar
+:class:`~repro.sim.engine.ThermalTimingSimulator`: all RunResult fields,
+final thermal state, per-process counters and positions, and sampled
+telemetry series. These tests enforce that across the full 12-policy
+taxonomy, under permutations and slicings of the batch, and (via
+Hypothesis, when available) over randomized batch sizes, durations,
+thresholds, dt values and policy mixes.
+"""
+
+import dataclasses
+from dataclasses import fields, replace
+
+import numpy as np
+import pytest
+
+from repro.core.taxonomy import ALL_POLICY_SPECS, spec_by_key
+from repro.faults.guards import GuardConfig
+from repro.obs.telemetry import TelemetrySampler
+from repro.sim.bench import _bench_fault_plan
+from repro.sim.engine import SimulationConfig, ThermalTimingSimulator
+from repro.sim.fleet import FleetEngine, FleetIncompatibleError, fleet_blockers
+from repro.sim.runner import ParallelRunner, ResultCache, RunPoint
+from repro.sim.workloads import get_workload
+from repro.uarch.config import MachineConfig
+
+W7 = get_workload("workload7")
+CFG = SimulationConfig(duration_s=0.02)
+
+
+def scalar_fields(result) -> dict:
+    """Every RunResult field except the attachments compared separately."""
+    return {
+        f.name: getattr(result, f.name)
+        for f in fields(result)
+        if f.name not in ("series", "events")
+    }
+
+
+def scalar_run(workload, spec, config, telemetry=None):
+    """One member's reference run through the scalar engine."""
+    sim = ThermalTimingSimulator(
+        workload.benchmarks, spec, config, telemetry=telemetry
+    )
+    return sim, sim.run()
+
+
+def assert_member_matches_scalar(fleet_result, member_sim, workload, spec, config):
+    """Bitwise comparison of one fleet member against a fresh scalar run."""
+    ref_sim, ref = scalar_run(workload, spec, config)
+    fr = scalar_fields(fleet_result)
+    fr["workload"] = ref.workload  # fleet tags the workload name
+    assert fr == scalar_fields(ref)
+    np.testing.assert_array_equal(
+        member_sim.thermal.temperatures, ref_sim.thermal.temperatures
+    )
+    for pf, pr in zip(
+        member_sim.scheduler.processes, ref_sim.scheduler.processes
+    ):
+        assert pf.position == pr.position
+        assert pf.counters.instructions == pr.counters.instructions
+        assert pf.counters.int_rf_accesses == pr.counters.int_rf_accesses
+        assert pf.counters.fp_rf_accesses == pr.counters.fp_rf_accesses
+        assert pf.counters.cycles == pr.counters.cycles
+        assert pf.counters.adjusted_cycles == pr.counters.adjusted_cycles
+
+
+class TestTaxonomyBitIdentity:
+    """The tentpole guarantee: batch-of-N == N scalar runs, exactly."""
+
+    def test_all_policies_in_one_batch(self):
+        """One batch holding the unthrottled config plus all 12 taxonomy
+        policies reproduces each scalar run bit for bit."""
+        specs = [None] + list(ALL_POLICY_SPECS)
+        members = [(W7, spec, CFG) for spec in specs]
+        engine = FleetEngine(members)
+        results = engine.run()
+        assert len(results) == len(members)
+        for member, result, spec in zip(engine.members, results, specs):
+            assert_member_matches_scalar(result, member.sim, W7, spec, CFG)
+
+    def test_results_in_input_order_and_tagged(self):
+        specs = [spec_by_key("distributed-dvfs-none"), None]
+        results = FleetEngine([(W7, s, CFG) for s in specs]).run()
+        assert all(r.workload == W7.name for r in results)
+        assert results[0].policy == specs[0].name
+
+    def test_unthrottled_members_take_fused_path(self):
+        engine = FleetEngine([(W7, None, CFG), (W7, None, CFG)])
+        engine.run()
+        assert all(m.fused for m in engine.members)
+        assert all(m.sim.last_run_fused for m in engine.members)
+
+    def test_mixed_durations_retire_members_in_place(self):
+        """Members with different horizons share one lockstep group; the
+        shorter ones retire early and still match their scalar runs."""
+        spec = spec_by_key("distributed-dvfs-none")
+        configs = [
+            replace(CFG, duration_s=d) for d in (0.02, 0.008, 0.014)
+        ]
+        members = [(W7, spec, cfg) for cfg in configs]
+        engine = FleetEngine(members)
+        for result, member, cfg in zip(engine.run(), engine.members, configs):
+            assert_member_matches_scalar(result, member.sim, W7, spec, cfg)
+
+    def test_telemetry_series_identical_to_scalar(self):
+        """A sampler attached to a fleet member observes exactly the
+        series a scalar run would produce — times and every column."""
+        spec = spec_by_key("distributed-dvfs-sensor")
+        periods = (0.5e-3, 0.25e-3, 1.0e-3)
+        specs = [spec, None, spec_by_key("global-stop-go-counter")]
+        members = [(W7, s, CFG) for s in specs]
+        samplers = [TelemetrySampler(p) for p in periods]
+        fleet_results = FleetEngine(members, telemetry=samplers).run()
+
+        for s, period, sampler, fres in zip(
+            specs, periods, samplers, fleet_results
+        ):
+            ref_sampler = TelemetrySampler(period)
+            _, ref = scalar_run(W7, s, CFG, telemetry=ref_sampler)
+            assert sampler.series is not None
+            assert sampler.series.times == ref_sampler.series.times
+            assert sampler.series.columns == ref_sampler.series.columns
+            assert fres.telemetry == ref.telemetry
+
+
+class TestBatchStructureInvariance:
+    """Satellite: batch composition must never leak into results."""
+
+    SPECS = [
+        None,
+        spec_by_key("distributed-dvfs-none"),
+        spec_by_key("global-stop-go-none"),
+        spec_by_key("distributed-dvfs-counter"),
+        None,
+        spec_by_key("distributed-stop-go-none"),
+    ]
+
+    def _run(self, specs):
+        return FleetEngine([(W7, s, CFG) for s in specs]).run()
+
+    def test_permutation_invariance(self):
+        """Reordering the batch permutes the results and nothing else."""
+        perm = [3, 0, 5, 1, 4, 2]
+        base = self._run(self.SPECS)
+        permuted = self._run([self.SPECS[i] for i in perm])
+        for out_pos, in_pos in enumerate(perm):
+            assert scalar_fields(permuted[out_pos]) == scalar_fields(
+                base[in_pos]
+            )
+
+    def test_batch_slicing_invariance(self):
+        """Splitting one batch into two yields identical results."""
+        whole = self._run(self.SPECS)
+        first = self._run(self.SPECS[:3])
+        second = self._run(self.SPECS[3:])
+        for a, b in zip(whole, first + second):
+            assert scalar_fields(a) == scalar_fields(b)
+
+    def test_singleton_batch_matches_scalar(self):
+        spec = spec_by_key("global-dvfs-none")
+        engine = FleetEngine([(W7, spec, CFG)])
+        (result,) = engine.run()
+        assert_member_matches_scalar(
+            result, engine.members[0].sim, W7, spec, CFG
+        )
+
+
+class TestFleetEligibility:
+    """Satellite: ineligible members are refused with a clear error."""
+
+    def test_fault_plan_blocks(self):
+        cfg = replace(CFG, fault_plan=_bench_fault_plan(CFG.duration_s))
+        assert "fault-plan" in fleet_blockers(cfg)
+        with pytest.raises(FleetIncompatibleError) as excinfo:
+            FleetEngine([(W7, None, CFG), (W7, None, cfg)])
+        assert "member 1" in str(excinfo.value)
+        assert "fault-plan" in str(excinfo.value)
+
+    def test_guards_block(self):
+        cfg = replace(CFG, guard=GuardConfig())
+        assert "sensor-guards" in fleet_blockers(cfg)
+        with pytest.raises(FleetIncompatibleError):
+            FleetEngine([(W7, None, cfg)])
+
+    def test_other_blockers(self):
+        assert "hardware-trip" in fleet_blockers(
+            replace(CFG, hardware_trip=True)
+        )
+        assert "record-series" in fleet_blockers(
+            replace(CFG, record_series=True)
+        )
+        assert "sensor-noise" in fleet_blockers(
+            replace(CFG, sensor_noise_std_c=0.5)
+        )
+        assert fleet_blockers(CFG) == ()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            FleetEngine([])
+
+    def test_telemetry_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FleetEngine([(W7, None, CFG)], telemetry=[None, None])
+
+
+class TestRunnerIntegration:
+    """Satellite: the fleet backend plugs into ParallelRunner cleanly."""
+
+    def _points(self, n=4):
+        specs = [None, spec_by_key("distributed-dvfs-none")]
+        return [
+            RunPoint(
+                W7,
+                specs[i % len(specs)],
+                replace(CFG, threshold_c=80.0 + 0.5 * i),
+            )
+            for i in range(n)
+        ]
+
+    def test_backend_fleet_matches_pool(self):
+        points = self._points()
+        pool = ParallelRunner(jobs=1, backend="pool").run_points(points)
+        fleet = ParallelRunner(jobs=1, backend="fleet").run_points(points)
+        for a, b in zip(pool, fleet):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_fleet_results_hit_scalar_cache_keys(self, tmp_path):
+        """Fleet-simulated results land under the same cache keys the
+        scalar path computes: a warm pool rerun executes nothing."""
+        points = self._points()
+        first = ParallelRunner(
+            cache=ResultCache(tmp_path), version="v", backend="fleet"
+        )
+        cold = first.run_points(points)
+        assert first.stats.simulated == len(points)
+
+        second = ParallelRunner(
+            cache=ResultCache(tmp_path), version="v", backend="pool"
+        )
+        warm = second.run_points(points)
+        assert second.stats.simulated == 0
+        assert second.stats.cache_hits == len(points)
+        assert warm == cold
+
+    def test_ineligible_points_fall_back_transparently(self):
+        """A batch mixing eligible and faulted points still returns
+        results identical to the pool path, in input order."""
+        faulted = RunPoint(
+            W7,
+            None,
+            replace(CFG, fault_plan=_bench_fault_plan(CFG.duration_s)),
+        )
+        points = self._points(3) + [faulted]
+        pool = ParallelRunner(jobs=1, backend="pool").run_points(points)
+        fleet = ParallelRunner(jobs=1, backend="fleet").run_points(points)
+        for a, b in zip(pool, fleet):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(backend="thread")
+
+
+# -- Hypothesis property tests (skipped when hypothesis is absent) --------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: Policy pool for random batch composition: both throttle families,
+#: both scopes, with and without migration, plus unthrottled.
+PROPERTY_SPEC_KEYS = [
+    None,
+    "distributed-dvfs-none",
+    "global-dvfs-none",
+    "distributed-stop-go-none",
+    "global-stop-go-counter",
+    "distributed-dvfs-sensor",
+]
+
+member_strategy = st.tuples(
+    st.sampled_from(PROPERTY_SPEC_KEYS),
+    st.sampled_from([0.004, 0.006, 0.008]),
+    st.floats(min_value=78.0, max_value=85.0, allow_nan=False),
+)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(batch=st.lists(member_strategy, min_size=1, max_size=5))
+def test_property_random_batches_match_scalar(batch):
+    """Any random mix of policies, durations and thresholds batches
+    bit-identically to per-member scalar runs."""
+    members = []
+    for spec_key, duration, threshold in batch:
+        spec = spec_by_key(spec_key) if spec_key else None
+        cfg = SimulationConfig(duration_s=duration, threshold_c=threshold)
+        members.append((W7, spec, cfg))
+    engine = FleetEngine(members)
+    for result, member, (spec_key, _, _) in zip(
+        engine.run(), engine.members, batch
+    ):
+        spec = spec_by_key(spec_key) if spec_key else None
+        assert_member_matches_scalar(
+            result, member.sim, W7, spec, member.sim.config
+        )
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    cycles=st.sampled_from([80_000, 100_000, 125_000]),
+    spec_key=st.sampled_from([None, "distributed-dvfs-none"]),
+)
+def test_property_dt_variants_match_scalar(cycles, spec_key):
+    """Batches on machines with non-default dt (trace_sample_cycles)
+    still match the scalar engine exactly."""
+    machine = MachineConfig(trace_sample_cycles=cycles)
+    cfg = SimulationConfig(duration_s=0.005, machine=machine)
+    spec = spec_by_key(spec_key) if spec_key else None
+    engine = FleetEngine([(W7, spec, cfg), (W7, spec, cfg)])
+    for result, member in zip(engine.run(), engine.members):
+        assert_member_matches_scalar(result, member.sim, W7, spec, cfg)

@@ -167,6 +167,80 @@ class TestCache:
         assert len(cache) == 0
 
 
+class TestCacheConcurrency:
+    """Two writers racing on one key must never tear or leak files."""
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Hammer one key from two threads: after every round the entry
+        is a complete pickle holding one of the written values (atomic
+        temp-file + os.replace publication), reads mid-race never see a
+        torn value, and no orphaned ``*.tmp`` files survive."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        rounds = 200
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def writer(tag):
+            try:
+                for i in range(rounds):
+                    barrier.wait()
+                    cache.put(key, (tag, i))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(tag,))
+            for tag in ("left", "right")
+        ]
+        for t in threads:
+            t.start()
+        seen = 0
+        while any(t.is_alive() for t in threads):
+            value = cache.get(key)
+            if value is not None:
+                assert value[0] in ("left", "right")
+                assert 0 <= value[1] < rounds
+                seen += 1
+        for t in threads:
+            t.join()
+
+        assert not errors
+        final = cache.get(key)
+        assert final is not None and final[0] in ("left", "right")
+        assert final[1] == rounds - 1
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+        assert len(cache) == 1
+        assert seen > 0
+
+    def test_concurrent_distinct_keys(self, tmp_path):
+        """Writers on different keys sharing one shard directory don't
+        interfere."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        keys = ["ab" + format(i, "062x") for i in range(8)]
+
+        def writer(key):
+            for i in range(50):
+                cache.put(key, (key, i))
+
+        threads = [
+            threading.Thread(target=writer, args=(k,)) for k in keys
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for key in keys:
+            assert cache.get(key) == (key, 49)
+        assert len(cache) == len(keys)
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+
 class TestSerialFallback:
     def test_jobs_1_never_creates_a_pool(self, monkeypatch):
         """jobs=1 must stay in-process: poison the pool to prove it."""

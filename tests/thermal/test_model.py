@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.thermal.layouts import build_cmp_floorplan
-from repro.thermal.model import ThermalModel
+from repro.thermal.model import ThermalKernel, ThermalModel
 from repro.thermal.package import HIGH_PERFORMANCE_PACKAGE
 
 DT = 100_000 / 3.6e9
@@ -208,6 +208,110 @@ class TestTimeConstants:
     def test_rejects_bad_dt(self):
         with pytest.raises(ValueError):
             ThermalModel(build_cmp_floorplan(), HIGH_PERFORMANCE_PACKAGE, 0.0)
+
+
+class TestOperatorSharing:
+    """Kernel-backed operator reuse across independent engines."""
+
+    def test_shared_kernel_shares_operator_instances(self):
+        """Models on one kernel hand out the *same* StepOperator, so a
+        fleet of chips steps through literally the same matrices."""
+        fp = build_cmp_floorplan()
+        kernel = ThermalKernel(fp, HIGH_PERFORMANCE_PACKAGE)
+        a = ThermalModel(fp, HIGH_PERFORMANCE_PACKAGE, DT, kernel=kernel)
+        b = ThermalModel(fp, HIGH_PERFORMANCE_PACKAGE, DT, kernel=kernel)
+        assert a.operator_for(DT) is b.operator_for(DT)
+        assert len(kernel._propagators) == 1
+        # A third dt through either model lands in the shared cache.
+        a.operator_for(2 * DT)
+        assert b.operator_for(2 * DT) is a.operator_for(2 * DT)
+
+    def test_shared_vs_private_kernel_trajectories_identical(self):
+        """Operator reuse is associative: stepping through a shared
+        kernel's operator is bitwise the same as through a private one."""
+        fp = build_cmp_floorplan()
+        kernel = ThermalKernel(fp, HIGH_PERFORMANCE_PACKAGE)
+        shared = ThermalModel(fp, HIGH_PERFORMANCE_PACKAGE, DT, kernel=kernel)
+        private = ThermalModel(fp, HIGH_PERFORMANCE_PACKAGE, DT)
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            p = rng.uniform(0, 3, shared.network.n_blocks)
+            np.testing.assert_array_equal(
+                shared.step(p), private.step(p)
+            )
+
+    def test_mismatched_kernel_rejected(self):
+        fp_a, fp_b = build_cmp_floorplan(2), build_cmp_floorplan(4)
+        kernel = ThermalKernel(fp_a, HIGH_PERFORMANCE_PACKAGE)
+        with pytest.raises(ValueError):
+            ThermalModel(fp_b, HIGH_PERFORMANCE_PACKAGE, DT, kernel=kernel)
+
+
+class TestApplyBatch:
+    """The fleet contract: batched rows == scalar applications, bitwise."""
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 7, 16, 33])
+    def test_rows_bitwise_equal_scalar_apply(self, m):
+        model = make_model()
+        op = model.operator_for(DT)
+        rng = np.random.default_rng(m)
+        temps = 40.0 + 80.0 * rng.random((m, model.network.n_nodes))
+        power = 20.0 * rng.random((m, model.network.n_blocks))
+        batched = op.apply_batch(temps, power)
+        for i in range(m):
+            np.testing.assert_array_equal(
+                batched[i], op.apply(temps[i], power[i])
+            )
+
+    def test_slicing_invariance(self):
+        """A sub-batch's rows equal the same rows of the full batch —
+        the property that lets fleet members retire in place."""
+        model = make_model()
+        op = model.operator_for(DT)
+        rng = np.random.default_rng(5)
+        temps = 40.0 + 80.0 * rng.random((12, model.network.n_nodes))
+        power = 20.0 * rng.random((12, model.network.n_blocks))
+        full = op.apply_batch(temps, power)
+        for m in (1, 5, 11):
+            np.testing.assert_array_equal(
+                op.apply_batch(temps[:m], power[:m]), full[:m]
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=40),
+    dt_scale=st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_step_n_equals_k_steps_property(k, dt_scale, seed):
+    """Property form of the fusion guarantee: for random k, dt and
+    power, step_n(p, k) is bit-identical to k repeated step(p) calls."""
+    dt = DT * dt_scale
+    fp = build_cmp_floorplan()
+    kernel = ThermalKernel(fp, HIGH_PERFORMANCE_PACKAGE)
+    a = ThermalModel(fp, HIGH_PERFORMANCE_PACKAGE, dt, kernel=kernel)
+    b = ThermalModel(fp, HIGH_PERFORMANCE_PACKAGE, dt, kernel=kernel)
+    p = np.random.default_rng(seed).uniform(0, 3, a.network.n_blocks)
+    for _ in range(k):
+        a.step(p)
+    np.testing.assert_array_equal(b.step_n(p, k), a.temperatures)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=1e-9, max_value=1.0, allow_nan=False))
+def test_dt_cache_keys_on_exact_bit_pattern(dt):
+    """Randomized dts: each distinct float is a distinct cache entry,
+    and adjacent floats (indistinguishable to round(dt, 15)) never
+    alias to one propagator."""
+    model = make_model()
+    before = len(model._propagators)
+    op = model.operator_for(dt)
+    assert model.operator_for(dt) is op
+    neighbour = float(np.nextafter(dt, np.inf))
+    op2 = model.operator_for(neighbour)
+    assert op2 is not op
+    assert len(model._propagators) == before + 2
 
 
 @settings(max_examples=20, deadline=None)
