@@ -52,7 +52,9 @@ cache for one invocation. Parallel runs produce bit-identical output to
 serial ones. ``--backend fleet`` batches all compatible points of a
 sweep into one vectorised in-process engine instead of a process pool —
 same results bit-for-bit, typically an order of magnitude faster for
-policy/threshold sweeps.
+policy/threshold sweeps and fault/noise campaigns (the engine replays
+each member's private RNG streams in step order); ``--fleet-chunk N``
+streams oversized campaigns through the engine N points at a time.
 """
 
 from __future__ import annotations
@@ -114,6 +116,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "compatible points of a batch together in one vectorised "
              "in-process engine (bit-identical results; incompatible "
              "points fall back to the pool automatically)",
+    )
+    parser.add_argument(
+        "--fleet-chunk", type=int, default=None, metavar="N",
+        help="with --backend fleet, stream eligible points through the "
+             "batched engine in chunks of N (default: one unbounded "
+             "batch); bounds campaign memory without changing results",
     )
     parser.add_argument(
         "--log-level", choices=LOG_LEVELS, default="warning",
@@ -569,6 +577,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(),
         backend=args.backend,
+        fleet_chunk=args.fleet_chunk,
     )
     previous = set_default_runner(runner)
     try:

@@ -229,10 +229,12 @@ class PIBank:
     independent state (output, previous error, averaging window) and
     per-lane setpoints; :meth:`step_prefix` advances the first ``m``
     rows of every lane array in one shot using the same
-    :func:`pi_raw_update` law and the same clamp composition
-    (``min(max_, max(min_, raw))``) as :class:`DiscretePIController`, so
-    each lane's trajectory is bit-identical to a scalar controller fed
-    the same measurements. The fleet engine uses one bank per chip
+    :func:`pi_raw_update` law and a clamp written to match the scalar
+    ``min(max_, max(min_, raw))`` composition *including its NaN
+    behaviour* (a NaN raw command clamps to ``output_min``), so each
+    lane's trajectory is bit-identical to a scalar controller fed the
+    same measurements — even measurements poisoned by NaN sensor
+    dropouts. The fleet engine uses one bank per chip
     batch, with lane layout ``(chips, cores)`` for distributed control
     and ``(chips,)`` for global control.
 
@@ -279,7 +281,16 @@ class PIBank:
         prev = self.previous_error[:m]
         error = measured - self.setpoints[:m]
         raw = pi_raw_update(out, error, prev, self.design)
-        out[...] = np.minimum(self.output_max, np.maximum(self.output_min, raw))
+        # Clamp via explicit selections, not np.minimum/np.maximum: the
+        # scalar controller's ``min(max_, max(min_, raw))`` maps a NaN
+        # raw command to ``output_min`` (Python's max/min keep the first
+        # argument unless the second compares greater/less), whereas
+        # numpy's minimum/maximum propagate NaN. A NaN command happens
+        # under NaN-mode sensor dropouts, and the scalar engine *acts*
+        # on the clamped 0.2 — so the bank must clamp identically. For
+        # finite inputs the two compositions are bitwise equal.
+        floored = np.where(raw > self.output_min, raw, self.output_min)
+        out[...] = np.where(floored < self.output_max, floored, self.output_max)
         prev[...] = error
         self.window_steps[:m] += 1
         self.output_sum[:m] += out

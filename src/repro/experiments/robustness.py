@@ -28,7 +28,14 @@ graceful-degradation hardware buys (and costs) per policy.
 All points execute as one flat batch through the session's
 :class:`~repro.sim.runner.ParallelRunner`, so ``repro --jobs N
 robustness`` fans the whole sweep out and serial vs. parallel sweeps are
-bit-identical.
+bit-identical. ``repro robustness --backend fleet`` steps the whole
+severity x policy campaign through the batched
+:class:`~repro.sim.fleet.FleetEngine` instead: fault plans and sensor
+noise are fleet-eligible (the engine replays each member's private RNG
+streams in step order), so the entire Monte-Carlo campaign rides the
+vectorised path — only guarded points (``include_guards=True``) fall
+back to the pool — and every backend produces the same degradation
+table bit for bit.
 """
 
 from __future__ import annotations

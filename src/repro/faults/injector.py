@@ -190,11 +190,13 @@ class FaultInjector:
                 if n_drop:
                     if fault.mode == "nan":
                         out[dropped] = np.nan
+                        self.sensor_faulted_samples += n_drop
                     elif self._last_output is not None:
                         out[dropped] = self._last_output[dropped]
+                        self.sensor_faulted_samples += n_drop
                     # else: no previous delivery to repeat — the very
-                    # first read passes through unchanged.
-                    self.sensor_faulted_samples += n_drop
+                    # first read passes through unchanged and is *not*
+                    # counted (only altered samples are faulted samples).
             elif isinstance(fault, DriftFault):
                 out[mask] += fault.rate_c_per_s * (time_s - fault.start_s)
                 self.sensor_faulted_samples += n_sel
@@ -312,4 +314,138 @@ class FaultInjector:
         }
 
 
-__all__ = ["FaultInjector", "FaultSummary"]
+class FleetFaultInjector:
+    """Batched stream-replay of one :class:`FaultPlan` over a cohort.
+
+    The fleet engine groups the members of a lockstep batch that carry
+    *equal* fault plans into cohorts and drives each cohort through one
+    ``FleetFaultInjector`` wrapping the members' real scalar
+    :class:`FaultInjector` objects. The bit-identity argument is stream
+    replay, not re-derivation: every stochastic fault owns a per-member
+    ``RngStream`` (keyed by run seed and plan index), and the scalar
+    injector draws exactly one ``uniform(size=(cores, units))`` matrix
+    per active stochastic fault per step. This class replays those same
+    streams — per step, per member (ascending row order), per fault in
+    plan order — so each member's draw *sequence* is identical to its
+    scalar run by construction; the streams are mutually independent, so
+    interleaving them across members cannot change any member's values.
+    Only the mask/latch/drift/spike *transforms* are vectorised, over
+    the ``(members, cores, units)`` stack, and each is elementwise
+    (shape-invariant, hence bitwise equal to the scalar transform).
+
+    Latch creation, activation windows and first-read handling are
+    cohort-uniform because all members enter the batch at step 0 and
+    only retire (shrink the alive prefix) — they never join late.
+
+    Sensor-fault counters accumulate per member in a batched array;
+    :meth:`flush` / :meth:`flush_all` write them back onto the real
+    injectors, whose ``sensor_faulted_samples`` the telemetry closures
+    and :class:`FaultSummary` read. DVFS and migration fault hooks are
+    *not* batched here: the fleet calls each member's real
+    :meth:`FaultInjector.dvfs_request` / ``migration_request`` at the
+    same decision points the scalar engine would, so those counters and
+    streams advance on the real objects directly.
+    """
+
+    def __init__(self, injectors: Sequence[FaultInjector]):
+        """Wrap one cohort; all injectors must share an equal plan."""
+        if not injectors:
+            raise ValueError("fault cohort must contain at least one member")
+        self.injectors = list(injectors)
+        base = self.injectors[0]
+        for inj in self.injectors[1:]:
+            if inj.plan != base.plan:
+                raise ValueError(
+                    "fault cohort members must share an equal FaultPlan"
+                )
+        self.n = len(self.injectors)
+        self.plan = base.plan
+        self._sensor_faults = base._sensor_faults
+        self._masks = base._masks
+        shape = (self.n, base.n_cores, len(base.units))
+        self._last_output = np.zeros(shape)
+        self._has_last = False
+        self._latches: Dict[int, np.ndarray] = {}
+        #: Per-member altered-sample counters (flushed onto the real
+        #: injectors, never read directly by consumers).
+        self.sensor_faulted_samples = np.zeros(self.n, dtype=np.int64)
+
+    def apply_sensor_faults(self, time_s: float, temps: np.ndarray) -> np.ndarray:
+        """Transform one step's stacked sensor matrices; returns a new array.
+
+        ``temps`` is the ``(k, n_cores, n_units)`` stack for the
+        cohort's first ``k`` (still-alive) members; rows beyond ``k``
+        retired and stop drawing, exactly as their finished scalar runs
+        would have.
+        """
+        k = temps.shape[0]
+        out = np.array(temps, dtype=float, copy=True)
+        counts = self.sensor_faulted_samples
+        for i, fault in self._sensor_faults:
+            if not fault.active(time_s):
+                continue
+            mask = self._masks[i]
+            n_sel = int(mask.sum())
+            if isinstance(fault, StuckAtFault):
+                if i not in self._latches:
+                    latch = np.zeros(self._last_output.shape)
+                    source = self._last_output[:k] if self._has_last else out
+                    latch[:k] = np.where(mask[None], source, 0.0)
+                    self._latches[i] = latch
+                if fault.value_c is not None:
+                    out[:, mask] = fault.value_c
+                else:
+                    out[:, mask] = self._latches[i][:k][:, mask]
+                counts[:k] += n_sel
+            elif isinstance(fault, DropoutFault):
+                if fault.prob >= 1.0:
+                    dropped = np.broadcast_to(mask[None], out.shape)
+                else:
+                    draws = np.stack(
+                        [
+                            inj._rng[i].uniform(size=mask.shape)
+                            for inj in self.injectors[:k]
+                        ]
+                    )
+                    dropped = mask[None] & (draws < fault.prob)
+                if fault.mode == "nan":
+                    out[dropped] = np.nan
+                    counts[:k] += dropped.reshape(k, -1).sum(axis=1)
+                elif self._has_last:
+                    out[dropped] = self._last_output[:k][dropped]
+                    counts[:k] += dropped.reshape(k, -1).sum(axis=1)
+                # else: very first read — passes through, not counted.
+            elif isinstance(fault, DriftFault):
+                out[:, mask] += fault.rate_c_per_s * (time_s - fault.start_s)
+                counts[:k] += n_sel
+            elif isinstance(fault, SpikeFault):
+                draws = np.stack(
+                    [
+                        inj._rng[i].uniform(size=mask.shape)
+                        for inj in self.injectors[:k]
+                    ]
+                )
+                spiking = mask[None] & (draws < fault.prob)
+                out[spiking] += fault.magnitude_c
+                counts[:k] += spiking.reshape(k, -1).sum(axis=1)
+            else:
+                assert isinstance(fault, CalibrationStepFault)
+                out[:, mask] += fault.offset_c
+                counts[:k] += n_sel
+        self._last_output[:k] = out
+        self._has_last = True
+        return out
+
+    def flush(self, member: int) -> None:
+        """Write one member's batched sensor counter onto its injector."""
+        self.injectors[member].sensor_faulted_samples = int(
+            self.sensor_faulted_samples[member]
+        )
+
+    def flush_all(self) -> None:
+        """Write every member's batched sensor counter back."""
+        for j in range(self.n):
+            self.flush(j)
+
+
+__all__ = ["FaultInjector", "FleetFaultInjector", "FaultSummary"]

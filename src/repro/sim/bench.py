@@ -93,7 +93,9 @@ class BenchCase:
         faulted: Whether the run carries the benchmark fault plan
             (exercises the sensor-fault and actuation hot paths, and —
             because a plan blocks fusion — keeps the stepwise loop
-            honest on an otherwise-fusible config).
+            honest on an otherwise-fusible config). On a sweep-backend
+            case, every point of the batch carries the plan — the
+            Monte-Carlo fault-campaign shape `repro robustness` runs.
         short: Whether the case belongs to the quick suite that CI
             reruns on every push; the full-length case is excluded.
         description: One line for humans, recorded in the artifact.
@@ -214,6 +216,26 @@ ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
         "the process-pool ParallelRunner",
         backend="pool",
     ),
+    # Fault-campaign contrast pair: the same sweep with every point
+    # carrying the benchmark fault plan — the batched Monte-Carlo
+    # robustness-campaign shape. The fleet engine replays each member's
+    # private fault/noise RNG streams in step order, so this measures
+    # the stochastic stepwise path, not the fused one.
+    BenchCase(
+        "fleet-faults-dvfs", "distributed-dvfs-none", SWEEP_RUN_S, True,
+        True,
+        "faulted PI-DVFS threshold sweep batched through the fleet "
+        "engine (stream-replay stochastic layer, vectorised "
+        "sensor-fault transforms)",
+        backend="fleet",
+    ),
+    BenchCase(
+        "pool-faults-dvfs", "distributed-dvfs-none", SWEEP_RUN_S, True,
+        True,
+        "the same faulted PI-DVFS threshold sweep, one engine per point "
+        "through the process-pool ParallelRunner",
+        backend="pool",
+    ),
 )
 
 #: Trip-threshold values (deg C) swept by the backend-contrast cases;
@@ -271,6 +293,9 @@ def sweep_case_points(case: BenchCase) -> List["RunPoint"]:
         raise ValueError(f"{case.key} is not a sweep-backend case")
     workload = get_workload("workload7")
     spec = spec_by_key(case.spec_key) if case.spec_key else None
+    kwargs = {}
+    if case.faulted:
+        kwargs["fault_plan"] = _bench_fault_plan(case.duration_s)
     return [
         RunPoint(
             workload,
@@ -279,6 +304,7 @@ def sweep_case_points(case: BenchCase) -> List["RunPoint"]:
                 duration_s=case.duration_s,
                 threshold_c=threshold,
                 warm_start_fraction=SWEEP_WARM_FRACTION,
+                **kwargs,
             ),
         )
         for threshold in SWEEP_THRESHOLDS

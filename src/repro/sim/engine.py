@@ -435,6 +435,12 @@ class ThermalTimingSimulator:
         if self.config.sensor_offset_c:
             temps = temps + self.config.sensor_offset_c
         if noise > 0:
+            # Exactly one normal((n_cores, 2)) draw per sensor read.
+            # The fleet engine replays this stream per member — same
+            # draw shape at the same steps — so batched noisy runs stay
+            # bit-identical to scalar ones; changing the draw shape or
+            # frequency here breaks that replay contract (and the
+            # fleet equivalence tests).
             temps = temps + self._sensor_rng.normal(0.0, noise, temps.shape)
         if quant > 0:
             # Explicit round-half-up-to-grid (x.5 boundaries snap toward

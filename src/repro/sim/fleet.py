@@ -38,15 +38,32 @@ full 12-policy taxonomy). Three design rules make that possible:
 
 Batching rules
 --------------
-All members must be *fleet-eligible*: no fault plan, no sensor guards,
-no hardware trip, no series recording, no sensor noise (noise draws from
-a per-chip RNG in a loop-order-dependent way). :func:`fleet_blockers`
-reports why a config is ineligible; :class:`FleetEngine` refuses such
-members with :class:`FleetIncompatibleError` — the
+All members must be *fleet-eligible*: no sensor guards, no hardware
+trip, no series recording. :func:`fleet_blockers` reports why a config
+is ineligible; :class:`FleetEngine` refuses such members with
+:class:`FleetIncompatibleError` — the
 :class:`~repro.sim.runner.ParallelRunner` routes them through the
 process-pool fallback instead. Heterogeneous machines/packages are fine:
 members are grouped per substrate and per policy family, and each group
 steps in lockstep with members retiring as their horizons end.
+
+Stochastic members (fault plans, sensor noise) batch too, by **stream
+replay**: each member keeps its own per-fault and per-chip RNG streams
+(exactly the ones its scalar run would own), and the batched loop draws
+from them per step, per member in ascending row order, per fault in
+plan order — one draw of the scalar's exact shape at each point the
+scalar loop would draw. Streams are mutually independent, so the
+interleaving across members cannot perturb any member's sequence, and
+the per-member draw order is the scalar order by construction. The
+sensor-fault *transforms* are vectorised over the member stack by
+:class:`~repro.faults.injector.FleetFaultInjector` (one cohort per
+distinct plan within a group); DVFS-gate and migration fault hooks call
+each member's real scalar injector at the same decision points the
+scalar engine consults it, so counters and streams live on the real
+objects. NaN readings (``mode="nan"`` dropouts) are handled by writing
+every reduction the sensor values feed — hottest-unit and chip-hot
+folds, PI clamping, trend-window min/first — as explicit selection
+folds matching Python/scalar NaN semantics bit for bit.
 """
 
 from __future__ import annotations
@@ -59,6 +76,7 @@ import numpy as np
 from repro.control.pi import PIBank
 from repro.core.dvfs import DVFSPolicy
 from repro.core.stopgo import StopGoPolicy
+from repro.faults.injector import FleetFaultInjector
 from repro.obs.telemetry import TelemetrySampler
 from repro.sim.engine import (
     EngineSubstrate,
@@ -93,24 +111,19 @@ def fleet_blockers(config: SimulationConfig) -> Tuple[str, ...]:
     """Why a config cannot run in a fleet batch (empty = eligible).
 
     Mirrors the scalar engine's :attr:`fusion_blockers` vocabulary for
-    the features the batched loop does not implement: per-step fault
-    injection, sensor guards, the PROCHOT hardware trip, full series
-    recording, and stochastic sensor noise (whose RNG draw order is
-    per-chip). Sensor offset and quantization are deterministic
+    the features the batched loop does not implement: sensor guards,
+    the PROCHOT hardware trip, and full series recording. Fault plans
+    and sensor noise batch via per-member RNG stream replay (see the
+    module docstring); sensor offset and quantization are deterministic
     elementwise transforms and batch fine.
     """
     blockers = []
-    plan = config.fault_plan
-    if plan is not None and not plan.is_empty:
-        blockers.append("fault-plan")
     if config.guard is not None:
         blockers.append("sensor-guards")
     if config.hardware_trip:
         blockers.append("hardware-trip")
     if config.record_series:
         blockers.append("record-series")
-    if config.sensor_noise_std_c > 0:
-        blockers.append("sensor-noise")
     return tuple(blockers)
 
 
@@ -179,11 +192,11 @@ class FleetEngine:
             raise ValueError("telemetry must have one entry per member")
 
         parsed = [_member_tuple(m) for m in members]
-        bad = [
-            (i, fleet_blockers(config))
-            for i, (_, _, config) in enumerate(parsed)
-            if fleet_blockers(config)
-        ]
+        bad = []
+        for i, (_, _, config) in enumerate(parsed):
+            blockers = fleet_blockers(config)
+            if blockers:
+                bad.append((i, blockers))
         if bad:
             detail = "; ".join(
                 f"member {i}: {', '.join(blk)}" for i, blk in bad
@@ -525,6 +538,36 @@ class _StepwiseGroup(_GroupBase):
         self.any_quant = bool(self.qmask.any())
         self.qsafe = np.where(self.qmask, quant, 1.0)
 
+        # Stochastic layer: per-member sensor-noise replay rows and
+        # fault cohorts (one FleetFaultInjector per distinct plan).
+        # Noise rows mirror the scalar gating exactly: the scalar loop
+        # draws only when it reads sensors at all, which for a fleet
+        # group means a throttled group or a faulted member of an
+        # unthrottled ("none") group.
+        self.fault_rows = [
+            i for i, s in enumerate(sims) if s._faults is not None
+        ]
+        by_plan: Dict[object, List[int]] = {}
+        for i in self.fault_rows:
+            by_plan.setdefault(sims[i].config.fault_plan, []).append(i)
+        self.fault_cohorts: List[Tuple[np.ndarray, FleetFaultInjector]] = [
+            (
+                np.asarray(rows, dtype=np.int64),
+                FleetFaultInjector([sims[i]._faults for i in rows]),
+            )
+            for rows in by_plan.values()
+        ]
+        self.fault_flush: Dict[int, Tuple[FleetFaultInjector, int]] = {}
+        for rows, finj in self.fault_cohorts:
+            for j, i in enumerate(rows.tolist()):
+                self.fault_flush[i] = (finj, j)
+        self.noise_rows: List[Tuple[int, float]] = [
+            (i, s.config.sensor_noise_std_c)
+            for i, s in enumerate(sims)
+            if s.config.sensor_noise_std_c > 0
+            and (kind != "none" or s._faults is not None)
+        ]
+
         self.has_migration = sims[0].migration is not None
         if self.kind == "dvfs":
             pol = sims[0].throttle
@@ -575,6 +618,18 @@ class _StepwiseGroup(_GroupBase):
             # path.
             self.cube = np.array(
                 [[float(v) ** 3 for v in row] for row in self.cur]
+            )
+            # Members whose plans gate DVFS commits: accepted-candidate
+            # transitions replay through the member's real injector (so
+            # reject/latency streams and counters advance exactly as in
+            # the scalar run, where the actuator consults the gate only
+            # for requests passing the min-transition filter).
+            self.dvfs_fault_rows = [
+                i for i in self.fault_rows if sims[i]._faults._dvfs_faults
+            ]
+            self.frej = np.array(
+                [[a.faulted_rejections for a in s.actuators] for s in sims],
+                dtype=np.int64,
             )
         elif self.kind == "stopgo":
             self.fu = np.array(
@@ -661,6 +716,7 @@ class _StepwiseGroup(_GroupBase):
             for c, a in enumerate(sim.actuators):
                 a.current_scale = float(self.cur[i, c])
                 a.transitions = int(self.trans[i, c])
+                a.faulted_rejections = int(self.frej[i, c])
         elif self.kind == "stopgo":
             pol = sim.throttle
             fu_list = self.fu[i].tolist()
@@ -691,6 +747,10 @@ class _StepwiseGroup(_GroupBase):
     def _sync_sampler_counters(self, i: int) -> None:
         """Refresh the real objects the sampler's counter closures read."""
         sim = self.sims[i]
+        flush = self.fault_flush.get(i)
+        if flush is not None:
+            finj, j = flush
+            finj.flush(j)
         if self.kind == "dvfs":
             for c, a in enumerate(sim.actuators):
                 a.transitions = int(self.trans[i, c])
@@ -715,7 +775,11 @@ class _StepwiseGroup(_GroupBase):
         n_steps = self.n_steps
         total_steps = n_steps[0]
         alive = len(self.members)
-        need_sensors = self.kind != "none"
+        # Unthrottled ("none") groups read sensors only to feed fault
+        # state/counters, matching the scalar loop's need_sensors gate
+        # (throttle or faults; guards/series/profiler never batch).
+        need_sensors = self.kind != "none" or bool(self.fault_rows)
+        throttled = self.kind != "none"
         dvfs = self.kind == "dvfs"
         stopgo = self.kind == "stopgo"
         timers = [s._migration_timer for s in self.sims]
@@ -733,6 +797,16 @@ class _StepwiseGroup(_GroupBase):
             if need_sensors:
                 sens = self.T[:m][:, self.hotspot_idx]  # (m, C, 2)
                 sens = sens + self.offset[:m]
+                # Per-member noise replay: each member's own sensor
+                # stream, drawn in ascending row order with the scalar
+                # draw shape. Rows are sorted ascending, so the alive
+                # prefix cut is a break, not a filter.
+                for i, std in self.noise_rows:
+                    if i >= m:
+                        break
+                    sens[i] += self.sims[i]._sensor_rng.normal(
+                        0.0, std, sens[i].shape
+                    )
                 if self.any_quant:
                     sens = np.where(
                         self.qmask[:m],
@@ -740,7 +814,23 @@ class _StepwiseGroup(_GroupBase):
                         * self.qsafe[:m],
                         sens,
                     )
-                hot = np.maximum(sens[..., 0], sens[..., 1])
+                # Dynamic faults apply after the static pipeline, one
+                # vectorised cohort at a time (cohort rows ascending,
+                # so the alive subset is a prefix).
+                for rows, finj in self.fault_cohorts:
+                    mc = int(np.searchsorted(rows, m))
+                    if mc:
+                        r = rows[:mc]
+                        sens[r] = finj.apply_sensor_faults(t, sens[r])
+                if throttled:
+                    # Hottest-unit fold written as the scalar's Python
+                    # ``max(r0, r1)`` (second wins only when strictly
+                    # greater): np.maximum would propagate a NaN second
+                    # reading where the scalar keeps the first. Bitwise
+                    # equal for finite readings (selection reduction).
+                    s0c = sens[..., 0]
+                    s1c = sens[..., 1]
+                    hot = np.where(s1c > s0c, s1c, s0c)
 
             if self.has_migration:
                 for i in range(m):
@@ -752,25 +842,63 @@ class _StepwiseGroup(_GroupBase):
                 if self.scope == "distributed":
                     req = self.bank.step_prefix(m, hot)
                 else:
-                    chip_hot = hot.max(axis=1)
+                    # Chip-hot as the scalar's Python ``max`` left fold
+                    # (update only on strictly-greater), so a NaN core
+                    # reading falls through instead of poisoning the
+                    # chip maximum as hot.max(axis=1) would.
+                    chip_hot = hot[:, 0]
+                    for c in range(1, C):
+                        col = hot[:, c]
+                        chip_hot = np.where(col > chip_hot, col, chip_hot)
                     g = self.bank.step_prefix(m, chip_hot)
                     req = np.broadcast_to(g[:, None], (m, C))
                 cur = self.cur[:m]
                 accept = np.abs(req - cur) >= self.mta[:m]
+                extras = None
+                for i in self.dvfs_fault_rows:
+                    if i >= m:
+                        break
+                    row = accept[i]
+                    if not row.any():
+                        continue
+                    inj = self.sims[i]._faults
+                    for c in np.nonzero(row)[0].tolist():
+                        allow, extra = inj.dvfs_request(
+                            t, c, float(req[i, c]), float(cur[i, c])
+                        )
+                        if not allow:
+                            accept[i, c] = False
+                            self.frej[i, c] += 1
+                        elif extra > 0.0:
+                            if extras is None:
+                                extras = []
+                            extras.append((i, c, extra))
                 if accept.any():
                     np.copyto(cur, req, where=accept)
                     self.trans[:m] += accept
+                    su = self.su[:m]
+                    stall_w = accept
+                    if extras is not None:
+                        # Stretched PLL re-locks: the scalar adds base
+                        # penalty and fault extra in one Python float
+                        # add before the stall max — replicate that
+                        # exact arithmetic per affected element.
+                        stall_w = accept.copy()
+                        for i, c, extra in extras:
+                            stall_w[i, c] = False
+                            su[i, c] = max(float(su[i, c]), t) + (
+                                self.penalty + extra
+                            )
                     if self.penalty > 0:
-                        su = self.su[:m]
                         np.copyto(
                             su,
                             np.maximum(su, t) + self.penalty,
-                            where=accept,
+                            where=stall_w,
                         )
-                    rows, cols = np.nonzero(accept)
-                    vals = cur[rows, cols].tolist()
+                    ri, ci = np.nonzero(accept)
+                    vals = cur[ri, ci].tolist()
                     cube = self.cube
-                    for r, c, v in zip(rows.tolist(), cols.tolist(), vals):
+                    for r, c, v in zip(ri.tolist(), ci.tolist(), vals):
                         cube[r, c] = v ** 3
                 s_eff = cur
                 frozen = None
@@ -882,10 +1010,20 @@ class _StepwiseGroup(_GroupBase):
 
             if self.has_migration:
                 self.w_sum[:m] += sens
-                first_mask = (self.w_steps[:m] == 0)[:, None, None]
-                np.copyto(self.w_first[:m], sens, where=first_mask)
+                # Per-channel first-reading latch (fill wherever still
+                # NaN), matching the scalar dict path under NaN
+                # dropouts; for NaN-free readings it is the same
+                # step-0 copy the array path performs (reset leaves
+                # w_first all-NaN).
+                wf = self.w_first[:m]
+                np.copyto(wf, sens, where=np.isnan(wf))
                 self.w_last[:m] = sens
-                self.w_min[:m] += sens.reshape(m, -1).min(axis=1)
+                # Chip-min as a NaN-skipping fold: the scalar's Python
+                # ``min`` never selects a NaN reading, so mask NaNs to
+                # +inf before the (exact, selection) reduction.
+                self.w_min[:m] += np.where(
+                    np.isnan(sens), np.inf, sens
+                ).reshape(m, -1).min(axis=1)
                 self.w_steps[:m] += 1
                 self.w_dur[:m] += dt
 
@@ -894,6 +1032,8 @@ class _StepwiseGroup(_GroupBase):
     def _finish(self) -> None:
         self._finish_metrics()
         self._finish_processes(self.pos)
+        for _rows, finj in self.fault_cohorts:
+            finj.flush_all()
         for i, sim in enumerate(self.sims):
             su_list = self.su[i].tolist()
             for c in range(self.n_cores):

@@ -416,10 +416,16 @@ class ParallelRunner:
             processes; ``"fleet"`` batches all fleet-eligible points of
             a call into one vectorised
             :class:`~repro.sim.fleet.FleetEngine` stepped in-process,
-            falling back to the pool path for ineligible points (fault
-            plans, guards, hardware trip, series recording, sensor
-            noise) and for profiled runners. Backends produce
-            bit-identical results and identical cache keys.
+            falling back to the pool path for ineligible points (sensor
+            guards, hardware trip, series recording) and for profiled
+            runners. Stochastic points — fault plans and sensor noise —
+            are fleet-eligible: the engine replays each member's private
+            RNG streams in step order. Backends produce bit-identical
+            results and identical cache keys.
+        fleet_chunk: With the fleet backend, cap on how many eligible
+            points one :class:`FleetEngine` batch holds; larger batches
+            stream through in consecutive chunks so campaign memory
+            stays bounded. ``None`` (default) runs one unbounded batch.
 
     Determinism: each simulation derives every random stream from its own
     configuration seed, so a point's result is a pure function of the
@@ -436,6 +442,7 @@ class ParallelRunner:
         profile: bool = False,
         registry: Optional[MetricsRegistry] = None,
         backend: str = "pool",
+        fleet_chunk: Optional[int] = None,
     ):
         """Configure the pool size, cache binding and version salt.
 
@@ -451,9 +458,12 @@ class ParallelRunner:
             raise ValueError(
                 f"backend must be 'pool' or 'fleet', got {backend!r}"
             )
+        if fleet_chunk is not None and fleet_chunk < 1:
+            raise ValueError(f"fleet_chunk must be >= 1, got {fleet_chunk}")
         self.jobs = int(jobs)
         self.cache = cache
         self.backend = backend
+        self.fleet_chunk = fleet_chunk
         #: Substrate pool shared across fleet batches so traces and the
         #: thermal kernel are built once per machine description.
         self._fleet_substrates: Dict[tuple, object] = {}
@@ -623,50 +633,59 @@ class ParallelRunner:
     # -- execution backends --------------------------------------------------
 
     def _execute_fleet(self, tagged_items: Sequence[Tuple]) -> List:
-        """Run ``(key, point)`` items through one batched fleet engine.
+        """Run ``(key, point)`` items through batched fleet engines.
 
-        Fleet-ineligible points (fault plans, guards, hardware trip,
-        series recording, sensor noise) fall back to the regular
-        :meth:`_execute` path; the returned list keeps input order and
-        the exact ``_execute`` output shape, so the caller's
-        stats/caching logic is backend-agnostic. The whole batch's wall
-        time is attributed evenly across its points.
+        Fleet-ineligible points (guards, hardware trip, series
+        recording) fall back to the regular :meth:`_execute` path; the
+        returned list keeps input order and the exact ``_execute``
+        output shape, so the caller's stats/caching logic is
+        backend-agnostic. Results are collected by input *position*, so
+        duplicate points within one uncached batch each keep their own
+        output entry and span attribution. Eligible points stream
+        through the engine in ``fleet_chunk``-sized slices (one
+        unbounded batch when unset), sharing the runner's substrate
+        pool, so arbitrarily large campaigns run in bounded memory.
+        Each chunk's wall time is attributed evenly across its points.
         """
         from repro.sim.fleet import FleetEngine, fleet_blockers
 
         if not tagged_items:
             return []
-        eligible = [
-            ti for ti in tagged_items if not fleet_blockers(ti[1].config)
-        ]
-        fallback = [
-            ti for ti in tagged_items if fleet_blockers(ti[1].config)
-        ]
+        eligible: List[Tuple[int, Tuple]] = []
+        fallback: List[Tuple[int, Tuple]] = []
+        for idx, ti in enumerate(tagged_items):
+            blockers = fleet_blockers(ti[1].config)
+            (fallback if blockers else eligible).append((idx, ti))
         logger.debug(
             "fleet batch: %d eligible, %d pool-fallback",
             len(eligible),
             len(fallback),
         )
-        outputs: Dict[str, Tuple] = {}
-        if eligible:
+        outputs: List[Optional[Tuple]] = [None] * len(tagged_items)
+        chunk = self.fleet_chunk or len(eligible)
+        for lo in range(0, len(eligible), max(1, chunk)):
+            part = eligible[lo : lo + chunk]
             started = time.time()
             t0 = time.perf_counter()
             engine = FleetEngine(
-                [point for _key, point in eligible],
+                [point for _idx, (_key, point) in part],
                 substrates=self._fleet_substrates,
             )
             batch_results = engine.run()
-            per_point = (time.perf_counter() - t0) / len(eligible)
+            per_point = (time.perf_counter() - t0) / len(part)
             pid = os.getpid()
-            for (key, _point), result in zip(eligible, batch_results):
-                outputs[key] = (
+            for (idx, _ti), result in zip(part, batch_results):
+                outputs[idx] = (
                     result,
                     SpanTiming(started, per_point, pid),
                     None,
                 )
-        for (key, _point), out in self._execute(fallback, _execute_point):
-            outputs[key] = out
-        return [((key, point), outputs[key]) for key, point in tagged_items]
+        fb_items = [ti for _idx, ti in fallback]
+        for (idx, _ti), (_tag, out) in zip(
+            fallback, self._execute(fb_items, _execute_point)
+        ):
+            outputs[idx] = out
+        return list(zip(tagged_items, outputs))
 
     def _execute(self, tagged_items: Sequence[Tuple], fn: Callable) -> List:
         """Run ``fn`` over tagged work items, inline or in a pool.

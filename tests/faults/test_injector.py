@@ -112,6 +112,20 @@ class TestSensorFaults:
         inj = make(FaultPlan(faults=(DropoutFault(mode="last-good"),)))
         out = inj.apply_sensor_faults(0.0, temps(70.0))
         assert np.array_equal(out, temps(70.0))
+        # Regression: the untouched first read must not count as a
+        # faulted sample — only samples actually altered are counted.
+        assert inj.sensor_faulted_samples == 0
+
+    def test_dropout_counts_only_altered_samples(self):
+        """Once history exists, every repeated (altered) sample counts;
+        the pass-through first read never does."""
+        inj = make(
+            FaultPlan(faults=(DropoutFault(core=1, mode="last-good"),))
+        )
+        inj.apply_sensor_faults(0.0, temps(64.0))  # first read: unaltered
+        assert inj.sensor_faulted_samples == 0
+        inj.apply_sensor_faults(0.1, temps(90.0))  # both units repeated
+        assert inj.sensor_faulted_samples == 2
 
     def test_spike_deterministic_per_seed(self):
         plan = FaultPlan(faults=(SpikeFault(magnitude_c=12.0, prob=0.2),))

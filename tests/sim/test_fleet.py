@@ -172,19 +172,13 @@ class TestBatchStructureInvariance:
 class TestFleetEligibility:
     """Satellite: ineligible members are refused with a clear error."""
 
-    def test_fault_plan_blocks(self):
-        cfg = replace(CFG, fault_plan=_bench_fault_plan(CFG.duration_s))
-        assert "fault-plan" in fleet_blockers(cfg)
-        with pytest.raises(FleetIncompatibleError) as excinfo:
-            FleetEngine([(W7, None, CFG), (W7, None, cfg)])
-        assert "member 1" in str(excinfo.value)
-        assert "fault-plan" in str(excinfo.value)
-
     def test_guards_block(self):
         cfg = replace(CFG, guard=GuardConfig())
         assert "sensor-guards" in fleet_blockers(cfg)
-        with pytest.raises(FleetIncompatibleError):
-            FleetEngine([(W7, None, cfg)])
+        with pytest.raises(FleetIncompatibleError) as excinfo:
+            FleetEngine([(W7, None, CFG), (W7, None, cfg)])
+        assert "member 1" in str(excinfo.value)
+        assert "sensor-guards" in str(excinfo.value)
 
     def test_other_blockers(self):
         assert "hardware-trip" in fleet_blockers(
@@ -193,10 +187,15 @@ class TestFleetEligibility:
         assert "record-series" in fleet_blockers(
             replace(CFG, record_series=True)
         )
-        assert "sensor-noise" in fleet_blockers(
-            replace(CFG, sensor_noise_std_c=0.5)
-        )
         assert fleet_blockers(CFG) == ()
+
+    def test_stochastic_configs_are_eligible(self):
+        """Fault plans and sensor noise batch via stream replay — they
+        are no longer fleet blockers."""
+        assert fleet_blockers(
+            replace(CFG, fault_plan=_bench_fault_plan(CFG.duration_s))
+        ) == ()
+        assert fleet_blockers(replace(CFG, sensor_noise_std_c=0.5)) == ()
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError):
@@ -247,14 +246,14 @@ class TestRunnerIntegration:
         assert warm == cold
 
     def test_ineligible_points_fall_back_transparently(self):
-        """A batch mixing eligible and faulted points still returns
+        """A batch mixing eligible and guarded points still returns
         results identical to the pool path, in input order."""
-        faulted = RunPoint(
+        guarded = RunPoint(
             W7,
-            None,
-            replace(CFG, fault_plan=_bench_fault_plan(CFG.duration_s)),
+            spec_by_key("distributed-dvfs-none"),
+            replace(CFG, guard=GuardConfig()),
         )
-        points = self._points(3) + [faulted]
+        points = self._points(3) + [guarded]
         pool = ParallelRunner(jobs=1, backend="pool").run_points(points)
         fleet = ParallelRunner(jobs=1, backend="fleet").run_points(points)
         for a, b in zip(pool, fleet):
@@ -263,6 +262,124 @@ class TestRunnerIntegration:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
             ParallelRunner(backend="thread")
+
+
+class TestStochasticBitIdentity:
+    """Tentpole: stochastic members (fault plans, sensor noise) batch
+    bit-identically via per-member RNG stream replay."""
+
+    def test_severity_plans_match_scalar(self):
+        """One batch holding every robustness severity x a policy mix
+        reproduces each faulted scalar run bit for bit — metrics and
+        FaultSummary counters alike (``scalar_fields`` covers both)."""
+        from repro.experiments.robustness import SEVERITIES, severity_plan
+
+        specs = [
+            spec_by_key("distributed-dvfs-none"),
+            spec_by_key("global-stop-go-none"),
+            spec_by_key("distributed-dvfs-sensor"),
+            None,
+        ]
+        members = []
+        for sev in SEVERITIES:
+            plan = severity_plan(sev, CFG.duration_s)
+            for spec in specs:
+                members.append(
+                    (W7, spec, replace(CFG, fault_plan=plan, seed=9))
+                )
+        engine = FleetEngine(members)
+        for result, member, (_, spec, cfg) in zip(
+            engine.run(), engine.members, members
+        ):
+            assert_member_matches_scalar(result, member.sim, W7, spec, cfg)
+
+    def test_sensor_noise_matches_scalar(self):
+        """Noisy members replay the scalar per-chip noise stream: one
+        normal draw per step, only where the scalar engine would draw."""
+        spec = spec_by_key("distributed-dvfs-none")
+        members = [
+            (W7, spec, replace(CFG, sensor_noise_std_c=1.5, seed=2)),
+            (W7, None, replace(CFG, sensor_noise_std_c=1.5, seed=2)),
+            (W7, spec, replace(CFG, sensor_noise_std_c=0.25, seed=3)),
+            (W7, spec, CFG),
+        ]
+        engine = FleetEngine(members)
+        for result, member, (_, s, cfg) in zip(
+            engine.run(), engine.members, members
+        ):
+            assert_member_matches_scalar(result, member.sim, W7, s, cfg)
+
+    def test_faults_noise_and_telemetry_together(self):
+        """A faulted, noisy member with a sampler attached produces the
+        scalar run's exact telemetry series (fault counters included)."""
+        from repro.experiments.robustness import severity_plan
+
+        spec = spec_by_key("distributed-dvfs-none")
+        cfg = replace(
+            CFG,
+            fault_plan=severity_plan("severe", CFG.duration_s),
+            sensor_noise_std_c=1.0,
+            seed=13,
+        )
+        sampler = TelemetrySampler(0.5e-3)
+        (fres,) = FleetEngine([(W7, spec, cfg)], telemetry=[sampler]).run()
+        ref_sampler = TelemetrySampler(0.5e-3)
+        _, ref = scalar_run(W7, spec, cfg, telemetry=ref_sampler)
+        assert fres.faults == ref.faults
+        assert sampler.series.times == ref_sampler.series.times
+        assert sampler.series.columns == ref_sampler.series.columns
+        assert fres.telemetry == ref.telemetry
+
+
+class TestRunnerChunkingAndDuplicates:
+    """Satellites: index-keyed fleet outputs and chunked streaming."""
+
+    def test_duplicate_points_keep_distinct_outputs(self):
+        """Regression: two identical points in one uncached fleet batch
+        must each get their own output entry (results were previously
+        collected in a dict keyed by cache key, collapsing duplicates
+        and mis-attributing spans)."""
+        runner = ParallelRunner(jobs=1, cache=None, backend="fleet")
+        point = RunPoint(W7, spec_by_key("distributed-dvfs-none"), CFG)
+        out = runner._execute_fleet([("same-key", point), ("same-key", point)])
+        assert len(out) == 2
+        (tag_a, (res_a, span_a, _)), (tag_b, (res_b, span_b, _)) = out
+        assert tag_a == tag_b == ("same-key", point)
+        assert res_a is not res_b
+        assert scalar_fields(res_a) == scalar_fields(res_b)
+        assert span_a is not None and span_b is not None
+
+    def test_chunked_matches_unchunked(self):
+        """Streaming a campaign through the engine in fixed-size chunks
+        changes memory use, never results."""
+        from repro.experiments.robustness import severity_plan
+
+        specs = [None, spec_by_key("distributed-dvfs-none")]
+        points = [
+            RunPoint(
+                W7,
+                specs[i % 2],
+                replace(
+                    CFG,
+                    threshold_c=80.0 + 0.25 * i,
+                    fault_plan=severity_plan("moderate", CFG.duration_s),
+                    seed=i,
+                ),
+            )
+            for i in range(7)
+        ]
+        whole = ParallelRunner(
+            jobs=1, cache=None, backend="fleet"
+        ).run_points(points)
+        chunked = ParallelRunner(
+            jobs=1, cache=None, backend="fleet", fleet_chunk=3
+        ).run_points(points)
+        for a, b in zip(whole, chunked):
+            assert scalar_fields(a) == scalar_fields(b)
+
+    def test_fleet_chunk_validated(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(backend="fleet", fleet_chunk=0)
 
 
 # -- Hypothesis property tests (skipped when hypothesis is absent) --------
@@ -326,4 +443,77 @@ def test_property_dt_variants_match_scalar(cycles, spec_key):
     spec = spec_by_key(spec_key) if spec_key else None
     engine = FleetEngine([(W7, spec, cfg), (W7, spec, cfg)])
     for result, member in zip(engine.run(), engine.members):
+        assert_member_matches_scalar(result, member.sim, W7, spec, cfg)
+
+
+#: Stochastic fault-plan generator: dropout + spike + DVFS-reject at
+#: random severities, windows and modes — the Monte-Carlo campaign
+#: shape the stream-replay layer exists for.
+def _stochastic_plan(duration, core, drop_mode, spike_prob, reject_prob):
+    from repro.faults.models import (
+        DropoutFault,
+        DVFSRejectFault,
+        FaultPlan,
+        SpikeFault,
+    )
+
+    return FaultPlan(
+        name="property",
+        faults=(
+            DropoutFault(
+                core=core,
+                start_s=0.2 * duration,
+                end_s=0.8 * duration,
+                mode=drop_mode,
+            ),
+            SpikeFault(
+                start_s=0.0, end_s=duration,
+                magnitude_c=9.0, prob=spike_prob,
+            ),
+            DVFSRejectFault(
+                start_s=0.1 * duration, end_s=0.9 * duration,
+                prob=reject_prob,
+            ),
+        ),
+    )
+
+
+stochastic_member = st.tuples(
+    st.sampled_from(
+        ["distributed-dvfs-none", "global-dvfs-none",
+         "distributed-stop-go-none", "distributed-dvfs-sensor", None]
+    ),
+    st.integers(min_value=0, max_value=3),        # dropout core
+    st.sampled_from(["last-good", "nan"]),        # dropout mode
+    st.sampled_from([0.01, 0.05, 0.2]),           # spike prob
+    st.sampled_from([0.25, 0.5, 0.9]),            # dvfs-reject prob
+    st.integers(min_value=0, max_value=2**31 - 1),  # seed
+)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(batch=st.lists(stochastic_member, min_size=1, max_size=4))
+def test_property_stochastic_plans_match_scalar(batch):
+    """Tentpole acceptance property: any batch of members with random
+    stochastic fault plans (dropout/spike/dvfs-reject at random
+    severities and seeds) is bit-identical — metrics, FaultSummary
+    counters and telemetry — to the same points run scalar."""
+    duration = 0.006
+    members = []
+    for spec_key, core, mode, spike_p, reject_p, seed in batch:
+        spec = spec_by_key(spec_key) if spec_key else None
+        cfg = SimulationConfig(
+            duration_s=duration,
+            fault_plan=_stochastic_plan(duration, core, mode, spike_p, reject_p),
+            seed=seed,
+        )
+        members.append((W7, spec, cfg))
+    engine = FleetEngine(members)
+    for result, member, (_, spec, cfg) in zip(
+        engine.run(), engine.members, members
+    ):
         assert_member_matches_scalar(result, member.sim, W7, spec, cfg)
