@@ -1,0 +1,22 @@
+"""Load-test the serve subsystem and write ``BENCH_serve.json``.
+
+Thin script wrapper around :mod:`repro.serve.bench` so the latency
+artifact can be regenerated without pytest::
+
+    PYTHONPATH=src python benchmarks/serve_load.py               # artifact
+    PYTHONPATH=src python benchmarks/serve_load.py \
+        --check BENCH_serve.json                                 # CI gate
+    PYTHONPATH=src python benchmarks/serve_load.py \
+        --url http://127.0.0.1:8023                              # live server
+
+Identical to ``python -m repro serve-bench`` (same flags, same
+cold/warm measurement protocol); both delegate to
+:func:`repro.serve.bench.main`.
+"""
+
+import sys
+
+from repro.serve.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

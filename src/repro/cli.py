@@ -16,6 +16,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro trace gzip -o gzip.npz [-d 0.25]
     python -m repro cache [--clear]
     python -m repro bench [--short] [--check BENCH_engine.json]
+    python -m repro serve [--port 8023] [--serve-workers 4]
+    python -m repro serve-bench [--check BENCH_serve.json]
 
 ``run`` simulates one (workload, policy) pair, optionally under a JSON
 fault specification (see ``docs/MODELING.md`` section 8); ``compare``
@@ -27,7 +29,12 @@ engine's step sections per policy; ``trace`` generates and saves a
 benchmark power trace; ``cache`` inspects or clears the on-disk result
 cache; ``bench`` measures engine throughput (steps/second per policy)
 and writes — or regression-checks against — the tracked
-``BENCH_engine.json`` baseline (see ``docs/PERFORMANCE.md``).
+``BENCH_engine.json`` baseline (see ``docs/PERFORMANCE.md``);
+``serve`` runs the async thermal-simulation-as-a-service HTTP server
+(job queue + worker pool over the same runner/cache substrate) and
+``serve-bench`` load-tests one server process and writes — or
+regression-checks against — the tracked ``BENCH_serve.json`` latency
+artifact (see ``docs/SERVING.md``).
 
 Observability: ``run --events-out FILE`` exports the run's typed event
 log (DVFS transitions, stop-go trips, migrations, OS ticks, PROCHOT
@@ -269,6 +276,24 @@ def _build_parser() -> argparse.ArgumentParser:
              "or check BENCH_engine.json",
     )
     add_bench_arguments(bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async HTTP job server (thermal simulation as a "
+             "service; see docs/SERVING.md)",
+    )
+    from repro.serve.server import add_serve_arguments
+
+    add_serve_arguments(serve)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="load-test a serve process (cold vs warm cache) and write "
+             "or check BENCH_serve.json",
+    )
+    from repro.serve.bench import add_serve_bench_arguments
+
+    add_serve_bench_arguments(serve_bench)
 
     return parser
 
@@ -572,6 +597,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Timed inline runs: never touches the result cache or the
         # parallel runner (timings must come from this process).
         return run_bench(args)
+    if args.command == "serve":
+        # The server owns its runners and (sharded) cache; it must not
+        # inherit this process's default runner.
+        from repro.serve.server import run_server, serve_config_from_args
+
+        return run_server(serve_config_from_args(args))
+    if args.command == "serve-bench":
+        from repro.serve.bench import run_from_args as run_serve_bench
+
+        return run_serve_bench(args)
 
     runner = ParallelRunner(
         jobs=args.jobs,

@@ -32,6 +32,7 @@ Export formats (JSONL/CSV series, Prometheus text, Chrome trace) live in
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -39,6 +40,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 #: Fixed histogram buckets (deg C) for PI-controller error observations:
 #: error = measured - setpoint, so negative buckets are "below setpoint".
 PI_ERROR_BUCKETS_C = (-8.0, -4.0, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+#: Guards instrument mutation so multi-threaded writers (the serve
+#: subsystem's worker pool) never lose increments; uncontended acquire
+#: cost is negligible at telemetry sampling rates.
+_VALUE_LOCK = threading.Lock()
 
 
 def _label_items(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
@@ -74,10 +81,11 @@ class Counter:
         return instrument_id(self.name, self.labels)
 
     def inc(self, amount: float = 1.0) -> None:
-        """Add ``amount`` (must be >= 0) to the counter."""
+        """Add ``amount`` (must be >= 0) to the counter (thread-safe)."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0: {amount}")
-        self.value += amount
+        with _VALUE_LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -144,10 +152,11 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         """Record one observation (``le`` semantics: a value equal to a
-        bound counts toward that bound's bucket)."""
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        bound counts toward that bound's bucket). Thread-safe."""
+        with _VALUE_LOCK:
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative_counts(self) -> List[int]:
         """Cumulative counts per bound (Prometheus ``le`` semantics)."""
@@ -171,22 +180,24 @@ class MetricsRegistry:
         self._instruments: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
         self._kinds: Dict[str, str] = {}
         self._buckets: Dict[str, Tuple[float, ...]] = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, help: str, labels: Dict, **extra):
         kind = cls.kind
-        known = self._kinds.get(name)
-        if known is not None and known != kind:
-            raise ValueError(
-                f"instrument {name!r} already registered as a {known}, "
-                f"cannot re-register as a {kind}"
-            )
-        key = (name, _label_items(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = cls(name, key[1], help, **extra)
-            self._instruments[key] = instrument
-            self._kinds[name] = kind
-        return instrument
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is not None and known != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as a {known}, "
+                    f"cannot re-register as a {kind}"
+                )
+            key = (name, _label_items(labels))
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], help, **extra)
+                self._instruments[key] = instrument
+                self._kinds[name] = kind
+            return instrument
 
     def counter(self, name: str, help: str = "", **labels) -> Counter:
         """Get or create a counter."""

@@ -1,0 +1,24 @@
+"""Thermal-simulation-as-a-service: async HTTP job server and client.
+
+``repro serve`` exposes the simulation substrate over HTTP/JSON: submit
+a (sweep x workloads) job, poll it, fetch results bit-identical to a
+local :class:`~repro.sim.runner.ParallelRunner` run of the same points.
+See ``docs/SERVING.md`` for the endpoint reference and operational
+semantics.
+
+Modules:
+
+* :mod:`repro.serve.protocol` — wire schema: request validation and
+  result payload serialisation (transport-free pure data).
+* :mod:`repro.serve.jobs` — job lifecycle, the bounded priority queue
+  and the id-addressed job store.
+* :mod:`repro.serve.server` — the asyncio HTTP server, worker pool,
+  timeout/retry/drain machinery and CLI entry points.
+* :mod:`repro.serve.client` — stdlib keep-alive HTTP client.
+* :mod:`repro.serve.bench` — the cold/warm load generator behind
+  ``repro serve-bench`` and ``BENCH_serve.json``.
+"""
+
+from repro.serve.protocol import PROTOCOL_VERSION, JobRequest, ProtocolError
+
+__all__ = ["PROTOCOL_VERSION", "JobRequest", "ProtocolError"]

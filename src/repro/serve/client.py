@@ -1,0 +1,150 @@
+"""Stdlib HTTP client for the serve subsystem.
+
+A thin, dependency-free wrapper over :mod:`http.client` speaking the
+JSON protocol of :mod:`repro.serve.server`. One :class:`ServeClient`
+holds one keep-alive connection; it is *not* thread-safe — the load
+generator gives each of its threads a private client, which is exactly
+how a real pool of callers behaves.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+
+class ServeError(Exception):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, payload):
+        """Capture the HTTP status and decoded body."""
+        self.status = status
+        self.payload = payload
+        message = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServeClient:
+    """One keep-alive connection to a running serve process."""
+
+    def __init__(self, url: str, timeout_s: float = 60.0):
+        """Connect lazily to ``url`` (e.g. ``http://127.0.0.1:8023``)."""
+        parsed = urlparse(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// URLs are supported: {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager entry; returns self."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit closes the connection."""
+        self.close()
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Tuple[int, object, str]:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        data = (
+            json.dumps(body, separators=(",", ":")).encode("utf-8")
+            if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if data else {}
+        try:
+            self._conn.request(method, path, body=data, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # Stale keep-alive (server closed between requests): retry
+            # once on a fresh connection.
+            self.close()
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            self._conn.request(method, path, body=data, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            payload = json.loads(raw) if raw else None
+        else:
+            payload = raw.decode("utf-8")
+        if response.will_close:
+            self.close()
+        return response.status, payload, content_type
+
+    def _json(self, method: str, path: str, body: Optional[Dict] = None,
+              ok: Tuple[int, ...] = (200,)):
+        status, payload, _ = self._request(method, path, body)
+        if status not in ok:
+            raise ServeError(status, payload)
+        return payload
+
+    # -- API ----------------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        """Server liveness/census document."""
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/metrics``."""
+        status, payload, _ = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    def submit(self, request: Dict) -> str:
+        """Submit a job; returns its id (raises :class:`ServeError` on 4xx/5xx)."""
+        return self._json("POST", "/jobs", request, ok=(202,))["id"]
+
+    def status(self, job_id: str) -> Dict:
+        """Status document for ``job_id``."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        """Result payload for a finished job (409 while running)."""
+        return self._json("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict:
+        """Request cancellation of ``job_id``."""
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def run(self, request: Dict) -> Dict:
+        """Submit and wait: the result payload in one round trip."""
+        return self._json("POST", "/run", request)
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.05) -> Dict:
+        """Poll ``status`` until the job is terminal; returns the status.
+
+        Raises ``TimeoutError`` if the job is still live after
+        ``timeout_s``.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} "
+                    f"after {timeout_s:g} s"
+                )
+            time.sleep(poll_s)

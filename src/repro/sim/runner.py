@@ -34,6 +34,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -55,6 +56,10 @@ CACHE_FORMAT_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Orphaned ``*.tmp`` files older than this (seconds) are removed when a
+#: cache is opened; younger ones are assumed to belong to live writers.
+STALE_TMP_AGE_S = 3600.0
 
 
 # ---------------------------------------------------------------------------
@@ -183,27 +188,62 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-addressed pickle store for simulation results.
+    """Sharded, size-capped, LRU-evicting pickle store for results.
 
-    Values are written atomically (temp file + ``os.replace``) so
-    concurrent workers and concurrent runner processes can share one
-    cache directory without torn reads.
+    Entries live at ``root/<key[:2]>/<key>.pkl`` — one shard directory
+    per two-hex-digit key prefix — and are written atomically (temp file
+    + ``os.replace``) so concurrent workers and concurrent runner
+    processes can share one cache directory without torn reads. Each
+    shard has its own in-process lock, so the serve subsystem's worker
+    threads can hit disjoint shards without serialising on one mutex.
+
+    With ``max_bytes`` set, every ``put`` that takes the store over the
+    cap evicts least-recently-used entries (entry mtime is the recency
+    clock: ``put`` writes it, ``get`` bumps it with ``os.utime``) until
+    the total size is back under the cap; the just-written entry is
+    never evicted by its own put. Eviction work is accounted in
+    ``evictions`` / ``evicted_bytes``. Without ``max_bytes`` (the
+    default) nothing is ever evicted, matching the historical store.
+
+    Hygiene on open: corrupt entries are unlinked the moment a ``get``
+    fails to unpickle them (counted in ``corrupt_dropped``), and
+    orphaned ``*.tmp`` files older than ``stale_tmp_age_s`` — debris
+    from killed writers — are swept when the cache is constructed
+    (younger ones belong to live writers and are left alone).
     """
 
     def __init__(
         self,
         root: Optional[os.PathLike] = None,
         registry: Optional[MetricsRegistry] = None,
+        max_bytes: Optional[int] = None,
+        sweep_stale: bool = True,
+        stale_tmp_age_s: float = STALE_TMP_AGE_S,
     ):
         """Root the store at ``root`` (default: the user cache dir).
 
         With a ``registry``, the cache registers ``cache_hits_total`` /
-        ``cache_misses_total`` / ``cache_puts_total`` counters and keeps
-        them in step with its own ``hits``/``misses`` attributes.
+        ``cache_misses_total`` / ``cache_puts_total`` /
+        ``cache_evictions_total`` / ``cache_evicted_bytes_total``
+        counters and a ``cache_bytes`` gauge, kept in step with its own
+        ``hits``/``misses``/``evictions`` attributes.
         """
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive: {max_bytes}")
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.corrupt_dropped = 0
+        self.stale_tmp_removed = 0
+        self._shard_locks: Dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._size_lock = threading.Lock()
+        self._evict_lock = threading.Lock()
+        #: Lazily-computed total entry bytes; None until first needed.
+        self._total_bytes: Optional[int] = None
         if registry is not None:
             self._ctr_hits = registry.counter(
                 "cache_hits_total", help="result-cache lookups served from disk"
@@ -214,11 +254,34 @@ class ResultCache:
             self._ctr_puts = registry.counter(
                 "cache_puts_total", help="results written to the cache"
             )
+            self._ctr_evictions = registry.counter(
+                "cache_evictions_total",
+                help="entries evicted to stay under max_bytes",
+            )
+            self._ctr_evicted_bytes = registry.counter(
+                "cache_evicted_bytes_total",
+                help="bytes reclaimed by LRU eviction",
+            )
+            self._g_bytes = registry.gauge(
+                "cache_bytes", help="approximate bytes of cached entries"
+            )
         else:
             self._ctr_hits = self._ctr_misses = self._ctr_puts = None
+            self._ctr_evictions = self._ctr_evicted_bytes = None
+            self._g_bytes = None
+        if sweep_stale:
+            self.sweep_stale_tmp(stale_tmp_age_s)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
+
+    def _shard_lock(self, key: str) -> threading.Lock:
+        shard = key[:2]
+        with self._locks_guard:
+            lock = self._shard_locks.get(shard)
+            if lock is None:
+                lock = self._shard_locks[shard] = threading.Lock()
+            return lock
 
     def __contains__(self, key: str) -> bool:
         """Whether a value is stored under ``key``."""
@@ -230,46 +293,174 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
+    # -- size accounting ----------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate bytes of cached entries (scanned once, then tracked).
+
+        Approximate because other processes sharing the directory may
+        add or evict entries concurrently; eviction re-scans, so the
+        figure self-heals whenever the cap is enforced.
+        """
+        with self._size_lock:
+            if self._total_bytes is None:
+                self._total_bytes = self._scan_bytes()
+            return self._total_bytes
+
+    def _scan_bytes(self) -> int:
+        if not self.root.exists():
+            return 0
+        total = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _account(self, delta: int) -> None:
+        with self._size_lock:
+            if self._total_bytes is None:
+                self._total_bytes = self._scan_bytes()
+            else:
+                self._total_bytes = max(0, self._total_bytes + delta)
+            if self._g_bytes is not None:
+                self._g_bytes.set(float(self._total_bytes))
+
+    # -- store operations ---------------------------------------------------
+
     def get(self, key: str):
         """The cached value for ``key``, or ``None`` on a miss.
 
-        Corrupt or unreadable entries count as misses (and will be
-        overwritten by the next ``put``), never as errors.
+        Corrupt or unreadable entries count as misses and are unlinked
+        on the spot — a corrupt pickle would otherwise sit on disk
+        occupying space and failing every future read until the next
+        ``put`` happened to overwrite it. Hits bump the entry's mtime,
+        which is the LRU eviction clock.
         """
         path = self._path(key)
-        # pickle.load raises open-ended exception types on corrupt input
-        # (UnpicklingError, ValueError, KeyError, EOFError, ...), so any
-        # failure to read is a miss.
-        try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except Exception:
-            self.misses += 1
-            if self._ctr_misses is not None:
-                self._ctr_misses.inc()
-            return None
-        self.hits += 1
-        if self._ctr_hits is not None:
-            self._ctr_hits.inc()
-        return value
+        with self._shard_lock(key):
+            # pickle.load raises open-ended exception types on corrupt
+            # input (UnpicklingError, ValueError, KeyError, EOFError,
+            # ...), so any failure to read is a miss.
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except FileNotFoundError:
+                self.misses += 1
+                if self._ctr_misses is not None:
+                    self._ctr_misses.inc()
+                return None
+            except Exception:
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                    self.corrupt_dropped += 1
+                    self._account(-size)
+                except OSError:
+                    pass
+                self.misses += 1
+                if self._ctr_misses is not None:
+                    self._ctr_misses.inc()
+                return None
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # entry may have been concurrently evicted
+            self.hits += 1
+            if self._ctr_hits is not None:
+                self._ctr_hits.inc()
+            return value
 
     def put(self, key: str, value) -> None:
-        """Store ``value`` under ``key`` atomically."""
+        """Store ``value`` under ``key`` atomically, then enforce the cap."""
         if self._ctr_puts is not None:
             self._ctr_puts.inc()
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        with self._shard_lock(key):
+            path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(tmp)
+                previous = path.stat().st_size
             except OSError:
-                pass
-            raise
+                previous = 0
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._account(len(data) - previous)
+        if self.max_bytes is not None and self.total_bytes > self.max_bytes:
+            self._evict(protect=key)
+
+    def _evict(self, protect: Optional[str] = None) -> None:
+        """Unlink least-recently-used entries until under ``max_bytes``.
+
+        ``protect`` (the key just written) is never a victim. The pass
+        re-scans the directory, so the tracked total self-corrects
+        against concurrent writers in other processes.
+        """
+        with self._evict_lock:
+            entries = []
+            total = 0
+            for path in self.root.glob("*/*.pkl"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                total += st.st_size
+                if protect is not None and path.stem == protect:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+            entries.sort(key=lambda e: e[0])
+            for _mtime, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                with self._shard_lock(path.stem):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                total -= size
+                self.evictions += 1
+                self.evicted_bytes += size
+                if self._ctr_evictions is not None:
+                    self._ctr_evictions.inc()
+                    self._ctr_evicted_bytes.inc(size)
+            with self._size_lock:
+                self._total_bytes = total
+                if self._g_bytes is not None:
+                    self._g_bytes.set(float(total))
+
+    def sweep_stale_tmp(self, age_s: float = STALE_TMP_AGE_S) -> int:
+        """Remove orphaned ``*.tmp`` files older than ``age_s`` seconds.
+
+        Killed workers (OOM, SIGKILL, power loss) leak the temp file of
+        an in-flight ``put``; atomic publication means such debris is
+        never *read*, but it accumulates. The age gate keeps live
+        writers' temp files — which exist for milliseconds — untouched.
+        Returns how many files were removed.
+        """
+        if not self.root.exists():
+            return 0
+        cutoff = time.time() - age_s
+        removed = 0
+        for path in self.root.glob("*/*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        self.stale_tmp_removed += removed
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -278,6 +469,10 @@ class ResultCache:
             for path in self.root.glob("*/*.pkl"):
                 path.unlink(missing_ok=True)
                 n += 1
+        with self._size_lock:
+            self._total_bytes = 0
+            if self._g_bytes is not None:
+                self._g_bytes.set(0.0)
         return n
 
 
