@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Documentation checker: relative links, anchors, and CLI examples.
+
+Two failure classes this script turns from "reader finds out" into "CI
+finds out":
+
+* **Broken relative links.** Every ``[text](target)`` in the checked
+  markdown set must resolve to a file in the repository (anchored
+  links additionally need a matching heading in the target, using
+  GitHub's slug rules).
+* **Drifted CLI examples.** Every fenced ``repro ...`` /
+  ``python -m repro ...`` command line is parsed against the *actual*
+  ``repro.cli`` argument parser — a renamed flag, removed subcommand
+  or invalid preset name fails the check without running a single
+  simulation.
+
+Stdlib + the repo's own import graph only; run from the repo root:
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links and CLI examples are enforced.
+CHECKED_DOCS: Tuple[str, ...] = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/MODELING.md",
+    "docs/PERFORMANCE.md",
+    "docs/OBSERVABILITY.md",
+    "docs/SERVING.md",
+    "docs/SCENARIOS.md",
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+#: Shell variable-assignment prefix (``PYTHONPATH=src python -m repro …``).
+_ENV_PREFIX_RE = re.compile(r"^(?:[A-Za-z_][A-Za-z0-9_]*=\S+\s+)+")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def iter_links(text: str) -> Iterable[str]:
+    """All markdown link targets in ``text`` (code fences excluded)."""
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    """Broken-link/anchor error strings for one document."""
+    errors = []
+    for target in iter_links(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        ref, _, anchor = target.partition("#")
+        dest = (path.parent / ref).resolve() if ref else path
+        if ref and not dest.exists():
+            errors.append(f"{path.name}: broken link -> {target}")
+            continue
+        if anchor:
+            if dest.suffix != ".md":
+                continue
+            slugs = {
+                github_slug(m.group(1))
+                for m in map(
+                    _HEADING_RE.match, dest.read_text().splitlines()
+                )
+                if m
+            }
+            if anchor not in slugs:
+                errors.append(
+                    f"{path.name}: dead anchor -> {target} "
+                    f"(no heading slug {anchor!r} in {dest.name})"
+                )
+    return errors
+
+
+def iter_fenced_commands(text: str) -> Iterable[str]:
+    """Candidate CLI command lines from fenced code blocks.
+
+    Joins backslash continuations, strips ``$`` prompts, environment
+    prefixes and trailing ``#`` comments, and yields only lines that
+    invoke the ``repro`` CLI (``repro …`` or ``python -m repro …`` —
+    not ``python -m repro.experiments…`` module runs).
+    """
+    in_fence = False
+    pending = ""
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if _FENCE_RE.match(stripped):
+            in_fence = not in_fence
+            pending = ""
+            continue
+        if not in_fence:
+            continue
+        line = pending + stripped
+        if line.endswith("\\"):
+            pending = line[:-1] + " "
+            continue
+        pending = ""
+        if line.startswith("$"):
+            line = line[1:].strip()
+        line = _ENV_PREFIX_RE.sub("", line)
+        line = line.split("#", 1)[0].strip()
+        if line.startswith("python -m repro "):
+            yield line[len("python -m repro "):]
+        elif line.startswith("repro "):
+            yield line[len("repro "):]
+
+
+def normalise_argv(command: str) -> List[str]:
+    """Shell-split a doc example, dropping ``[optional]`` groups."""
+    command = re.sub(r"\[[^\]]*\]", "", command)
+    command = command.replace("…", "").replace("...", "")
+    return shlex.split(command)
+
+
+def check_cli_examples(path: Path, text: str, parser) -> List[str]:
+    """Unparseable-CLI-example error strings for one document."""
+    errors = []
+    for command in iter_fenced_commands(text):
+        argv = normalise_argv(command)
+        if not argv:
+            continue
+        try:
+            parser.parse_args(argv)
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                errors.append(
+                    f"{path.name}: CLI example does not parse: "
+                    f"repro {command}"
+                )
+    return errors
+
+
+def main() -> int:
+    """Run both checks over the documentation set; 0 iff clean."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    errors: List[str] = []
+    commands = 0
+    for rel in CHECKED_DOCS:
+        path = REPO_ROOT / rel
+        if not path.exists():
+            errors.append(f"checked document missing: {rel}")
+            continue
+        text = path.read_text()
+        errors.extend(check_links(path, text))
+        found = list(iter_fenced_commands(text))
+        commands += len(found)
+        errors.extend(check_cli_examples(path, text, parser))
+    if errors:
+        print(f"{len(errors)} documentation problem(s):")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print(
+        f"ok: {len(CHECKED_DOCS)} documents, all relative links resolve, "
+        f"{commands} CLI examples parse against the live parser"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@ Exposes the library's main entry points without writing Python::
 
     python -m repro list                      # workloads, policies, benchmarks
     python -m repro run -w workload7 -p distributed-dvfs-sensor -d 0.1
+    python -m repro run --scenario mesh16 -p distributed-dvfs-none -d 0.05
     python -m repro run -p dvfs-dist-none --events-out events.jsonl --profile
     python -m repro run -p global-dvfs-none --fault-spec faults.json
     python -m repro run -p dvfs-dist-none --sample-period 1e-3 --telemetry-out out/run
@@ -20,7 +21,10 @@ Exposes the library's main entry points without writing Python::
     python -m repro serve-bench [--check BENCH_serve.json]
 
 ``run`` simulates one (workload, policy) pair, optionally under a JSON
-fault specification (see ``docs/MODELING.md`` section 8); ``compare``
+fault specification (see ``docs/MODELING.md`` section 8) and optionally
+on a named chip scenario (``--scenario cmp4|mesh16|mesh64|biglittle4+4``,
+see ``docs/SCENARIOS.md``; the workload mix tiles across the scenario's
+cores); ``compare``
 runs all 12 taxonomy cells on one workload and prints the comparison;
 ``experiment`` regenerates one of the paper's tables/figures;
 ``robustness`` sweeps injected-fault severities across the policy
@@ -85,7 +89,8 @@ from repro.sim.bench import add_bench_arguments, run_from_args as run_bench
 from repro.sim.engine import SimulationConfig, run_workload
 from repro.sim.report import comparison_report, save_results
 from repro.sim.runner import ParallelRunner, ResultCache
-from repro.sim.workloads import ALL_WORKLOADS, get_workload
+from repro.scenarios import SCENARIOS, get_scenario, scenario_names
+from repro.sim.workloads import ALL_WORKLOADS, get_workload, tile_workload
 from repro.uarch.benchmarks import ALL_BENCHMARKS
 from repro.uarch.tracegen import generate_trace
 from repro.uarch.trace_io import save_trace
@@ -96,7 +101,7 @@ logger = get_logger(__name__)
 EXPERIMENTS = (
     "table1", "table5", "table6", "table7", "table8",
     "figure3", "figure5", "figure7", "ablations", "extensions",
-    "robustness",
+    "robustness", "manycore",
 )
 
 
@@ -147,6 +152,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("-d", "--duration", type=float, default=0.1,
                      help="silicon seconds to simulate")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--scenario", default=None, choices=scenario_names(),
+        help="simulate a named chip scenario (docs/SCENARIOS.md) instead "
+             "of the paper's 4-core CMP; the workload mix is tiled "
+             "across the scenario's cores",
+    )
     run.add_argument(
         "--events-out", default=None, metavar="FILE",
         help="capture the run's typed event log and write it as JSONL",
@@ -308,6 +319,15 @@ def _cmd_list() -> int:
         print(f"  {spec.key:35s} {spec.name}{marker}")
     print("\nBenchmarks (synthetic SPEC CPU2000 profiles):")
     print("  " + ", ".join(sorted(ALL_BENCHMARKS)))
+    print("\nScenarios (docs/SCENARIOS.md) — use with 'repro run --scenario':")
+    for s in SCENARIOS.values():
+        classes = "+".join(
+            sorted({c.name for c in s.core_classes})
+        )
+        print(
+            f"  {s.name:14s} {s.rows}x{s.cols} {s.topology:4s} "
+            f"{classes:12s} {s.tech.name}"
+        )
     return 0
 
 
@@ -329,6 +349,14 @@ def _cmd_run(args) -> int:
     workload = get_workload(args.workload)
     spec = None if args.policy == "none" else spec_by_key(args.policy)
     config = _config(args.duration, args.seed)
+    if args.scenario:
+        scenario = get_scenario(args.scenario)
+        config = replace(
+            config,
+            machine=scenario.machine_config(),
+            scenario=scenario,
+        )
+        workload = tile_workload(workload, scenario.n_cores)
     if args.fault_spec:
         plan, guard = load_fault_spec_file(args.fault_spec)
         config = replace(config, fault_plan=plan, guard=guard)

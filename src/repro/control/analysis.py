@@ -104,10 +104,11 @@ def closed_loop_step_response(
 def settling_time(
     response: StepResponse, band: float = 0.5
 ) -> float:
-    """Time after which the temperature stays within ``band`` degrees of
-    the setpoint (or of its final value if the setpoint is unreachable).
+    """Time after which the temperature stays within ``band`` of target.
 
-    Returns ``inf`` if the response never settles within the horizon.
+    The target is the setpoint, or the final value if the setpoint is
+    unreachable. Returns ``inf`` if the response never settles within
+    the horizon.
     """
     reference = response.setpoint
     if abs(response.final_temperature - response.setpoint) > band:

@@ -1,5 +1,4 @@
-"""Continuous-to-discrete conversion (the role MATLAB's ``c2d`` plays in
-the paper).
+"""Continuous-to-discrete conversion (MATLAB's ``c2d`` in the paper).
 
 Three methods are provided:
 

@@ -142,6 +142,7 @@ class DiscretePIController:
         initial_output: Optional[float] = None,
         record: bool = False,
     ):
+        """Validate the output band and initialise the recurrence state."""
         if not output_min < output_max:
             raise ValueError(
                 f"output_min ({output_min}) must be < output_max ({output_max})"
@@ -247,17 +248,25 @@ class PIBank:
         self,
         design: PIDesign,
         setpoints: np.ndarray,
-        output_min: float = MIN_FREQUENCY_SCALE,
+        output_min=MIN_FREQUENCY_SCALE,
         output_max: float = MAX_FREQUENCY_SCALE,
     ):
-        """One lane per element of ``setpoints``, all at ``output_max``."""
-        if not output_min < output_max:
+        """One lane per element of ``setpoints``, all at ``output_max``.
+
+        ``output_min`` may be a scalar or an array broadcastable against
+        the trailing lane axes (a ``(cores,)`` vector of per-class DVFS
+        floors under a heterogeneous scenario broadcasts against
+        ``(chips, cores)`` lanes elementwise, exactly matching a scalar
+        controller per lane with its own floor).
+        """
+        out_min = np.asarray(output_min, dtype=float)
+        if not np.all(out_min < output_max):
             raise ValueError(
                 f"output_min ({output_min}) must be < output_max ({output_max})"
             )
         self.design = design
         self.setpoints = np.asarray(setpoints, dtype=float)
-        self.output_min = float(output_min)
+        self.output_min = float(out_min) if out_min.ndim == 0 else out_min
         self.output_max = float(output_max)
         shape = self.setpoints.shape
         self.output = np.full(shape, self.output_max)

@@ -49,6 +49,7 @@ class TransferFunction:
         domain: str = CONTINUOUS,
         dt: float = 0.0,
     ):
+        """Validate, trim and normalise the coefficient arrays."""
         if domain not in (CONTINUOUS, DISCRETE):
             raise ValueError(f"domain must be 's' or 'z', got {domain!r}")
         if domain == DISCRETE and not dt > 0:
@@ -74,6 +75,7 @@ class TransferFunction:
             raise ValueError("cannot combine systems with different sample periods")
 
     def __mul__(self, other: Union["TransferFunction", Number]) -> "TransferFunction":
+        """Series composition (or scalar gain when ``other`` is a number)."""
         if isinstance(other, (int, float)):
             return TransferFunction(self.num * other, self.den, self.domain, self.dt)
         self._check_compatible(other)
@@ -87,6 +89,7 @@ class TransferFunction:
     __rmul__ = __mul__
 
     def __add__(self, other: Union["TransferFunction", Number]) -> "TransferFunction":
+        """Parallel composition over a common denominator."""
         if isinstance(other, (int, float)):
             other = TransferFunction([float(other)], [1.0], self.domain, self.dt)
         self._check_compatible(other)
@@ -137,6 +140,7 @@ class TransferFunction:
         return float(np.real(self(at)))
 
     def __repr__(self) -> str:
+        """Round-trippable constructor-style representation."""
         return (
             f"TransferFunction(num={self.num.tolist()}, den={self.den.tolist()}, "
             f"domain={self.domain!r}"

@@ -26,6 +26,7 @@ class CounterBasedMigration(MigrationPolicy):
     kind = "counter"
 
     def __init__(self, min_interval_s: float = DEFAULT_MIGRATION_PERIOD_S):
+        """Rate-limit migrations to one per ``min_interval_s`` seconds."""
         super().__init__(min_interval_s)
 
     def propose(self, ctx: MigrationContext) -> Optional[List[int]]:

@@ -42,6 +42,14 @@ class DVFSPolicy(ThrottlePolicy):
         PI design; defaults to the paper's constants at ``dt``.
     threshold_c, setpoint_margin_c:
         Emergency threshold and setpoint placement below it.
+    output_floors:
+        Optional per-core lower clips of the frequency scale (per-class
+        DVFS floors from a :mod:`repro.scenarios` tech node / core
+        class). Distributed scope gives controller ``c`` the floor of
+        core ``c``; global scope uses the most restrictive (highest)
+        floor, since one shared operating point must stay legal for
+        every core in the domain. ``None`` keeps the paper's uniform
+        ``MIN_FREQUENCY_SCALE`` clip.
     """
 
     kind = "dvfs"
@@ -54,7 +62,9 @@ class DVFSPolicy(ThrottlePolicy):
         design: Optional[PIDesign] = None,
         threshold_c: float = DEFAULT_THRESHOLD_C,
         setpoint_margin_c: float = DEFAULT_SETPOINT_MARGIN_C,
+        output_floors: Optional[Sequence[float]] = None,
     ):
+        """Build one PI controller per core (or one shared, global scope)."""
         super().__init__(n_cores, threshold_c)
         if scope not in ("global", "distributed"):
             raise ValueError(f"scope must be 'global' or 'distributed': {scope!r}")
@@ -64,9 +74,22 @@ class DVFSPolicy(ThrottlePolicy):
         self.design = design or design_paper_controller(dt)
         self.setpoint_c = self.threshold_c - setpoint_margin_c
         n_controllers = n_cores if scope == "distributed" else 1
+        if output_floors is None:
+            floors = [MIN_FREQUENCY_SCALE] * n_controllers
+        else:
+            floors = [float(f) for f in output_floors]
+            if len(floors) != n_cores:
+                raise ValueError(
+                    f"output_floors must have {n_cores} entries, "
+                    f"got {len(floors)}"
+                )
+            if scope == "global":
+                floors = [max(floors)]
         self.controllers: List[DiscretePIController] = [
-            DiscretePIController(self.design, setpoint=self.setpoint_c)
-            for _ in range(n_controllers)
+            DiscretePIController(
+                self.design, setpoint=self.setpoint_c, output_min=floors[i]
+            )
+            for i in range(n_controllers)
         ]
 
     def controller_for(self, core: int) -> DiscretePIController:
@@ -142,6 +165,7 @@ class DVFSActuator:
         min_transition: float = 0.02,
         initial_scale: float = MAX_FREQUENCY_SCALE,
     ):
+        """Validate the Table 3 constants and start at ``initial_scale``."""
         if not transition_penalty_s >= 0:
             raise ValueError(f"transition_penalty_s must be >= 0")
         if not 0 <= min_transition < 1:

@@ -137,6 +137,7 @@ class MigrationPolicy(abc.ABC):
     improvement_margin: float = 0.02
 
     def __init__(self, min_interval_s: float = DEFAULT_MIGRATION_PERIOD_S):
+        """Set up the rate limiter and decision/fault bookkeeping."""
         self._limiter = RateLimiter(min_interval_s)
         self.decisions = 0
         self.proposals_with_moves = 0

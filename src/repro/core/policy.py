@@ -30,6 +30,7 @@ class ThrottlePolicy(abc.ABC):
     kind: str = ""
 
     def __init__(self, n_cores: int, threshold_c: float = DEFAULT_THRESHOLD_C):
+        """Validate the core count and pin the emergency threshold."""
         if n_cores < 1:
             raise ValueError(f"n_cores must be >= 1: {n_cores}")
         self.n_cores = n_cores

@@ -32,6 +32,7 @@ class SensorBasedMigration(MigrationPolicy):
     kind = "sensor"
 
     def __init__(self, min_interval_s: float = DEFAULT_MIGRATION_PERIOD_S):
+        """Rate-limit migrations and start the profiling-move counter."""
         super().__init__(min_interval_s)
         self.profiling_moves = 0
 

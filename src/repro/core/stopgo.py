@@ -47,6 +47,7 @@ class StopGoPolicy(ThrottlePolicy):
         freeze_s: float = DEFAULT_FREEZE_S,
         trip_margin_c: float = DEFAULT_TRIP_MARGIN_C,
     ):
+        """Validate scope and freeze length; start with no core frozen."""
         super().__init__(n_cores, threshold_c)
         if scope not in ("global", "distributed"):
             raise ValueError(f"scope must be 'global' or 'distributed': {scope!r}")
@@ -111,8 +112,11 @@ class StopGoPolicy(ThrottlePolicy):
         return time_s < self._frozen_until[core]
 
     def average_scale(self, core: int) -> float:
-        """Duty fraction over the current window (the stop-go analogue of
-        a frequency scale, used to time-normalise thermal trends)."""
+        """Duty fraction of ``core`` over the current averaging window.
+
+        This is the stop-go analogue of a frequency scale, used to
+        time-normalise thermal trends in the outer loop.
+        """
         if self._window_steps[core] == 0:
             return 1.0
         return self._window_active[core] / self._window_steps[core]

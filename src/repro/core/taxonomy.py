@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.counter_migration import CounterBasedMigration
 from repro.core.dvfs import DVFSPolicy
@@ -140,6 +140,7 @@ def build_policy(
     n_cores: int,
     dt: float,
     threshold_c: float = DEFAULT_THRESHOLD_C,
+    core_min_scales: Optional[Sequence[float]] = None,
 ) -> Tuple[ThrottlePolicy, Optional[MigrationPolicy]]:
     """Instantiate the throttle and (optional) migration policy for a spec.
 
@@ -153,6 +154,11 @@ def build_policy(
         Control period (trace sample period) for the DVFS PI design.
     threshold_c:
         Thermal emergency threshold.
+    core_min_scales:
+        Optional per-core DVFS floors (a scenario's per-class operating
+        points, see :mod:`repro.scenarios`). Applies only to DVFS
+        throttling — stop-go is binary clock gating, not an operating
+        point. ``None`` keeps the paper's uniform 0.2 floor.
     """
     if spec.throttle is ThrottleKind.STOP_GO:
         throttle: ThrottlePolicy = StopGoPolicy(
@@ -160,7 +166,11 @@ def build_policy(
         )
     else:
         throttle = DVFSPolicy(
-            n_cores, dt=dt, scope=spec.scope.value, threshold_c=threshold_c
+            n_cores,
+            dt=dt,
+            scope=spec.scope.value,
+            threshold_c=threshold_c,
+            output_floors=core_min_scales,
         )
 
     migration: Optional[MigrationPolicy]

@@ -71,6 +71,7 @@ class GuardConfig:
     fallback_duty: float = 0.5
 
     def __post_init__(self):
+        """Validate thresholds, streak lengths and the fallback law."""
         if not self.stuck_steps >= 2:
             raise ValueError(f"stuck_steps must be >= 2: {self.stuck_steps}")
         if not self.max_plausible_c > self.min_plausible_c:
@@ -105,6 +106,7 @@ class SensorGuardBank:
     def __init__(
         self, n_cores: int, n_units: int, dt: float, config: GuardConfig
     ):
+        """Size the watchdog state for ``n_cores`` x ``n_units`` channels."""
         if n_cores < 1 or n_units < 1:
             raise ValueError("need at least one core and one unit")
         if not dt > 0:
@@ -157,8 +159,11 @@ class SensorGuardBank:
     def observe(
         self, time_s: float, readings: List[Dict[str, float]]
     ) -> List[Tuple[int, str]]:
-        """Fold one step of readings; returns ``(core, "trip"|"clear")``
-        transitions in core order (empty on steady states)."""
+        """Fold one step of readings into the watchdog state.
+
+        Returns ``(core, "trip"|"clear")`` transitions in core order
+        (empty on steady states).
+        """
         temps = np.array(
             [list(r.values()) for r in readings], dtype=float
         )

@@ -83,6 +83,7 @@ class FaultInjector:
         seed: int,
         event_log: Optional[RunEventLog] = None,
     ):
+        """Validate targets and derive one RNG stream per stochastic fault."""
         plan.validate_targets(n_cores, tuple(units))
         self.plan = plan
         self.n_cores = n_cores
@@ -270,8 +271,7 @@ class FaultInjector:
         return allow, (extra if allow else 0.0)
 
     def dvfs_gate_for(self, core: int):
-        """A per-core ``fault_gate`` callable for a
-        :class:`~repro.core.dvfs.DVFSActuator`."""
+        """A per-core ``fault_gate`` for :class:`~repro.core.dvfs.DVFSActuator`."""
 
         def gate(time_s: float, requested: float, current: float):
             return self.dvfs_request(time_s, core, requested, current)

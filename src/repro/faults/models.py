@@ -101,6 +101,7 @@ class StuckAtFault(_WindowedFault):
     value_c: Optional[float] = None
 
     def __post_init__(self):
+        """Validate the activation window and target."""
         _check_window(self.start_s, self.end_s)
         _check_core(self.core)
 
@@ -125,6 +126,7 @@ class DropoutFault(_WindowedFault):
     mode: str = "last-good"
 
     def __post_init__(self):
+        """Validate the window, target, probability and mode."""
         _check_window(self.start_s, self.end_s)
         _check_core(self.core)
         _check_prob(self.prob)
@@ -135,14 +137,17 @@ class DropoutFault(_WindowedFault):
 
     @property
     def stochastic(self) -> bool:
+        """Random unless ``prob == 1`` (then every read drops)."""
         return self.prob < 1.0
 
 
 @dataclass(frozen=True)
 class DriftFault(_WindowedFault):
-    """Calibration drifts linearly: ``rate_c_per_s x (t - start_s)`` is
-    added to the reading while the window is open (Rotem et al. observe
-    exactly this slow walk in shipping diodes)."""
+    """Calibration drifts linearly while the window is open.
+
+    ``rate_c_per_s x (t - start_s)`` is added to the reading (Rotem et
+    al. observe exactly this slow walk in shipping diodes).
+    """
 
     kind: ClassVar[str] = "drift"
 
@@ -153,14 +158,18 @@ class DriftFault(_WindowedFault):
     rate_c_per_s: float = 1.0
 
     def __post_init__(self):
+        """Validate the activation window and target."""
         _check_window(self.start_s, self.end_s)
         _check_core(self.core)
 
 
 @dataclass(frozen=True)
 class SpikeFault(_WindowedFault):
-    """Transient spikes: with probability ``prob`` per read, a channel
-    reading is displaced by ``magnitude_c`` (negative for cold spikes)."""
+    """Transient spikes displacing a reading by ``magnitude_c``.
+
+    Each read inside the window is displaced independently with
+    probability ``prob`` (negative magnitudes model cold spikes).
+    """
 
     kind: ClassVar[str] = "spike"
 
@@ -172,19 +181,24 @@ class SpikeFault(_WindowedFault):
     prob: float = 0.01
 
     def __post_init__(self):
+        """Validate the window, target and probability."""
         _check_window(self.start_s, self.end_s)
         _check_core(self.core)
         _check_prob(self.prob)
 
     @property
     def stochastic(self) -> bool:
+        """Always random: each read draws its own spike decision."""
         return True
 
 
 @dataclass(frozen=True)
 class CalibrationStepFault(_WindowedFault):
-    """A fixed offset appears at ``start_s`` (a calibration step, e.g.
-    after a supply-voltage change disturbs the diode bias)."""
+    """A fixed offset appearing at ``start_s``.
+
+    Models a calibration step, e.g. after a supply-voltage change
+    disturbs the diode bias.
+    """
 
     kind: ClassVar[str] = "calibration-step"
 
@@ -195,6 +209,7 @@ class CalibrationStepFault(_WindowedFault):
     offset_c: float = -3.0
 
     def __post_init__(self):
+        """Validate the activation window and target."""
         _check_window(self.start_s, self.end_s)
         _check_core(self.core)
 
@@ -206,9 +221,11 @@ class CalibrationStepFault(_WindowedFault):
 
 @dataclass(frozen=True)
 class DVFSRejectFault(_WindowedFault):
-    """A requested DVFS transition is rejected with probability ``prob``:
-    the PLL stays at its current operating point and no penalty is paid
-    (the request was simply lost)."""
+    """A requested DVFS transition is rejected with probability ``prob``.
+
+    The PLL stays at its current operating point and no penalty is paid
+    (the request was simply lost).
+    """
 
     kind: ClassVar[str] = "dvfs-reject"
 
@@ -218,19 +235,24 @@ class DVFSRejectFault(_WindowedFault):
     prob: float = 1.0
 
     def __post_init__(self):
+        """Validate the window, target and probability."""
         _check_window(self.start_s, self.end_s)
         _check_core(self.core)
         _check_prob(self.prob)
 
     @property
     def stochastic(self) -> bool:
+        """Random unless ``prob == 1`` (then every request is lost)."""
         return self.prob < 1.0
 
 
 @dataclass(frozen=True)
 class DVFSLatencyFault(_WindowedFault):
-    """Accepted DVFS transitions stall the core for an extra
-    ``extra_penalty_s`` on top of the nominal PLL re-lock penalty."""
+    """Accepted DVFS transitions stall the core for extra time.
+
+    ``extra_penalty_s`` is added on top of the nominal PLL re-lock
+    penalty.
+    """
 
     kind: ClassVar[str] = "dvfs-latency"
 
@@ -240,6 +262,7 @@ class DVFSLatencyFault(_WindowedFault):
     extra_penalty_s: float = 40e-6
 
     def __post_init__(self):
+        """Validate the window, target and penalty sign."""
         _check_window(self.start_s, self.end_s)
         _check_core(self.core)
         if not self.extra_penalty_s >= 0:
@@ -250,8 +273,10 @@ class DVFSLatencyFault(_WindowedFault):
 
 @dataclass(frozen=True)
 class MigrationDropFault(_WindowedFault):
-    """An OS migration request is dropped in delivery with probability
-    ``prob``: the scheduler believes it migrated, but no thread moves."""
+    """An OS migration request is dropped with probability ``prob``.
+
+    The scheduler believes it migrated, but no thread moves.
+    """
 
     kind: ClassVar[str] = "migration-drop"
 
@@ -260,11 +285,13 @@ class MigrationDropFault(_WindowedFault):
     prob: float = 1.0
 
     def __post_init__(self):
+        """Validate the window and probability."""
         _check_window(self.start_s, self.end_s)
         _check_prob(self.prob)
 
     @property
     def stochastic(self) -> bool:
+        """Random unless ``prob == 1`` (then every request is dropped)."""
         return self.prob < 1.0
 
 
@@ -321,6 +348,7 @@ class FaultPlan:
     name: str = ""
 
     def __post_init__(self):
+        """Reject plans containing unregistered fault models."""
         for fault in self.faults:
             if type(fault) not in FAULT_REGISTRY.values():
                 raise TypeError(
@@ -412,8 +440,11 @@ class FaultPlan:
 
     @staticmethod
     def from_json_file(path: os.PathLike) -> "FaultPlan":
-        """Load a plan from a JSON spec file (``guards`` section ignored;
-        see :func:`~repro.faults.plan_from_file`)."""
+        """Load a plan from a JSON spec file.
+
+        Any ``guards`` section is ignored here; see
+        :func:`~repro.faults.plan_from_file` for the combined loader.
+        """
         with open(path, "r", encoding="utf-8") as fh:
             return FaultPlan.from_spec(json.load(fh))
 
@@ -425,9 +456,9 @@ class FaultPlan:
 
 @dataclass(frozen=True)
 class FaultSummary:
-    """Fault-injection and guard accounting attached to a
-    :class:`~repro.sim.results.RunResult`.
+    """Fault-injection and guard accounting on a run result.
 
+    Attached to :class:`~repro.sim.results.RunResult`;
     ``None`` on the result when the run had neither a fault plan nor a
     guard configuration, keeping un-faulted results identical to the
     pre-fault engine's.

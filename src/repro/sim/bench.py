@@ -116,6 +116,11 @@ class BenchCase:
             stepping. ``steps_per_second`` then counts total engine
             steps across the batch, so fleet/pool ratios equal
             sweep-point throughput ratios.
+        scenario: Named preset from :mod:`repro.scenarios` the case runs
+            on (``None`` = the paper's 4-core chip). The workload mix is
+            tiled across the scenario's cores; sweep-backend scenario
+            cases use the shorter :data:`MANYCORE_SWEEP_THRESHOLDS`
+            grid to bound many-core runtime.
     """
 
     key: str
@@ -127,6 +132,7 @@ class BenchCase:
     sample_period_s: Optional[float] = None
     record_series: bool = False
     backend: Optional[str] = None
+    scenario: Optional[str] = None
 
 
 ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
@@ -236,6 +242,32 @@ ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
         "through the process-pool ParallelRunner",
         backend="pool",
     ),
+    # Many-core scenario cases (docs/SCENARIOS.md): the mesh16 and
+    # big.LITTLE chips through both backends, on the shorter manycore
+    # threshold grid. Excluded from the --short CI gate (short=False):
+    # tracked for trend data via the full `repro bench` suite.
+    BenchCase(
+        "fleet-mesh16-dvfs", "distributed-dvfs-none", SWEEP_RUN_S, False,
+        False,
+        "PI-DVFS threshold sweep on the 16-core mesh scenario batched "
+        "through the fleet engine (one shared 193-block kernel)",
+        backend="fleet", scenario="mesh16",
+    ),
+    BenchCase(
+        "pool-mesh16-dvfs", "distributed-dvfs-none", SWEEP_RUN_S, False,
+        False,
+        "the same mesh16 PI-DVFS sweep, one engine per point through "
+        "the process-pool ParallelRunner",
+        backend="pool", scenario="mesh16",
+    ),
+    BenchCase(
+        "fleet-biglittle-dvfs", "distributed-dvfs-none", SWEEP_RUN_S,
+        False, False,
+        "PI-DVFS threshold sweep on the heterogeneous big.LITTLE chip "
+        "batched through the fleet engine (per-class DVFS floors in "
+        "the PI bank)",
+        backend="fleet", scenario="biglittle4+4",
+    ),
 )
 
 #: Trip-threshold values (deg C) swept by the backend-contrast cases;
@@ -245,6 +277,13 @@ ENGINE_BENCH_CASES: Tuple[BenchCase, ...] = (
 #: where the fleet's shared-cost amortization pays off.
 SWEEP_THRESHOLDS: Tuple[float, ...] = tuple(
     80.0 + 0.125 * i for i in range(64)
+)
+
+#: Shorter grid for many-core scenario sweeps: each point costs ~4-16x
+#: a 4-core point (more blocks, more cores), so 16 points keep the
+#: cases tractable while still amortizing the fleet's shared setup.
+MANYCORE_SWEEP_THRESHOLDS: Tuple[float, ...] = tuple(
+    80.0 + 0.5 * i for i in range(16)
 )
 
 
@@ -274,6 +313,35 @@ def _bench_fault_plan(duration_s: float) -> FaultPlan:
     )
 
 
+def _case_scenario_kwargs(case: BenchCase) -> Dict:
+    """Scenario-dependent ``SimulationConfig`` kwargs for ``case``."""
+    if case.scenario is None:
+        return {}
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario(case.scenario)
+    return {"machine": scenario.machine_config(), "scenario": scenario}
+
+
+def _case_workload(case: BenchCase):
+    """The (scenario-tiled) workload ``case`` runs."""
+    from repro.sim.workloads import get_workload, tile_workload
+
+    workload = get_workload("workload7")
+    if case.scenario is None:
+        return workload
+    from repro.scenarios import get_scenario
+
+    return tile_workload(workload, get_scenario(case.scenario).n_cores)
+
+
+def case_thresholds(case: BenchCase) -> Tuple[float, ...]:
+    """The threshold grid a sweep-backend case sweeps."""
+    if case.scenario is not None:
+        return MANYCORE_SWEEP_THRESHOLDS
+    return SWEEP_THRESHOLDS
+
+
 def case_config(case: BenchCase) -> SimulationConfig:
     """The :class:`SimulationConfig` a case runs under."""
     kwargs = {"duration_s": case.duration_s}
@@ -281,21 +349,22 @@ def case_config(case: BenchCase) -> SimulationConfig:
         kwargs["fault_plan"] = _bench_fault_plan(case.duration_s)
     if case.record_series:
         kwargs["record_series"] = True
+    kwargs.update(_case_scenario_kwargs(case))
     return SimulationConfig(**kwargs)
 
 
 def sweep_case_points(case: BenchCase) -> List["RunPoint"]:
     """The point batch a sweep-backend case runs each round."""
     from repro.sim.runner import RunPoint
-    from repro.sim.workloads import get_workload
 
     if case.backend is None:
         raise ValueError(f"{case.key} is not a sweep-backend case")
-    workload = get_workload("workload7")
+    workload = _case_workload(case)
     spec = spec_by_key(case.spec_key) if case.spec_key else None
     kwargs = {}
     if case.faulted:
         kwargs["fault_plan"] = _bench_fault_plan(case.duration_s)
+    kwargs.update(_case_scenario_kwargs(case))
     return [
         RunPoint(
             workload,
@@ -307,21 +376,20 @@ def sweep_case_points(case: BenchCase) -> List["RunPoint"]:
                 **kwargs,
             ),
         )
-        for threshold in SWEEP_THRESHOLDS
+        for threshold in case_thresholds(case)
     ]
 
 
 def build_simulator(case: BenchCase) -> ThermalTimingSimulator:
     """A fresh simulator for one benchmark round of ``case``."""
     from repro.obs.telemetry import TelemetrySampler
-    from repro.sim.workloads import get_workload
 
     if case.backend is not None:
         raise ValueError(
             f"{case.key} is a sweep-backend case; it has no single "
             "simulator (see sweep_case_points)"
         )
-    workload = get_workload("workload7")
+    workload = _case_workload(case)
     spec = spec_by_key(case.spec_key) if case.spec_key else None
     telemetry = (
         TelemetrySampler(case.sample_period_s)
@@ -336,14 +404,14 @@ def build_simulator(case: BenchCase) -> ThermalTimingSimulator:
 def case_steps(case: BenchCase) -> int:
     """Engine steps one round of ``case`` simulates.
 
-    Sweep-backend cases count the whole 64-point batch, not one run.
+    Sweep-backend cases count the whole point batch, not one run.
     """
-    config = SimulationConfig(duration_s=case.duration_s)
+    config = case_config(case)
     per_run = max(
         1, int(round(case.duration_s / config.machine.sample_period_s))
     )
     if case.backend is not None:
-        return per_run * len(SWEEP_THRESHOLDS)
+        return per_run * len(case_thresholds(case))
     return per_run
 
 
@@ -453,8 +521,9 @@ def run_suite(
             "sample_period_s": case.sample_period_s,
             "record_series": case.record_series,
             "backend": case.backend,
+            "scenario": case.scenario,
             "sweep_points": (
-                len(SWEEP_THRESHOLDS) if case.backend is not None else None
+                len(case_thresholds(case)) if case.backend is not None else None
             ),
             "simulated_steps": result.simulated_steps,
             "steps_per_second": round(result.steps_per_second, 1),

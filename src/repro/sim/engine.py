@@ -46,6 +46,7 @@ from repro.obs.logconfig import get_logger
 from repro.obs.profiler import NULL_PROFILER, StepProfiler
 from repro.obs.telemetry import TelemetrySampler
 from repro.osmodel.timer import DEFAULT_MIGRATION_PERIOD_S, PeriodicTimer
+from repro.scenarios import Scenario
 from repro.sim.metrics import EMERGENCY_TOLERANCE_C, MetricsAccumulator
 from repro.sim.results import RunResult, TimeSeries
 from repro.sim.workloads import Workload
@@ -133,9 +134,25 @@ class SimulationConfig:
     #: ``docs/PERFORMANCE.md`` — so this exists for equivalence testing
     #: and debugging, not for correctness.
     fuse_steps: bool = True
+    #: Declarative chip description (see :mod:`repro.scenarios`): mesh or
+    #: row topology, per-core classes (area/layout/power/DVFS floor) and
+    #: technology node (clock, DVFS ladder, leakage physics). ``None``
+    #: keeps the paper's hard-wired 4-core path bit-identical. Like every
+    #: config field, a scenario hashes into the result-cache key.
+    scenario: Optional["Scenario"] = None
 
     def __post_init__(self):
         """Reject non-physical durations, scales and thresholds."""
+        if (
+            self.scenario is not None
+            and self.scenario.n_cores != self.machine.n_cores
+        ):
+            raise ValueError(
+                f"scenario {self.scenario.name!r} has "
+                f"{self.scenario.n_cores} cores but machine.n_cores is "
+                f"{self.machine.n_cores}; build the machine via "
+                "Scenario.machine_config()"
+            )
         if not self.duration_s > 0:
             raise ValueError(f"duration_s must be positive: {self.duration_s}")
         if not self.trace_duration_s > 0:
@@ -235,20 +252,45 @@ class ThermalTimingSimulator:
                 self.floorplan, substrate.package, self.dt, kernel=substrate.kernel
             )
         else:
-            self.floorplan = build_cmp_floorplan(
-                machine.n_cores, core_sizes_mm=self.config.core_sizes_mm
+            scenario = self.config.scenario
+            self.floorplan = (
+                scenario.build_floorplan()
+                if scenario is not None
+                else build_cmp_floorplan(
+                    machine.n_cores, core_sizes_mm=self.config.core_sizes_mm
+                )
             )
             self.thermal = ThermalModel(self.floorplan, self.config.package, self.dt)
         power_model = PowerModel(machine, scale=self.config.power_scale)
-        self.leakage = LeakageModel(
-            self.floorplan, power_model.reference_leakage_w
-        )
+        scenario = self.config.scenario
+        if scenario is not None:
+            self.leakage = LeakageModel(
+                self.floorplan,
+                power_model.reference_leakage_w,
+                beta=scenario.tech.leakage_beta,
+                t_ref_c=scenario.tech.leakage_t_ref_c,
+            )
+        else:
+            self.leakage = LeakageModel(
+                self.floorplan, power_model.reference_leakage_w
+            )
         self._power_model = power_model
 
-        # Traces and processes.
+        # Traces and processes. A scenario scales each core's dynamic
+        # power by its class (a LITTLE core's thread burns a fraction of
+        # a big core's watts); the scale binds to the thread's home core
+        # at t=0 and migrates with the thread (see docs/SCENARIOS.md).
+        if scenario is not None:
+            core_scales = [
+                self.config.power_scale * s
+                for s in scenario.core_power_scales()
+            ]
+        else:
+            core_scales = [self.config.power_scale] * self.n_cores
         if substrate is not None:
             traces = [
-                substrate.trace(entry, self.config) for entry in self._profiles
+                substrate.trace(entry, self.config, power_scale=core_scales[i])
+                for i, entry in enumerate(self._profiles)
             ]
         else:
             traces = [
@@ -257,9 +299,9 @@ class ThermalTimingSimulator:
                     machine,
                     duration_s=self.config.trace_duration_s,
                     seed=self.config.seed,
-                    power_scale=self.config.power_scale,
+                    power_scale=core_scales[i],
                 )
-                for entry in self._profiles
+                for i, entry in enumerate(self._profiles)
             ]
         processes = [
             Process(pid=i, benchmark=name, trace=trace)
@@ -273,7 +315,13 @@ class ThermalTimingSimulator:
             self.migration: Optional[MigrationPolicy] = None
         else:
             self.throttle, self.migration = build_policy(
-                spec, self.n_cores, self.dt, threshold_c=self.config.threshold_c
+                spec,
+                self.n_cores,
+                self.dt,
+                threshold_c=self.config.threshold_c,
+                core_min_scales=(
+                    scenario.core_min_scales() if scenario is not None else None
+                ),
             )
         self.actuators = [
             DVFSActuator(
@@ -1418,10 +1466,10 @@ class EngineSubstrate:
     bit-identical to standalone ones.
 
     A substrate is compatible with a :class:`SimulationConfig` iff the
-    machine, package and core sizes agree (:meth:`matches`); per-run
-    knobs (duration, threshold, seed, power scale, trace duration) vary
-    freely — traces are cached per (benchmark, trace duration, seed,
-    power scale).
+    machine, package, core sizes and scenario agree (:meth:`matches`);
+    per-run knobs (duration, threshold, seed, power scale, trace
+    duration) vary freely — traces are cached per (benchmark, trace
+    duration, seed, effective power scale).
     """
 
     def __init__(
@@ -1429,13 +1477,19 @@ class EngineSubstrate:
         machine: Optional[MachineConfig] = None,
         package: ThermalPackage = HIGH_PERFORMANCE_PACKAGE,
         core_sizes_mm: Optional[Tuple[float, ...]] = None,
+        scenario: Optional[Scenario] = None,
     ):
         """Build the floorplan and factor the thermal kernel once."""
         self.machine = machine if machine is not None else MachineConfig()
         self.package = package
         self.core_sizes_mm = core_sizes_mm
-        self.floorplan = build_cmp_floorplan(
-            self.machine.n_cores, core_sizes_mm=core_sizes_mm
+        self.scenario = scenario
+        self.floorplan = (
+            scenario.build_floorplan()
+            if scenario is not None
+            else build_cmp_floorplan(
+                self.machine.n_cores, core_sizes_mm=core_sizes_mm
+            )
         )
         self.kernel = ThermalKernel(self.floorplan, package)
         # Pre-warm the propagator every simulator on this machine needs.
@@ -1446,7 +1500,12 @@ class EngineSubstrate:
     @classmethod
     def for_config(cls, config: SimulationConfig) -> "EngineSubstrate":
         """A substrate matching ``config``'s machine description."""
-        return cls(config.machine, config.package, config.core_sizes_mm)
+        return cls(
+            config.machine,
+            config.package,
+            config.core_sizes_mm,
+            scenario=config.scenario,
+        )
 
     def matches(self, config: SimulationConfig) -> bool:
         """Whether this substrate can build simulators for ``config``."""
@@ -1454,6 +1513,7 @@ class EngineSubstrate:
             config.machine == self.machine
             and config.package == self.package
             and config.core_sizes_mm == self.core_sizes_mm
+            and config.scenario == self.scenario
         )
 
     def check(self, config: SimulationConfig) -> None:
@@ -1461,28 +1521,33 @@ class EngineSubstrate:
         if not self.matches(config):
             raise ValueError(
                 "EngineSubstrate does not match the run config: the "
-                "machine, package and core_sizes_mm must all be equal"
+                "machine, package, core_sizes_mm and scenario must all "
+                "be equal"
             )
 
-    def trace(self, entry, config: SimulationConfig):
+    def trace(self, entry, config: SimulationConfig, power_scale=None):
         """The (cached) power trace for one benchmark under ``config``.
 
-        Only string benchmark names are cached; profile objects (the SMT
-        extension) are regenerated per call.
+        ``power_scale`` overrides the config's chip-level scale (the
+        engine passes per-core effective scales under a scenario);
+        ``None`` uses ``config.power_scale``. Only string benchmark
+        names are cached; profile objects (the SMT extension) are
+        regenerated per call.
         """
+        scale = config.power_scale if power_scale is None else power_scale
         if not isinstance(entry, str):
             return generate_trace(
                 entry,
                 self.machine,
                 duration_s=config.trace_duration_s,
                 seed=config.seed,
-                power_scale=config.power_scale,
+                power_scale=scale,
             )
         key = (
             entry,
             float(config.trace_duration_s),
             int(config.seed),
-            float(config.power_scale),
+            float(scale),
         )
         trace = self._traces.get(key)
         if trace is None:
@@ -1491,7 +1556,7 @@ class EngineSubstrate:
                 self.machine,
                 duration_s=config.trace_duration_s,
                 seed=config.seed,
-                power_scale=config.power_scale,
+                power_scale=scale,
             )
             self._traces[key] = trace
         return trace

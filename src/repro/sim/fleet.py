@@ -231,11 +231,17 @@ class FleetEngine:
     # -- assembly ----------------------------------------------------------
 
     def _substrate_for(self, config: SimulationConfig) -> EngineSubstrate:
-        """The shared substrate for a config's machine description."""
+        """The shared substrate for a config's machine description.
+
+        The key carries the scenario, so a batch mixing chip scenarios
+        (e.g. a mesh16 sweep next to a biglittle4+4 sweep) builds one
+        ThermalKernel per scenario and groups members accordingly.
+        """
         key = (
             repr(config.machine),
             repr(config.package),
             repr(config.core_sizes_mm),
+            repr(config.scenario),
         )
         substrate = self._substrates.get(key)
         if substrate is None:
@@ -275,12 +281,13 @@ class FleetEngine:
             )
         extra: tuple = ()
         if kind == "dvfs":
-            ctrl = throttle.controllers[0]
-            extra = (
-                ctrl.design.b0,
-                ctrl.design.b1,
-                ctrl.output_min,
-                ctrl.output_max,
+            # Per-controller, not just controllers[0]: a scenario's
+            # per-class DVFS floors give distributed controllers
+            # heterogeneous output_min values, and members may only be
+            # batched when their whole floor vector matches.
+            extra = tuple(
+                (c.design.b0, c.design.b1, c.output_min, c.output_max)
+                for c in throttle.controllers
             )
         return (
             id(sim._substrate),
@@ -576,12 +583,25 @@ class _StepwiseGroup(_GroupBase):
                 setpoints = np.array(
                     [[s.throttle.setpoint_c] * C for s in sims]
                 )
+                # Per-class DVFS floors (scenario chips) give each core's
+                # controller its own output_min; the group key guarantees
+                # every member shares this vector, so a (C,) floor array
+                # broadcasts against the (m, C) lane prefix exactly like
+                # one scalar controller per lane. Homogeneous floors keep
+                # the scalar fast path.
+                floors = [c.output_min for c in pol.controllers]
+                out_min = (
+                    ctrl0.output_min
+                    if all(f == ctrl0.output_min for f in floors)
+                    else np.array(floors)
+                )
             else:
                 setpoints = np.array([s.throttle.setpoint_c for s in sims])
+                out_min = ctrl0.output_min
             self.bank = PIBank(
                 ctrl0.design,
                 setpoints,
-                output_min=ctrl0.output_min,
+                output_min=out_min,
                 output_max=ctrl0.output_max,
             )
             for i, s in enumerate(sims):

@@ -16,10 +16,15 @@ from repro.util.rng import RngStream
 
 @dataclass(frozen=True)
 class Workload:
-    """A named four-program mix."""
+    """A named program mix — one benchmark per core.
+
+    Table 4's workloads are four-program mixes for the paper's 4-core
+    chip; :func:`tile_workload` replicates a mix across larger scenario
+    chips (mesh16, mesh64, ...).
+    """
 
     name: str
-    benchmarks: Tuple[str, str, str, str]
+    benchmarks: Tuple[str, ...]
 
     def __post_init__(self):
         """Reject workloads naming unknown benchmarks."""
@@ -88,6 +93,26 @@ def get_workload(name: str) -> Workload:
 def workload_names() -> List[str]:
     """All workload names in Table 4 order."""
     return [w.name for w in ALL_WORKLOADS]
+
+
+def tile_workload(workload: Workload, n_cores: int) -> Workload:
+    """Replicate a mix across ``n_cores`` cores by cycling its programs.
+
+    A Table 4 four-program mix tiles onto a 16-core mesh as four copies
+    of itself, core ``i`` running program ``i mod 4`` — so the mix ratio
+    (e.g. IIFF) is preserved at every scale. Returns the input unchanged
+    when it already has ``n_cores`` programs; the tiled name is
+    ``"{name}x{n_cores}"``.
+    """
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    if len(workload.benchmarks) == n_cores:
+        return workload
+    picks = tuple(
+        workload.benchmarks[i % len(workload.benchmarks)]
+        for i in range(n_cores)
+    )
+    return Workload(f"{workload.name}x{n_cores}", picks)
 
 
 def random_workload(seed: int, name: Optional[str] = None) -> Workload:

@@ -52,6 +52,14 @@ _CORE_LAYOUT: Dict[str, Tuple[float, float, float, float]] = {
     "fpu": (0.61, 0.65, 0.39, 0.35),
 }
 
+#: A core layout as immutable ``(unit, (x, y, w, h))`` items — the
+#: hashable form scenario tables carry (dicts cannot live in frozen
+#: dataclasses or memoisation keys).
+LayoutItems = Tuple[Tuple[str, Tuple[float, float, float, float]], ...]
+
+#: The paper's out-of-order core layout in :data:`LayoutItems` form.
+DEFAULT_CORE_LAYOUT: LayoutItems = tuple(_CORE_LAYOUT.items())
+
 #: Default core edge length (mm) for the 90 nm 4-core chip.
 DEFAULT_CORE_SIZE_MM = 4.0
 
@@ -60,6 +68,12 @@ XBAR_HEIGHT_MM = 0.8
 
 #: Height (mm) of the shared L2 region (4 MB, spanning the chip width).
 L2_HEIGHT_MM = 5.2
+
+#: Height (mm) of one mesh tile's private L2 bank.
+MESH_L2_HEIGHT_MM = 1.6
+
+#: Width (mm) of the mesh NoC spine (the single ``xbar`` block).
+MESH_NOC_WIDTH_MM = 0.8
 
 
 def core_block_name(core_index: int, unit: str) -> str:
@@ -79,14 +93,47 @@ def parse_block_name(name: str) -> Tuple[int, str]:
     return -1, name
 
 
+def _layout_items(
+    layout: object,
+) -> LayoutItems:
+    """Normalise a core layout (mapping or items) into :data:`LayoutItems`.
+
+    Validates that the layout covers exactly :data:`CORE_UNITS` so every
+    core, whatever its class, exposes the same block-name contract the
+    engine's power-index partition relies on.
+    """
+    if hasattr(layout, "items"):
+        items = tuple(
+            (str(u), tuple(float(v) for v in box))
+            for u, box in layout.items()  # type: ignore[attr-defined]
+        )
+    else:
+        items = tuple(
+            (str(u), tuple(float(v) for v in box)) for u, box in layout
+        )
+    if tuple(sorted(u for u, _ in items)) != tuple(sorted(CORE_UNITS)):
+        raise ValueError(
+            "core layout must define exactly the units "
+            f"{sorted(CORE_UNITS)}, got {sorted(u for u, _ in items)}"
+        )
+    return items  # type: ignore[return-value]
+
+
 def build_core_floorplan(
     core_size_mm: float = DEFAULT_CORE_SIZE_MM,
     origin: Tuple[float, float] = (0.0, 0.0),
     prefix: str = "",
+    layout: Optional[LayoutItems] = None,
 ) -> Floorplan:
-    """One out-of-order core, optionally name-prefixed and translated."""
+    """One out-of-order core, optionally name-prefixed and translated.
+
+    ``layout`` selects an alternative fractional unit layout (e.g. the
+    cache-heavy efficiency-core plan from :mod:`repro.scenarios`); the
+    default is the paper's out-of-order plan.
+    """
     if not core_size_mm > 0:
         raise ValueError(f"core_size_mm must be positive, got {core_size_mm}")
+    items = DEFAULT_CORE_LAYOUT if layout is None else _layout_items(layout)
     ox, oy = origin
     blocks = [
         Block(
@@ -96,23 +143,44 @@ def build_core_floorplan(
             fw * core_size_mm,
             fh * core_size_mm,
         )
-        for unit, (fx, fy, fw, fh) in _CORE_LAYOUT.items()
+        for unit, (fx, fy, fw, fh) in items
     ]
     return Floorplan(blocks)
 
 
 #: Memoised chips: geometry construction is pure and every simulator run
 #: rebuilds the same default plan, so identical parameters share one
-#: (immutable by convention) Floorplan instance.
-_CMP_CACHE: Dict[
-    Tuple[int, float, Optional[Tuple[float, ...]]], Floorplan
-] = {}
+#: (immutable by convention) Floorplan instance. Keys carry every
+#: geometry-affecting parameter — two scenarios sharing ``n_cores`` but
+#: differing in sizes or per-core layouts must never alias one plan.
+_CMP_CACHE: Dict[Tuple, Floorplan] = {}
+
+#: Memoised mesh chips, keyed on the full (rows, cols, per-tile
+#: size+layout) geometry — same aliasing rule as :data:`_CMP_CACHE`.
+_MESH_CACHE: Dict[Tuple, Floorplan] = {}
+
+
+def _layouts_key(
+    n_cores: int, core_layouts: Optional[Sequence[Optional[LayoutItems]]]
+) -> Optional[Tuple]:
+    """Hashable per-core layout component of a floorplan memo key."""
+    if core_layouts is None:
+        return None
+    layouts = list(core_layouts)
+    if len(layouts) != n_cores:
+        raise ValueError(
+            f"core_layouts must have {n_cores} entries, got {len(layouts)}"
+        )
+    return tuple(
+        None if lay is None else _layout_items(lay) for lay in layouts
+    )
 
 
 def build_cmp_floorplan(
     n_cores: int = 4,
     core_size_mm: float = DEFAULT_CORE_SIZE_MM,
     core_sizes_mm: Optional[Sequence[float]] = None,
+    core_layouts: Optional[Sequence[Optional[LayoutItems]]] = None,
 ) -> Floorplan:
     """The paper's chip: ``n_cores`` cores over a crossbar and L2 banks.
 
@@ -125,6 +193,10 @@ def build_cmp_floorplan(
     and power, different silicon area — a larger core runs the same
     workload at lower power density and therefore cooler).
 
+    ``core_layouts`` optionally gives each core its own fractional unit
+    layout (heterogeneous big.LITTLE rows from :mod:`repro.scenarios`);
+    ``None`` entries fall back to the default layout.
+
     Calls with equal parameters return a shared, memoised instance;
     floorplans are treated as immutable everywhere in the codebase.
     """
@@ -132,6 +204,7 @@ def build_cmp_floorplan(
         int(n_cores),
         float(core_size_mm),
         None if core_sizes_mm is None else tuple(float(s) for s in core_sizes_mm),
+        _layouts_key(int(n_cores), core_layouts),
     )
     cached = _CMP_CACHE.get(key)
     if cached is not None:
@@ -148,6 +221,9 @@ def build_cmp_floorplan(
             )
         if any(not s > 0 for s in sizes):
             raise ValueError(f"core sizes must be positive: {sizes}")
+    layouts: List[Optional[LayoutItems]] = (
+        [None] * n_cores if core_layouts is None else list(core_layouts)
+    )
     blocks: List[Block] = []
     xbar_bottom = L2_HEIGHT_MM
     core_bottom = L2_HEIGHT_MM + XBAR_HEIGHT_MM
@@ -157,6 +233,7 @@ def build_cmp_floorplan(
             size,
             origin=(x, core_bottom),
             prefix=f"core{i}.",
+            layout=layouts[i],
         )
         blocks.extend(core.blocks)
         x += size
@@ -168,6 +245,80 @@ def build_cmp_floorplan(
         x += size
     plan = Floorplan(blocks)
     _CMP_CACHE[key] = plan
+    return plan
+
+
+def build_mesh_floorplan(
+    rows: int,
+    cols: int,
+    core_classes: Optional[Sequence] = None,
+    core_size_mm: float = DEFAULT_CORE_SIZE_MM,
+) -> Floorplan:
+    """A ``rows × cols`` tiled many-core mesh over an L2/NoC fabric.
+
+    Tile ``i = r * cols + c`` (row-major, row 0 at the bottom) holds a
+    private L2 bank (``l2_{i}``, full tile width) under core ``i``'s unit
+    blocks. A single vertical NoC spine along the right edge plays the
+    ``xbar`` role so the engine's three power-index families (core units,
+    per-core L2 banks, one shared interconnect) partition the block set
+    exactly as on the paper's 4-core chip.
+
+    ``core_classes`` is an optional length ``rows*cols`` sequence of
+    objects with ``size_mm`` and ``layout`` attributes (duck-typed so this
+    module stays import-independent of :mod:`repro.scenarios`, which
+    imports it). Heterogeneous rows — e.g. a big row under a LITTLE row —
+    get per-row heights; columns share a uniform pitch sized for the
+    largest core so tiles never overlap. Gaps between small tiles and the
+    pitch boundary are legal floorplan whitespace.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"mesh needs rows, cols >= 1, got {rows}x{cols}")
+    n_cores = rows * cols
+    if core_classes is not None and len(core_classes) != n_cores:
+        raise ValueError(
+            f"core_classes must have {n_cores} entries, got {len(core_classes)}"
+        )
+
+    def _tile(i: int) -> Tuple[float, LayoutItems]:
+        if core_classes is None:
+            return float(core_size_mm), DEFAULT_CORE_LAYOUT
+        cls = core_classes[i]
+        return float(cls.size_mm), _layout_items(cls.layout)
+
+    tiles = [_tile(i) for i in range(n_cores)]
+    key = ("mesh", int(rows), int(cols), tuple(tiles))
+    cached = _MESH_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if any(not size > 0 for size, _ in tiles):
+        raise ValueError("mesh core sizes must be positive")
+    tile_w = max(size for size, _ in tiles)
+    row_heights = [
+        MESH_L2_HEIGHT_MM
+        + max(tiles[r * cols + c][0] for c in range(cols))
+        for r in range(rows)
+    ]
+    blocks: List[Block] = []
+    y = 0.0
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            size, layout = tiles[i]
+            x = c * tile_w
+            blocks.append(
+                Block(f"l2_{i}", x, y, tile_w, MESH_L2_HEIGHT_MM)
+            )
+            core = build_core_floorplan(
+                size,
+                origin=(x, y + MESH_L2_HEIGHT_MM),
+                prefix=f"core{i}.",
+                layout=layout,
+            )
+            blocks.extend(core.blocks)
+        y += row_heights[r]
+    blocks.append(Block("xbar", cols * tile_w, 0.0, MESH_NOC_WIDTH_MM, y))
+    plan = Floorplan(blocks)
+    _MESH_CACHE[key] = plan
     return plan
 
 

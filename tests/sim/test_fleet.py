@@ -382,6 +382,100 @@ class TestRunnerChunkingAndDuplicates:
             ParallelRunner(backend="fleet", fleet_chunk=0)
 
 
+class TestScenarioBitIdentity:
+    """Many-core scenarios batch bit-identically: mesh16 and the
+    heterogeneous biglittle4+4 chip (whose per-class DVFS floors drive
+    the PIBank's vector ``output_min`` path) must match scalar runs,
+    and the fleet backend must match pool on full 16-core RunPoints."""
+
+    def _members(self, scenario_name, spec_keys, duration_s=0.004):
+        from repro.scenarios import get_scenario
+        from repro.sim.workloads import tile_workload
+
+        scenario = get_scenario(scenario_name)
+        workload = tile_workload(W7, scenario.n_cores)
+        cfg = SimulationConfig(
+            duration_s=duration_s,
+            machine=scenario.machine_config(),
+            scenario=scenario,
+        )
+        return [
+            (workload, spec_by_key(k) if k else None, cfg) for k in spec_keys
+        ], workload
+
+    def test_mesh16_members_match_scalar(self):
+        members, workload = self._members(
+            "mesh16",
+            [None, "distributed-dvfs-none", "global-stop-go-none"],
+        )
+        engine = FleetEngine(members)
+        for result, member, (_, spec, cfg) in zip(
+            engine.run(), engine.members, members
+        ):
+            assert_member_matches_scalar(
+                result, member.sim, workload, spec, cfg
+            )
+
+    def test_biglittle_heterogeneous_floors_match_scalar(self):
+        members, workload = self._members(
+            "biglittle4+4",
+            ["distributed-dvfs-none", "global-dvfs-none", None],
+        )
+        engine = FleetEngine(members)
+        for result, member, (_, spec, cfg) in zip(
+            engine.run(), engine.members, members
+        ):
+            assert_member_matches_scalar(
+                result, member.sim, workload, spec, cfg
+            )
+
+    def test_mixed_scenario_batch_groups_cleanly(self):
+        """One batch mixing the default 4-core chip with mesh16 members
+        must place them on distinct substrates and still match scalar."""
+        mesh_members, mesh_wl = self._members(
+            "mesh16", ["distributed-dvfs-none"]
+        )
+        spec = spec_by_key("distributed-dvfs-none")
+        members = [(W7, spec, CFG)] + mesh_members
+        engine = FleetEngine(members)
+        results = engine.run()
+        assert_member_matches_scalar(
+            results[0], engine.members[0].sim, W7, spec, CFG
+        )
+        _, mspec, mcfg = mesh_members[0]
+        assert_member_matches_scalar(
+            results[1], engine.members[1].sim, mesh_wl, mspec, mcfg
+        )
+
+    def test_backend_fleet_matches_pool_on_scenarios(self):
+        """The ISSUE acceptance spec: 16-core scenario RunPoints through
+        ``backend="fleet"`` equal ``backend="pool"`` in every field."""
+        from repro.scenarios import get_scenario
+        from repro.sim.workloads import tile_workload
+
+        points = []
+        for name in ("mesh16", "biglittle4+4"):
+            scenario = get_scenario(name)
+            workload = tile_workload(W7, scenario.n_cores)
+            for threshold in (83.0, 84.2):
+                points.append(
+                    RunPoint(
+                        workload,
+                        spec_by_key("distributed-dvfs-none"),
+                        SimulationConfig(
+                            duration_s=0.004,
+                            machine=scenario.machine_config(),
+                            scenario=scenario,
+                            threshold_c=threshold,
+                        ),
+                    )
+                )
+        pool = ParallelRunner(jobs=1, backend="pool").run_points(points)
+        fleet = ParallelRunner(jobs=1, backend="fleet").run_points(points)
+        for a, b in zip(pool, fleet):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
 # -- Hypothesis property tests (skipped when hypothesis is absent) --------
 
 hypothesis = pytest.importorskip("hypothesis")

@@ -1,0 +1,166 @@
+"""Scenario schema validation and cache-key participation.
+
+``repro.scenarios`` is declarative data — frozen core-class and tech-node
+tables — so these tests pin (a) the validation contract that keeps bad
+scenarios out of the engine, (b) the derived per-core operating points
+(power scales, DVFS floors, machine configs), and (c) that a scenario
+participates in the content-addressed result cache key, so two runs that
+differ only in scenario can never alias each other's cached results.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.control.pi import MIN_FREQUENCY_SCALE
+from repro.scenarios import (
+    BIGLITTLE_4_4,
+    CMP4,
+    EFFICIENCY_CORE,
+    MESH16,
+    MESH64,
+    PERFORMANCE_CORE,
+    SCENARIOS,
+    CoreClass,
+    Scenario,
+    TechNode,
+    get_scenario,
+    scenario_names,
+)
+from repro.sim.engine import SimulationConfig
+from repro.sim.runner import RunPoint, config_hash
+from repro.sim.workloads import get_workload, tile_workload
+
+
+class TestCoreClass:
+    def test_defaults_are_the_paper_core(self):
+        cls = CoreClass("perf")
+        assert cls.power_scale == 1.0
+        assert cls.min_freq_scale == MIN_FREQUENCY_SCALE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreClass("bad", size_mm=0.0)
+        with pytest.raises(ValueError):
+            CoreClass("bad", power_scale=-1.0)
+        with pytest.raises(ValueError):
+            CoreClass("bad", min_freq_scale=0.0)
+        with pytest.raises(ValueError):
+            CoreClass("bad", layout=(("icache", (0, 0, 1, 1)),))
+
+
+class TestTechNode:
+    def test_ladder_bottom_is_min_freq_scale(self):
+        node = TechNode(
+            "t", 90, 1.0, 3.6e9, ((0.7, 0.2), (0.85, 0.6), (1.0, 1.0))
+        )
+        assert node.min_freq_scale == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TechNode("t", 90, 1.0, 3.6e9, ())
+        with pytest.raises(ValueError):  # non-ascending frequencies
+            TechNode("t", 90, 1.0, 3.6e9, ((0.9, 0.8), (0.7, 0.2)))
+        with pytest.raises(ValueError):  # frequency above max scale
+            TechNode("t", 90, 1.0, 3.6e9, ((1.0, 2.0),))
+        with pytest.raises(ValueError):  # absurd ladder voltage
+            TechNode("t", 90, 1.0, 3.6e9, ((9.0, 1.0),))
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replace(MESH16, rows=0)
+        with pytest.raises(ValueError):
+            replace(MESH16, topology="torus")
+        with pytest.raises(ValueError):  # row topology is single-row
+            replace(CMP4, rows=2, cols=2)
+        with pytest.raises(ValueError):  # class list must be 1 or n long
+            replace(MESH16, core_classes=(PERFORMANCE_CORE,) * 3)
+
+    def test_singleton_class_list_replicates(self):
+        assert MESH16.core_class_for(0) is MESH16.core_class_for(15)
+        assert MESH16.n_cores == 16
+
+    def test_biglittle_per_core_tables(self):
+        scales = BIGLITTLE_4_4.core_power_scales()
+        floors = BIGLITTLE_4_4.core_min_scales()
+        assert scales[:4] == [1.0] * 4
+        assert scales[4:] == [EFFICIENCY_CORE.power_scale] * 4
+        # Floors take the max of the class floor and the tech ladder
+        # bottom rung, so the little cores sit above both.
+        tech_floor = BIGLITTLE_4_4.tech.min_freq_scale
+        assert floors[:4] == [max(MIN_FREQUENCY_SCALE, tech_floor)] * 4
+        assert floors[4:] == [
+            max(EFFICIENCY_CORE.min_freq_scale, tech_floor)
+        ] * 4
+
+    def test_machine_config_binds_tech_node(self):
+        machine = MESH64.machine_config()
+        assert machine.n_cores == 64
+        assert machine.process_nm == MESH64.tech.process_nm
+        assert machine.vdd == MESH64.tech.vdd
+        assert machine.clock_hz == MESH64.tech.clock_hz
+
+    def test_cmp4_machine_matches_paper_default(self):
+        from repro.uarch.config import default_machine_config
+
+        assert CMP4.machine_config() == default_machine_config()
+
+    def test_floorplans_build_for_every_preset(self):
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            fp = scenario.build_floorplan()
+            core0_units = [n for n in fp.names if n.startswith("core0.")]
+            assert len(core0_units) == 11
+            assert "xbar" in fp.names
+
+    def test_registry_lookup(self):
+        assert get_scenario("mesh16") is MESH16
+        assert set(scenario_names()) == set(SCENARIOS)
+        with pytest.raises(KeyError):
+            get_scenario("mesh9000")
+
+
+class TestScenarioCacheKey:
+    """The scenario field must reach the content-addressed cache key."""
+
+    def _hash(self, scenario):
+        workload = get_workload("workload7")
+        config = SimulationConfig(duration_s=0.02)
+        if scenario is not None:
+            workload = tile_workload(workload, scenario.n_cores)
+            config = replace(
+                config, machine=scenario.machine_config(), scenario=scenario
+            )
+        return config_hash(RunPoint(workload, None, config), version="v")
+
+    def test_scenario_changes_the_hash(self):
+        assert self._hash(None) != self._hash(MESH16)
+        assert self._hash(MESH16) != self._hash(BIGLITTLE_4_4)
+
+    def test_equal_scenarios_hash_equal(self):
+        assert self._hash(MESH16) == self._hash(replace(MESH16))
+
+    def test_core_class_detail_changes_the_hash(self):
+        """Even a buried field (one class's power scale) must re-key the
+        cache: same machine, same floorplan topology, different physics."""
+        tweaked = replace(
+            MESH16,
+            core_classes=(replace(PERFORMANCE_CORE, power_scale=1.01),),
+        )
+        assert self._hash(MESH16) != self._hash(tweaked)
+
+
+class TestScenarioConfigValidation:
+    def test_machine_core_count_must_match(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_s=0.02, scenario=MESH16)
+
+    def test_consistent_config_accepted(self):
+        config = SimulationConfig(
+            duration_s=0.02,
+            machine=MESH16.machine_config(),
+            scenario=MESH16,
+        )
+        assert config.scenario is MESH16
