@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Stdlib-only trace parentage checker for CI smoke jobs.
+
+Validates a ``repro-trace/1`` span payload (the document served by
+``GET /jobs/<id>/trace`` or written by the smoke scripts) **without
+importing the repro package** — the point is an independent check of
+the wire format, runnable against an artifact from any build:
+
+* every span carries the required fields with well-formed hex ids;
+* span ids are unique and all spans share one ``trace_id``;
+* every ``parent_id`` refers to a span in the set — except exactly
+  one root (a span whose parent is absent), which must be of kind
+  ``request`` (override with ``--root-kind``);
+* with ``--min-kinds N``, at least ``N`` distinct span kinds appear.
+
+Usage::
+
+    python scripts/check_trace.py trace.json --min-kinds 5
+
+Exit code 0 when the trace is well-formed, 1 with one problem per
+stderr line otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: The span-payload schema this checker understands.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Fields every span document must carry.
+REQUIRED_FIELDS = (
+    "name", "kind", "trace_id", "span_id", "started_at", "elapsed_s",
+)
+
+
+def _is_hex(value, width: int) -> bool:
+    """Whether ``value`` is a lowercase hex string of ``width`` chars."""
+    if not isinstance(value, str) or len(value) != width:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return value == value.lower()
+
+
+def check_payload(payload: Dict, root_kind: str = "request",
+                  min_kinds: int = 0) -> List[str]:
+    """All problems with a trace payload; empty means well-formed."""
+    problems: List[str] = []
+    if payload.get("schema") != TRACE_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected "
+            f"{TRACE_SCHEMA!r}"
+        )
+    spans = payload.get("spans")
+    if not isinstance(spans, list) or not spans:
+        problems.append("payload has no spans")
+        return problems
+
+    ids = set()
+    trace_ids = set()
+    kinds = set()
+    for i, span in enumerate(spans):
+        if not isinstance(span, dict):
+            problems.append(f"span[{i}] is not an object")
+            continue
+        missing = [f for f in REQUIRED_FIELDS if f not in span]
+        if missing:
+            problems.append(f"span[{i}] missing fields: {missing}")
+            continue
+        if not _is_hex(span["trace_id"], 32):
+            problems.append(
+                f"span[{i}] trace_id {span['trace_id']!r} is not 32-hex"
+            )
+        if not _is_hex(span["span_id"], 16):
+            problems.append(
+                f"span[{i}] span_id {span['span_id']!r} is not 16-hex"
+            )
+        if span["span_id"] in ids:
+            problems.append(f"duplicate span_id {span['span_id']!r}")
+        ids.add(span["span_id"])
+        trace_ids.add(span["trace_id"])
+        kinds.add(span["kind"])
+        if span.get("elapsed_s", 0) < 0:
+            problems.append(f"span[{i}] has negative elapsed_s")
+
+    if len(trace_ids) > 1:
+        problems.append(
+            f"{len(trace_ids)} distinct trace_ids in one trace: "
+            f"{sorted(trace_ids)}"
+        )
+    roots = [
+        s for s in spans
+        if isinstance(s, dict) and s.get("parent_id") not in ids
+    ]
+    if len(roots) != 1:
+        problems.append(
+            f"expected exactly one root span, found {len(roots)}: "
+            f"{[r.get('name') for r in roots]}"
+        )
+    elif root_kind and roots[0].get("kind") != root_kind:
+        problems.append(
+            f"root span kind is {roots[0].get('kind')!r}, expected "
+            f"{root_kind!r}"
+        )
+    if min_kinds and len(kinds) < min_kinds:
+        problems.append(
+            f"only {len(kinds)} span kinds present ({sorted(kinds)}), "
+            f"need >= {min_kinds}"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="validate a repro-trace/1 span payload"
+    )
+    parser.add_argument("trace", help="span payload JSON file")
+    parser.add_argument(
+        "--root-kind", default="request",
+        help="required kind of the single root span (default: request; "
+             "empty string disables the kind check)",
+    )
+    parser.add_argument(
+        "--min-kinds", type=int, default=0, metavar="N",
+        help="require at least N distinct span kinds (default: 0 = off)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.trace) as fh:
+        payload = json.load(fh)
+    problems = check_payload(
+        payload, root_kind=args.root_kind, min_kinds=args.min_kinds
+    )
+    if problems:
+        for problem in problems:
+            print(f"check_trace: {problem}", file=sys.stderr)
+        return 1
+    spans = payload["spans"]
+    kinds = sorted({s["kind"] for s in spans})
+    print(
+        f"check_trace: ok — {len(spans)} spans, one root, "
+        f"kinds: {', '.join(kinds)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro --jobs 4 robustness -d 0.1 [--guards] [-o table.txt]
     python -m repro profile -w workload7 -d 0.05
     python -m repro trace gzip -o gzip.npz [-d 0.25]
+    python -m repro trace spans.json [--chrome-out chrome.json]
     python -m repro cache [--clear]
     python -m repro bench [--short] [--check BENCH_engine.json]
     python -m repro serve [--port 8023] [--serve-workers 4]
@@ -30,7 +31,10 @@ runs all 12 taxonomy cells on one workload and prints the comparison;
 ``robustness`` sweeps injected-fault severities across the policy
 taxonomy and prints the degradation table; ``profile`` times the
 engine's step sections per policy; ``trace`` generates and saves a
-benchmark power trace; ``cache`` inspects or clears the on-disk result
+benchmark power trace — or, given a span JSON file saved from the serve
+``/jobs/<id>/trace`` endpoint, renders the distributed trace as an
+ASCII waterfall (``--chrome-out`` additionally exports it for
+Perfetto); ``cache`` inspects or clears the on-disk result
 cache; ``bench`` measures engine throughput (steps/second per policy)
 and writes — or regression-checks against — the tracked
 ``BENCH_engine.json`` baseline (see ``docs/PERFORMANCE.md``);
@@ -272,10 +276,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the rendered degradation table to FILE",
     )
 
-    trace = sub.add_parser("trace", help="generate and save a power trace")
-    trace.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
-    trace.add_argument("-o", "--output", required=True)
+    trace = sub.add_parser(
+        "trace",
+        help="generate and save a power trace, or render a distributed "
+             "trace (a span file from /jobs/<id>/trace) as a waterfall",
+    )
+    trace.add_argument(
+        "benchmark", metavar="BENCHMARK|SPANS",
+        help="a benchmark name (generates a power trace; requires -o) "
+             "or the path of a span JSON file fetched from the serve "
+             "endpoint /jobs/<id>/trace",
+    )
+    trace.add_argument(
+        "-o", "--output", default=None,
+        help="output .npz path (power-trace mode only)",
+    )
     trace.add_argument("-d", "--duration", type=float, default=0.25)
+    trace.add_argument(
+        "--chrome-out", default=None, metavar="FILE",
+        help="also export the rendered spans as Chrome trace-event JSON",
+    )
+    trace.add_argument(
+        "--width", type=int, default=48, metavar="COLS",
+        help="waterfall bar width in columns (default: 48)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("--clear", action="store_true",
@@ -584,13 +608,63 @@ def _cmd_robustness(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    trace = generate_trace(args.benchmark, duration_s=args.duration)
-    path = save_trace(trace, args.output)
+    # Both rejection paths raise SystemExit(2), matching what argparse
+    # itself did before this subcommand became dual-mode (`choices=` on
+    # the positional, `required=True` on -o).
+    if args.benchmark in ALL_BENCHMARKS:
+        if not args.output:
+            print(
+                "error: -o/--output is required when generating a power "
+                "trace",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        trace = generate_trace(args.benchmark, duration_s=args.duration)
+        path = save_trace(trace, args.output)
+        print(
+            f"{args.benchmark}: {trace.n_samples} samples, "
+            f"{trace.duration_s * 1000:.1f} ms, mean core power "
+            f"{trace.mean_core_power_w:.1f} W -> {path}"
+        )
+        return 0
+    import os.path
+
+    if os.path.exists(args.benchmark):
+        return _render_span_file(args)
     print(
-        f"{args.benchmark}: {trace.n_samples} samples, "
-        f"{trace.duration_s * 1000:.1f} ms, mean core power "
-        f"{trace.mean_core_power_w:.1f} W -> {path}"
+        f"error: {args.benchmark!r} is neither a benchmark "
+        f"({', '.join(sorted(ALL_BENCHMARKS))}) nor a span file",
+        file=sys.stderr,
     )
+    raise SystemExit(2)
+
+
+def _render_span_file(args) -> int:
+    """Render a ``/jobs/<id>/trace`` span document as an ASCII waterfall."""
+    import json
+
+    from repro.obs.tracing import (
+        render_waterfall,
+        spans_from_payload,
+        validate_trace,
+    )
+
+    with open(args.benchmark, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    try:
+        spans = spans_from_payload(payload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_waterfall(spans, width=args.width), end="")
+    problems = validate_trace(spans)
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    if args.chrome_out:
+        from repro.obs import span_trace_events, write_chrome_trace
+
+        write_chrome_trace(span_trace_events(spans), args.chrome_out)
+        print(f"chrome trace -> {args.chrome_out}")
     return 0
 
 

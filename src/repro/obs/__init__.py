@@ -11,6 +11,10 @@ Independent, strictly opt-in instruments:
   counters, gauges and histograms sampled on a fixed silicon-time
   period; the sampler is fusion-aware, so sampled runs keep the engine's
   fused fast path (see :mod:`repro.obs.telemetry`);
+* :mod:`repro.obs.tracing` — W3C-traceparent-compatible distributed
+  spans (:class:`TraceContext` / :class:`SpanRecorder` /
+  :data:`NULL_TRACER`) propagated from the serve client through queue,
+  workers and engine runs;
 * :mod:`repro.obs.exporters` — JSONL/CSV series, Prometheus text,
   Chrome trace-event JSON;
 * :mod:`repro.obs.dashboard` — run bundles and the ``repro report``
@@ -44,6 +48,7 @@ from repro.obs.exporters import (
     prometheus_text,
     read_series_jsonl,
     runner_trace_events,
+    span_trace_events,
     write_chrome_trace,
     write_prometheus,
     write_series_csv,
@@ -62,6 +67,18 @@ from repro.obs.profiler import (
     render_engine_sections,
     render_sections,
     sorted_sections,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    render_waterfall,
+    span_from_dict,
+    spans_from_payload,
+    spans_payload,
+    validate_trace,
 )
 from repro.obs.telemetry import (
     Counter,
@@ -83,11 +100,16 @@ __all__ = [
     "LOG_LEVELS",
     "MetricsRegistry",
     "NULL_PROFILER",
+    "NULL_TRACER",
     "NullProfiler",
+    "NullRecorder",
     "RunBundle",
     "RunEvent",
     "RunEventLog",
+    "Span",
+    "SpanRecorder",
     "StepProfiler",
+    "TraceContext",
     "TelemetrySampler",
     "TelemetrySeries",
     "TelemetrySummary",
@@ -104,8 +126,14 @@ __all__ = [
     "render_engine_sections",
     "render_html",
     "render_sections",
+    "render_waterfall",
     "runner_trace_events",
     "sorted_sections",
+    "span_from_dict",
+    "span_trace_events",
+    "spans_from_payload",
+    "spans_payload",
+    "validate_trace",
     "write_bundle",
     "write_chrome_trace",
     "write_prometheus",

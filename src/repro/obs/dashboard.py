@@ -30,6 +30,7 @@ from xml.sax.saxutils import escape
 
 from repro.obs.events import RunEventLog
 from repro.obs.exporters import (
+    parse_prometheus_text,
     read_series_jsonl,
     write_prometheus,
     write_series_jsonl,
@@ -74,6 +75,17 @@ ANNOTATION_EVENTS = (
 )
 
 _CORE_COLUMN = re.compile(r'^(?P<name>[a-z_]+)\{core="(?P<core>\d+)"\}$')
+
+#: Serve-side request-stage histograms surfaced as dashboard tables
+#: when a bundle's Prometheus snapshot carries them (engine bundles
+#: don't, so their dashboards are unchanged).
+STAGE_HISTOGRAMS = (
+    "queue_wait_seconds",
+    "execute_seconds",
+    "ttfb_seconds",
+)
+
+_BUCKET_LE = re.compile(r'_bucket\{le="(?P<le>[^"]+)"\}$')
 
 
 @dataclass
@@ -337,12 +349,66 @@ def _stats_table(result: Dict) -> str:
     )
 
 
+def _stage_histogram_rows(prom_text: str) -> Dict[str, List[Tuple[str, float]]]:
+    """Per-stage cumulative bucket rows from a Prometheus snapshot.
+
+    Returns ``{stage name: [(le, cumulative count), ...]}`` for the
+    :data:`STAGE_HISTOGRAMS` present in ``prom_text``, buckets in the
+    exposition's ascending order, plus a final ``("count", n)`` /
+    ``("sum (s)", total)`` pair. Stages with no samples are omitted.
+    """
+    metrics = parse_prometheus_text(prom_text)
+    out: Dict[str, List[Tuple[str, float]]] = {}
+    for stage in STAGE_HISTOGRAMS:
+        count = metrics.get(f"{stage}_count")
+        if not count:
+            continue
+        buckets: List[Tuple[float, str, float]] = []
+        prefix = f"{stage}_bucket"
+        for series, value in metrics.items():
+            if not series.startswith(prefix):
+                continue
+            match = _BUCKET_LE.search(series)
+            if match is None:
+                continue
+            le = match.group("le")
+            sort_key = float("inf") if le == "+Inf" else float(le)
+            buckets.append((sort_key, le, value))
+        rows = [(le, value) for _key, le, value in sorted(buckets)]
+        rows.append(("count", count))
+        rows.append(("sum (s)", metrics.get(f"{stage}_sum", 0.0)))
+        out[stage] = rows
+    return out
+
+
+def _stage_histogram_tables(prom_text: str) -> List[str]:
+    """Request-stage latency histograms as XHTML table fragments."""
+    parts: List[str] = []
+    staged = _stage_histogram_rows(prom_text)
+    if not staged:
+        return parts
+    parts.append("<h2>request-stage latency</h2>")
+    for stage, rows in staged.items():
+        body = "".join(
+            f"<tr><td>{escape(le)}</td><td>{value:g}</td></tr>"
+            for le, value in rows
+        )
+        parts.append(
+            f"<table><tr><th colspan='2'>{escape(stage)}</th></tr>"
+            "<tr><th>le (s)</th><th>cumulative</th></tr>"
+            + body + "</table>"
+        )
+    return parts
+
+
 def render_html(bundle: RunBundle) -> str:
     """The run dashboard as one self-contained XHTML document.
 
     Inline SVG sparklines (temperature with event-annotation marker
     lines, frequency scale) per core plus the chip hotspot, the scalar
     metrics table, and the Prometheus snapshot in a collapsible block.
+    Snapshots carrying the serve request-stage histograms
+    (:data:`STAGE_HISTOGRAMS`) additionally get per-stage bucket tables.
     The output is well-formed XML — ``xml.etree`` parses it — and needs
     no JavaScript or external assets.
     """
@@ -410,6 +476,7 @@ def render_html(bundle: RunBundle) -> str:
             + rows + "</table>"
         )
     if bundle.prom:
+        parts.extend(_stage_histogram_tables(bundle.prom))
         parts.append(
             "<details><summary>metrics snapshot (Prometheus text)"
             "</summary><pre>" + escape(bundle.prom) + "</pre></details>"

@@ -332,6 +332,42 @@ def runner_trace_events(reports: Sequence) -> List[Dict]:
     return events
 
 
+def span_trace_events(spans: Sequence) -> List[Dict]:
+    """Trace events for a merged set of :class:`~repro.obs.tracing.Span` s.
+
+    One lane per recording process (client, server, pool workers), each
+    span placed at its wall-clock offset from the earliest span, with
+    ids/kind/attrs in ``args`` so Perfetto's query view can reconstruct
+    parentage. Works on whatever ``GET /jobs/<id>/trace`` returned.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    t0 = min(s.started_at for s in spans)
+    events: List[Dict] = []
+    for pid in sorted({s.pid for s in spans}):
+        events.append(_metadata_event("process_name", f"pid {pid}", pid))
+    for span in spans:
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id or "",
+        }
+        args.update(span.attrs)
+        events.append(
+            _complete_event(
+                span.name,
+                span.kind,
+                (span.started_at - t0) * 1e6,
+                span.elapsed_s * 1e6,
+                span.pid,
+                0,
+                args,
+            )
+        )
+    return events
+
+
 def write_chrome_trace(events: Sequence[Dict], dest: _Dest) -> None:
     """Write trace events as a Chrome/Perfetto-loadable JSON object."""
     fh, close = _open_dest(dest)

@@ -11,12 +11,19 @@ measurement, or an already-running one via ``--url`` — in two phases:
   set, so every one is served from the cache. Warm latency is the
   service overhead proper — HTTP parse, queueing, cache lookup,
   serialisation — which is what the regression gate bounds.
+* **warm-traced** (honesty contrast, reported but never gated): a third
+  pass over the same cache-hot points with client tracing on — every
+  request carries a ``traceparent`` header, so the server records the
+  full span set per job. The artifact's ``warm_traced`` stats and
+  ``tracing_overhead_p50_ms`` delta track what tracing costs without
+  tightening the warm-p50 gate.
 
 The artifact (``BENCH_serve.json``, schema :data:`SCHEMA`) records
 per-phase latency percentiles and throughput; ``repro serve-bench
 --check BENCH_serve.json`` re-measures and fails on regression, and
 always enforces the absolute bar ``warm p50 <``
-:data:`WARM_P50_LIMIT_MS` milliseconds.
+:data:`WARM_P50_LIMIT_MS` milliseconds (on the *untraced* warm phase
+only).
 """
 
 from __future__ import annotations
@@ -101,23 +108,27 @@ def _phase_stats(latencies_s: List[float], wall_s: float) -> Dict:
 
 
 def _fire(url: str, bodies: Sequence[Dict], concurrency: int,
-          timeout_s: float) -> List[float]:
+          timeout_s: float, trace: bool = False) -> List[float]:
     """Send every body as ``POST /run``; returns per-request latencies.
 
     ``concurrency`` worker threads each hold a private keep-alive
     :class:`~repro.serve.client.ServeClient` — the thread pool *is* the
-    simulated caller population.
+    simulated caller population. With ``trace=True`` every request
+    carries a ``traceparent`` header (one fresh trace per request),
+    which is the traced-contrast phase's whole difference.
     """
     from repro.serve.client import ServeClient
 
     import threading
 
     local = threading.local()
+    attr = "client_traced" if trace else "client"
 
     def one(body: Dict) -> float:
-        client = getattr(local, "client", None)
+        client = getattr(local, attr, None)
         if client is None:
-            client = local.client = ServeClient(url, timeout_s=timeout_s)
+            client = ServeClient(url, timeout_s=timeout_s, trace=trace)
+            setattr(local, attr, client)
         start = time.perf_counter()
         payload = client.run(body)
         elapsed = time.perf_counter() - start
@@ -139,6 +150,7 @@ def run_load(
     duration_s: float = DEFAULT_DURATION_S,
     serve_workers: int = 4,
     request_timeout_s: float = 300.0,
+    traced_requests: Optional[int] = None,
 ) -> Dict:
     """Run the cold/warm load campaign; returns the artifact payload.
 
@@ -146,9 +158,19 @@ def run_load(
     in-memory registry, the ambient cache directory) is started on a
     background thread and drained afterwards — the whole campaign then
     measures exactly one server process end to end.
+
+    ``traced_requests`` sizes the traced-contrast phase (default: a
+    quarter of ``warm_requests``, at least 1; ``0`` disables it). It
+    runs *after* the metrics scrape, so the artifact's
+    ``server_metrics``, ``total_requests`` and every gated statistic
+    describe exactly the untraced campaign the baselines were built on.
     """
     if unique < 1 or warm_requests < 1 or concurrency < 1:
         raise ValueError("unique, warm_requests and concurrency must be >= 1")
+    if traced_requests is None:
+        traced_requests = max(1, warm_requests // 4)
+    if traced_requests < 0:
+        raise ValueError(f"traced_requests must be >= 0: {traced_requests}")
     handle = None
     if url is None:
         from repro.serve.server import ServeConfig, start_in_thread
@@ -178,6 +200,18 @@ def run_load(
         with ServeClient(url) as client:
             census = client.healthz()
             metrics = parse_prometheus_text(client.metrics_text())
+
+        traced = []
+        traced_wall = 0.0
+        if traced_requests:
+            traced_bodies = [
+                request_body(i % unique, duration_s)
+                for i in range(traced_requests)
+            ]
+            start = time.perf_counter()
+            traced = _fire(url, traced_bodies, concurrency,
+                           request_timeout_s, trace=True)
+            traced_wall = time.perf_counter() - start
     finally:
         if handle is not None:
             handle.stop()
@@ -189,7 +223,7 @@ def run_load(
         and "_bucket" not in series
         and "_seconds" not in series
     }
-    return {
+    payload = {
         "schema": SCHEMA,
         "suite": "serve-load",
         "environment": {
@@ -202,12 +236,20 @@ def run_load(
             "concurrency": concurrency,
             "duration_s": duration_s,
             "serve_workers": census.get("workers"),
+            "traced_requests": traced_requests,
         },
         "total_requests": len(cold) + len(warm),
         "cold": _phase_stats(cold, cold_wall),
         "warm": _phase_stats(warm, warm_wall),
         "server_metrics": served,
     }
+    if traced:
+        warm_traced = _phase_stats(traced, traced_wall)
+        payload["warm_traced"] = warm_traced
+        payload["tracing_overhead_p50_ms"] = round(
+            warm_traced["p50_ms"] - payload["warm"]["p50_ms"], 3
+        )
+    return payload
 
 
 def load_bench_json(path: str) -> Dict:
@@ -272,13 +314,21 @@ def render(payload: Dict) -> str:
         f"({payload['load']['unique_points']} unique points, "
         f"{payload['load']['concurrency']} concurrent clients)"
     ]
-    for phase in ("cold", "warm"):
+    phases = ["cold", "warm"]
+    if "warm_traced" in payload:
+        phases.append("warm_traced")
+    for phase in phases:
         s = payload[phase]
         lines.append(
-            f"  {phase:5s} {s['requests']:>5d} req  "
+            f"  {phase:11s} {s['requests']:>5d} req  "
             f"p50 {s['p50_ms']:>9.3f} ms  p90 {s['p90_ms']:>9.3f} ms  "
             f"p99 {s['p99_ms']:>9.3f} ms  "
             f"{s['throughput_rps']:>8.1f} req/s"
+        )
+    if "tracing_overhead_p50_ms" in payload:
+        lines.append(
+            f"  tracing overhead (p50, reported only): "
+            f"{payload['tracing_overhead_p50_ms']:+.3f} ms"
         )
     return "\n".join(lines)
 
@@ -322,6 +372,11 @@ def add_serve_bench_arguments(parser) -> None:
              "default: 4)",
     )
     parser.add_argument(
+        "--traced-requests", type=int, default=None, metavar="N",
+        help="traced-contrast phase size (reported, never gated; "
+             "default: warm-requests // 4, 0 disables)",
+    )
+    parser.add_argument(
         "--check", default=None, metavar="BASELINE",
         help="gate against a committed BENCH_serve.json (and the "
              f"absolute warm-p50 < {WARM_P50_LIMIT_MS:g} ms bar) instead "
@@ -343,6 +398,7 @@ def run_from_args(args) -> int:
         concurrency=args.concurrency,
         duration_s=args.duration_s,
         serve_workers=args.serve_workers,
+        traced_requests=args.traced_requests,
     )
     print(render(payload))
 

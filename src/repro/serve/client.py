@@ -5,6 +5,13 @@ JSON protocol of :mod:`repro.serve.server`. One :class:`ServeClient`
 holds one keep-alive connection; it is *not* thread-safe — the load
 generator gives each of its threads a private client, which is exactly
 how a real pool of callers behaves.
+
+Tracing: constructed with ``trace=True``, the client mints a fresh
+:class:`~repro.obs.tracing.TraceContext` per request, sends it as a W3C
+``traceparent`` header and records a client-side span (kind ``client``)
+into its recorder. The server continues the same trace through queue,
+worker and engine; ``client.trace(job_id)`` fetches the merged span set
+from ``GET /jobs/<id>/trace``.
 """
 
 from __future__ import annotations
@@ -12,8 +19,16 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlparse
+
+from repro.obs.tracing import (
+    KIND_CLIENT,
+    NULL_TRACER,
+    SpanRecorder,
+    TraceContext,
+    finished_span,
+)
 
 
 class ServeError(Exception):
@@ -30,14 +45,40 @@ class ServeError(Exception):
 class ServeClient:
     """One keep-alive connection to a running serve process."""
 
-    def __init__(self, url: str, timeout_s: float = 60.0):
-        """Connect lazily to ``url`` (e.g. ``http://127.0.0.1:8023``)."""
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 60.0,
+        trace: bool = False,
+        recorder: Optional[SpanRecorder] = None,
+    ):
+        """Connect lazily to ``url`` (e.g. ``http://127.0.0.1:8023``).
+
+        ``trace=True`` sends a ``traceparent`` header with every request
+        (a fresh trace per request) and records client-side spans into
+        ``recorder`` (one is created when not given; read it back via
+        ``self.recorder``). The last request's context is kept in
+        ``self.last_trace``.
+        """
         parsed = urlparse(url)
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"only http:// URLs are supported: {url!r}")
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 80
         self.timeout_s = timeout_s
+        self.tracing = bool(trace)
+        if self.tracing:
+            self.recorder = recorder if recorder is not None else SpanRecorder()
+        else:
+            self.recorder = recorder if recorder is not None else NULL_TRACER
+        #: Trace context of the most recent traced request (None untraced).
+        self.last_trace: Optional[TraceContext] = None
+        #: How many transport attempts the last request took (1 normally,
+        #: 2 after a stale keep-alive retry).
+        self.last_attempts = 0
+        #: Wall-clock seconds of each transport attempt of the last
+        #: request, in order — the retried attempt keeps its own timing.
+        self.last_attempt_latencies_s: List[float] = []
         self._conn: Optional[http.client.HTTPConnection] = None
 
     def close(self) -> None:
@@ -56,31 +97,60 @@ class ServeClient:
 
     # -- transport ----------------------------------------------------------
 
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+
     def _request(self, method: str, path: str,
                  body: Optional[Dict] = None) -> Tuple[int, object, str]:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout_s
-            )
         data = (
             json.dumps(body, separators=(",", ":")).encode("utf-8")
             if body is not None else None
         )
         headers = {"Content-Type": "application/json"} if data else {}
-        try:
-            self._conn.request(method, path, body=data, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            # Stale keep-alive (server closed between requests): retry
-            # once on a fresh connection.
-            self.close()
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout_s
-            )
-            self._conn.request(method, path, body=data, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
+        context: Optional[TraceContext] = None
+        if self.tracing:
+            context = TraceContext.new()
+            headers["traceparent"] = context.to_traceparent()
+            self.last_trace = context
+        self.last_attempts = 0
+        self.last_attempt_latencies_s = []
+        # The client span IS the remote trace's parent: _ClientSpan
+        # records at the minted context rather than childing a new one.
+        with _ClientSpan(self.recorder, context, method, path) as cspan:
+            # Two transport attempts at most: the first may hit a stale
+            # keep-alive connection (server closed between requests);
+            # the retry runs on a fresh connection. Each attempt records
+            # its own wall-clock latency — the pre-fix code timed only
+            # the outer call, so a retried request lost the measurement
+            # of the attempt that actually succeeded.
+            last_error: Optional[Exception] = None
+            response = None
+            raw = b""
+            for attempt in range(2):
+                if self._conn is None:
+                    self._conn = self._connect()
+                self.last_attempts = attempt + 1
+                t0 = time.perf_counter()
+                try:
+                    self._conn.request(method, path, body=data, headers=headers)
+                    response = self._conn.getresponse()
+                    raw = response.read()
+                    self.last_attempt_latencies_s.append(
+                        time.perf_counter() - t0
+                    )
+                    last_error = None
+                    break
+                except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                    self.last_attempt_latencies_s.append(
+                        time.perf_counter() - t0
+                    )
+                    last_error = exc
+                    self.close()
+            if last_error is not None:
+                raise last_error
+            cspan.annotate(attempts=self.last_attempts, status=response.status)
         content_type = response.getheader("Content-Type", "")
         if content_type.startswith("application/json"):
             payload = json.loads(raw) if raw else None
@@ -122,6 +192,13 @@ class ServeClient:
         """Result payload for a finished job (409 while running)."""
         return self._json("GET", f"/jobs/{job_id}/result")
 
+    def trace(self, job_id: str) -> Dict:
+        """The merged span document from ``GET /jobs/<id>/trace``.
+
+        404s (untraced job, unknown id) raise :class:`ServeError`.
+        """
+        return self._json("GET", f"/jobs/{job_id}/trace")
+
     def cancel(self, job_id: str) -> Dict:
         """Request cancellation of ``job_id``."""
         return self._json("POST", f"/jobs/{job_id}/cancel")
@@ -148,3 +225,47 @@ class ServeClient:
                     f"after {timeout_s:g} s"
                 )
             time.sleep(poll_s)
+
+
+class _ClientSpan:
+    """Times one client request at its pre-minted trace context.
+
+    The ``traceparent`` header carries the *client span's* ids, so the
+    span recorded here must reuse that exact context — the server parents
+    its request span on it, stitching client and server into one trace.
+    With ``context=None`` (tracing off) this is a no-op.
+    """
+
+    __slots__ = ("_recorder", "_context", "_name", "_attrs", "_started_at",
+                 "_t0")
+
+    def __init__(self, recorder, context: Optional[TraceContext],
+                 method: str, path: str):
+        self._recorder = recorder
+        self._context = context
+        self._name = f"{method} {path}"
+        self._attrs: Dict[str, object] = {}
+        self._started_at = 0.0
+        self._t0 = 0.0
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the eventual span (no-op untraced)."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_ClientSpan":
+        self._started_at = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._context is None:
+            return
+        if exc_type is not None:
+            self._attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self._recorder.record(
+            finished_span(
+                self._context, self._name, KIND_CLIENT,
+                self._started_at, time.perf_counter() - self._t0,
+                **self._attrs,
+            )
+        )

@@ -24,6 +24,12 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
+from repro.obs.tracing import (
+    KIND_REQUEST,
+    Span,
+    TraceContext,
+    finished_span,
+)
 from repro.serve.protocol import JobRequest
 
 
@@ -50,7 +56,8 @@ class Job:
     __slots__ = (
         "id", "request", "state", "submitted_at", "started_at",
         "finished_at", "payload", "error", "attempts", "cache_hits",
-        "cancel_requested", "finished",
+        "cancel_requested", "finished", "trace", "spans",
+        "queue_depth_at_submit",
     )
 
     def __init__(self, job_id: str, request: JobRequest):
@@ -66,6 +73,14 @@ class Job:
         self.attempts = 0
         self.cache_hits = 0
         self.cancel_requested = False
+        #: Request-span context (a child of the caller's ``traceparent``
+        #: context); ``None`` for untraced submissions.
+        self.trace: Optional[TraceContext] = None
+        #: Finished spans accumulated by server/worker/runner stages;
+        #: :meth:`finish` caps them with the root request span.
+        self.spans: List[Span] = []
+        #: Live queue depth observed when the job was enqueued.
+        self.queue_depth_at_submit = 0
         #: Set once the job reaches a terminal state; ``/run`` and the
         #: drain path await it.
         self.finished = asyncio.Event()
@@ -77,13 +92,28 @@ class Job:
 
     def finish(self, state: JobState, *, payload: Optional[Dict] = None,
                error: Optional[str] = None) -> None:
-        """Transition to a terminal state exactly once."""
+        """Transition to a terminal state exactly once.
+
+        Traced jobs get their root ``request`` span appended here: it
+        covers submission to terminal state, and its parent is the
+        caller's client span (absent from the server-side span set, so
+        parentage checkers see exactly one root).
+        """
         if self.done:  # pragma: no cover - defensive; workers finish once
             return
         self.state = state
         self.payload = payload
         self.error = error
         self.finished_at = time.time()
+        if self.trace is not None:
+            self.spans.append(
+                finished_span(
+                    self.trace, self.id, KIND_REQUEST,
+                    self.submitted_at, self.finished_at - self.submitted_at,
+                    state=state.value,
+                    priority=self.request.priority,
+                )
+            )
         self.finished.set()
 
     def status(self) -> Dict:
@@ -99,6 +129,8 @@ class Job:
             "cancel_requested": self.cancel_requested,
             "request": self.request.describe(),
         }
+        if self.trace is not None:
+            out["trace_id"] = self.trace.trace_id
         if self.error is not None:
             out["error"] = self.error
         return out

@@ -18,11 +18,22 @@ Endpoints::
     POST /jobs                    submit a job        -> 202 {"id": ...}
     GET  /jobs/<id>               job status
     GET  /jobs/<id>/result        result payload (409 until done)
+    GET  /jobs/<id>/trace         merged distributed-trace spans (404
+                                  unless the submission carried a
+                                  ``traceparent`` header)
     POST /jobs/<id>/cancel        cancel (queued: immediate; running:
                                   cooperative — result is discarded)
     POST /run                     submit and wait: the result payload in
                                   one round trip (the load generator's
                                   endpoint)
+
+Distributed tracing: a submission with a W3C ``traceparent`` header is
+traced end to end — the server parents a request span on the caller's
+context and records queue-wait, execute, runner point and engine
+section spans beneath it (see :mod:`repro.obs.tracing`). Untraced
+requests skip every span allocation, and tracing never changes results
+or cache keys. Stage-latency histograms (``queue_wait_seconds``,
+``execute_seconds``, ``ttfb_seconds``) are always recorded.
 
 Operational semantics:
 
@@ -56,6 +67,14 @@ from typing import Dict, Optional, Tuple
 from repro.obs.exporters import prometheus_text
 from repro.obs.logconfig import get_logger
 from repro.obs.telemetry import MetricsRegistry
+from repro.obs.tracing import (
+    KIND_EXECUTE,
+    KIND_QUEUE,
+    SpanRecorder,
+    TraceContext,
+    finished_span,
+    spans_payload,
+)
 from repro.serve.jobs import (
     Job,
     JobQueue,
@@ -163,20 +182,31 @@ class ServeExecutor:
         self.jobs = jobs
         self.fleet_chunk = fleet_chunk
 
-    def execute(self, request: JobRequest) -> Tuple[Dict, int, int]:
-        """Run the request's grid; returns (payload, cache_hits, simulated)."""
+    def execute(
+        self, request: JobRequest, trace: Optional[TraceContext] = None,
+    ) -> Tuple[Dict, int, int, list]:
+        """Run the request's grid.
+
+        Returns ``(payload, cache_hits, simulated, spans)``; ``spans``
+        holds the runner's distributed spans (point/section/fleet-group)
+        parented under ``trace``, empty when untraced — a fresh recorder
+        per execution, so concurrent jobs never mix spans.
+        """
+        tracer = SpanRecorder() if trace is not None else None
         runner = ParallelRunner(
             jobs=self.jobs,
             cache=self.cache,
             backend=request.backend or self.backend,
             fleet_chunk=self.fleet_chunk,
             registry=self.registry,
+            tracer=tracer,
         )
-        results = runner.run_points(request.run_points())
+        results = runner.run_points(request.run_points(), trace=trace)
         return (
             job_payload(request, results),
             runner.stats.cache_hits,
             runner.stats.simulated,
+            tracer.spans() if tracer is not None else [],
         )
 
 
@@ -242,6 +272,18 @@ class ThermalServeServer:
         self._ctr_retries = reg.counter(
             "serve_job_retries_total",
             help="job executions retried after a worker death",
+        )
+        self._h_queue_wait = reg.histogram(
+            "queue_wait_seconds", LATENCY_BUCKETS_S,
+            help="time jobs spend queued before a worker picks them up",
+        )
+        self._h_execute = reg.histogram(
+            "execute_seconds", LATENCY_BUCKETS_S,
+            help="worker execution time per job, across all attempts",
+        )
+        self._h_ttfb = reg.histogram(
+            "ttfb_seconds", LATENCY_BUCKETS_S,
+            help="submission to terminal state per job",
         )
         self._ctr_requests: Dict[str, object] = {}
         self._h_latency: Dict[str, object] = {}
@@ -340,6 +382,19 @@ class ThermalServeServer:
                 continue
             job.state = JobState.RUNNING
             job.started_at = time.time()
+            queue_wait = job.started_at - job.submitted_at
+            self._h_queue_wait.observe(queue_wait)
+            if job.trace is not None:
+                # The wait was measured between two job timestamps, so
+                # the span is backdated rather than context-managed.
+                job.spans.append(
+                    finished_span(
+                        job.trace.child(), "queue-wait", KIND_QUEUE,
+                        job.submitted_at, queue_wait,
+                        queue_depth=job.queue_depth_at_submit,
+                        priority=job.request.priority,
+                    )
+                )
             self._running_jobs += 1
             self._g_running.set(float(self._running_jobs))
             timeout = job.request.timeout_s or self.config.job_timeout_s
@@ -349,9 +404,18 @@ class ThermalServeServer:
                 self._running_jobs -= 1
                 self._g_running.set(float(self._running_jobs))
                 self._ctr_jobs[job.state].inc()
+                finished = job.finished_at or time.time()
+                self._h_execute.observe(finished - job.started_at)
+                self._h_ttfb.observe(finished - job.submitted_at)
 
     async def _execute_with_retry(self, loop, job: Job, timeout: float) -> None:
         deadline = time.monotonic() + timeout
+        # One execute-span context covers every attempt, so runner spans
+        # from the successful attempt parent consistently even after a
+        # worker-death retry.
+        exec_ctx = job.trace.child() if job.trace is not None else None
+        exec_started = time.time()
+        exec_t0 = time.perf_counter()
         while True:
             job.attempts += 1
             budget = deadline - time.monotonic()
@@ -360,9 +424,10 @@ class ThermalServeServer:
                            error=f"timed out after {timeout:g} s")
                 return
             try:
-                payload, cache_hits, _simulated = await asyncio.wait_for(
+                payload, cache_hits, _simulated, spans = await asyncio.wait_for(
                     loop.run_in_executor(
-                        self._thread_pool, self.executor.execute, job.request
+                        self._thread_pool, self.executor.execute,
+                        job.request, exec_ctx,
                     ),
                     timeout=budget,
                 )
@@ -396,6 +461,18 @@ class ThermalServeServer:
                 job.finish(JobState.CANCELLED)
                 return
             job.cache_hits = cache_hits
+            if exec_ctx is not None:
+                job.spans.extend(spans)
+                job.spans.append(
+                    finished_span(
+                        exec_ctx, "execute", KIND_EXECUTE,
+                        exec_started, time.perf_counter() - exec_t0,
+                        attempts=job.attempts,
+                        backend=job.request.backend or self.config.backend,
+                        n_points=job.request.n_points,
+                        cache_hits=cache_hits,
+                    )
+                )
             job.finish(JobState.DONE, payload=payload)
             return
 
@@ -423,7 +500,7 @@ class ThermalServeServer:
                 started = time.perf_counter()
                 try:
                     status, payload, content_type, route = await self._route(
-                        method, path, body
+                        method, path, headers, body
                     )
                 except ProtocolError as exc:
                     status, content_type, route = 400, "application/json", "error"
@@ -506,11 +583,20 @@ class ThermalServeServer:
         except json.JSONDecodeError as exc:
             raise ProtocolError(f"invalid JSON body: {exc}") from None
 
-    def _submit(self, data: Dict) -> Job:
+    def _submit(self, data: Dict,
+                headers: Optional[Dict[str, str]] = None) -> Job:
         request = JobRequest.parse(data)
         if self.queue.closed:
             raise QueueClosedError("server is draining")
         job = self.store.create(request)
+        client_ctx = TraceContext.from_traceparent(
+            (headers or {}).get("traceparent")
+        )
+        if client_ctx is not None:
+            # The request span's context: its parent is the caller's
+            # client span, stitching both sides into one trace.
+            job.trace = client_ctx.child()
+        job.queue_depth_at_submit = len(self.queue)
         try:
             self.queue.put(job)
         except (QueueFullError, QueueClosedError):
@@ -520,7 +606,8 @@ class ThermalServeServer:
         self._g_queue_depth.set(float(len(self.queue)))
         return job
 
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes):
         """Dispatch one request; returns (status, payload, type, route)."""
         if path == "/healthz" and method == "GET":
             return 200, {
@@ -536,17 +623,20 @@ class ThermalServeServer:
             return 200, prometheus_text(self.registry), "text/plain", "metrics"
         if path == "/jobs" and method == "POST":
             try:
-                job = self._submit(self._parse_body(body))
+                job = self._submit(self._parse_body(body), headers)
             except (QueueFullError, QueueClosedError) as exc:
                 return 503, {"error": str(exc)}, "application/json", "submit"
-            return 202, {
+            out = {
                 "id": job.id,
                 "state": job.state.value,
                 "n_points": job.request.n_points,
-            }, "application/json", "submit"
+            }
+            if job.trace is not None:
+                out["trace_id"] = job.trace.trace_id
+            return 202, out, "application/json", "submit"
         if path == "/run" and method == "POST":
             try:
-                job = self._submit(self._parse_body(body))
+                job = self._submit(self._parse_body(body), headers)
             except (QueueFullError, QueueClosedError) as exc:
                 return 503, {"error": str(exc)}, "application/json", "run"
             await job.finished.wait()
@@ -562,11 +652,25 @@ class ThermalServeServer:
                 return 200, job.status(), "application/json", "status"
             if len(parts) == 4 and parts[3] == "result" and method == "GET":
                 return self._result_response(job, route="result")
+            if len(parts) == 4 and parts[3] == "trace" and method == "GET":
+                return self._trace_response(job)
             if len(parts) == 4 and parts[3] == "cancel" and method == "POST":
                 return self._cancel(job)
         return 404, {
             "error": f"no route for {method} {path}"
         }, "application/json", "error"
+
+    def _trace_response(self, job: Job):
+        """The merged span document for a traced job (404 untraced)."""
+        if job.trace is None:
+            return 404, {
+                "id": job.id,
+                "error": "job was not traced "
+                         "(no traceparent header at submission)",
+            }, "application/json", "trace"
+        payload = spans_payload(job.spans, trace_id=job.trace.trace_id)
+        payload.update({"id": job.id, "state": job.state.value})
+        return 200, payload, "application/json", "trace"
 
     def _result_response(self, job: Job, route: str):
         if job.state is JobState.DONE:
@@ -577,6 +681,8 @@ class ThermalServeServer:
                 "cache_hits": job.cache_hits,
                 "elapsed_s": job.finished_at - job.submitted_at,
             })
+            if job.trace is not None:
+                payload["trace_id"] = job.trace.trace_id
             return 200, payload, "application/json", route
         if job.done:
             return 409, {

@@ -36,6 +36,7 @@ import pickle
 import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -44,6 +45,17 @@ from repro.core.taxonomy import PolicySpec
 from repro.obs.logconfig import get_logger
 from repro.obs.profiler import StepProfiler, render_sections
 from repro.obs.telemetry import MetricsRegistry
+from repro.obs.tracing import (
+    KIND_EXECUTE,
+    KIND_GROUP,
+    KIND_POINT,
+    NULL_TRACER,
+    NullRecorder,
+    SpanRecorder,
+    TraceContext,
+    finished_span,
+    section_spans,
+)
 from repro.sim.engine import SimulationConfig, run_workload
 from repro.sim.results import RunResult
 from repro.sim.workloads import Workload
@@ -60,6 +72,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Orphaned ``*.tmp`` files older than this (seconds) are removed when a
 #: cache is opened; younger ones are assumed to belong to live writers.
 STALE_TMP_AGE_S = 3600.0
+
+#: Sliding window (seconds) over which the ``cache_evictions_pressure``
+#: gauge averages evicted bytes into a bytes-per-second rate.
+EVICTION_PRESSURE_WINDOW_S = 60.0
 
 
 # ---------------------------------------------------------------------------
@@ -225,8 +241,11 @@ class ResultCache:
         With a ``registry``, the cache registers ``cache_hits_total`` /
         ``cache_misses_total`` / ``cache_puts_total`` /
         ``cache_evictions_total`` / ``cache_evicted_bytes_total``
-        counters and a ``cache_bytes`` gauge, kept in step with its own
-        ``hits``/``misses``/``evictions`` attributes.
+        counters and ``cache_bytes`` / ``cache_evictions_pressure``
+        (evicted bytes per second over a sliding
+        :data:`EVICTION_PRESSURE_WINDOW_S` window) /
+        per-shard ``cache_shard_bytes{shard=...}`` gauges, kept in step
+        with its own ``hits``/``misses``/``evictions`` attributes.
         """
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive: {max_bytes}")
@@ -238,10 +257,19 @@ class ResultCache:
         self.evicted_bytes = 0
         self.corrupt_dropped = 0
         self.stale_tmp_removed = 0
+        #: Evicted bytes per second over the trailing pressure window.
+        self.eviction_pressure = 0.0
         self._shard_locks: Dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
         self._size_lock = threading.Lock()
         self._evict_lock = threading.Lock()
+        self._pressure_lock = threading.Lock()
+        #: ``(monotonic time, bytes)`` per eviction, pruned to the window.
+        self._eviction_events: deque = deque()
+        #: Per-shard entry bytes, maintained alongside ``_total_bytes``.
+        self._shard_bytes: Dict[str, int] = {}
+        self._shard_gauges: Dict[str, object] = {}
+        self._registry = registry
         #: Lazily-computed total entry bytes; None until first needed.
         self._total_bytes: Optional[int] = None
         if registry is not None:
@@ -265,10 +293,18 @@ class ResultCache:
             self._g_bytes = registry.gauge(
                 "cache_bytes", help="approximate bytes of cached entries"
             )
+            self._g_pressure = registry.gauge(
+                "cache_evictions_pressure",
+                help=(
+                    "evicted bytes per second over the last "
+                    f"{int(EVICTION_PRESSURE_WINDOW_S)} s"
+                ),
+            )
         else:
             self._ctr_hits = self._ctr_misses = self._ctr_puts = None
             self._ctr_evictions = self._ctr_evicted_bytes = None
             self._g_bytes = None
+            self._g_pressure = None
         if sweep_stale:
             self.sweep_stale_tmp(stale_tmp_age_s)
 
@@ -310,21 +346,83 @@ class ResultCache:
 
     def _scan_bytes(self) -> int:
         if not self.root.exists():
+            self._shard_bytes = {}
+            self._publish_shard_gauges()
             return 0
         total = 0
+        shards: Dict[str, int] = {}
         for path in self.root.glob("*/*.pkl"):
             try:
-                total += path.stat().st_size
+                size = path.stat().st_size
             except OSError:
-                pass
+                continue
+            total += size
+            shard = path.parent.name
+            shards[shard] = shards.get(shard, 0) + size
+        self._shard_bytes = shards
+        self._publish_shard_gauges()
         return total
 
-    def _account(self, delta: int) -> None:
+    def _publish_shard_gauges(self) -> None:
+        """Mirror the per-shard byte map into ``cache_shard_bytes`` gauges.
+
+        One labelled gauge per shard directory ever seen; shards whose
+        entries have all been evicted report 0 rather than vanishing, so
+        scrapes never see a gap.
+        """
+        if self._registry is None:
+            return
+        for shard, size in self._shard_bytes.items():
+            gauge = self._shard_gauges.get(shard)
+            if gauge is None:
+                gauge = self._registry.gauge(
+                    "cache_shard_bytes",
+                    help="bytes of cached entries per shard directory",
+                    shard=shard,
+                )
+                self._shard_gauges[shard] = gauge
+            gauge.set(float(size))
+        for shard, gauge in self._shard_gauges.items():
+            if shard not in self._shard_bytes:
+                gauge.set(0.0)
+
+    def _note_eviction(self, size: int) -> None:
+        """Ledger one eviction for the pressure gauge, then refresh it."""
+        with self._pressure_lock:
+            self._eviction_events.append((time.monotonic(), size))
+        self._refresh_pressure()
+
+    def _refresh_pressure(self) -> None:
+        """Recompute evicted-bytes/s over the trailing window.
+
+        Called on evictions *and* on puts, so the gauge decays back to
+        zero as the window slides past old evictions even when nothing
+        new is evicted.
+        """
+        with self._pressure_lock:
+            cutoff = time.monotonic() - EVICTION_PRESSURE_WINDOW_S
+            while self._eviction_events and self._eviction_events[0][0] < cutoff:
+                self._eviction_events.popleft()
+            self.eviction_pressure = (
+                sum(size for _t, size in self._eviction_events)
+                / EVICTION_PRESSURE_WINDOW_S
+            )
+        if self._g_pressure is not None:
+            self._g_pressure.set(self.eviction_pressure)
+
+    def _account(self, delta: int, shard: Optional[str] = None) -> None:
         with self._size_lock:
             if self._total_bytes is None:
+                # The scan sees the already-applied delta on disk and
+                # rebuilds the shard map wholesale.
                 self._total_bytes = self._scan_bytes()
             else:
                 self._total_bytes = max(0, self._total_bytes + delta)
+                if shard is not None:
+                    self._shard_bytes[shard] = max(
+                        0, self._shard_bytes.get(shard, 0) + delta
+                    )
+                    self._publish_shard_gauges()
             if self._g_bytes is not None:
                 self._g_bytes.set(float(self._total_bytes))
 
@@ -357,7 +455,7 @@ class ResultCache:
                     size = path.stat().st_size
                     path.unlink()
                     self.corrupt_dropped += 1
-                    self._account(-size)
+                    self._account(-size, shard=key[:2])
                 except OSError:
                     pass
                 self.misses += 1
@@ -396,9 +494,10 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
-            self._account(len(data) - previous)
+            self._account(len(data) - previous, shard=key[:2])
         if self.max_bytes is not None and self.total_bytes > self.max_bytes:
             self._evict(protect=key)
+        self._refresh_pressure()
 
     def _evict(self, protect: Optional[str] = None) -> None:
         """Unlink least-recently-used entries until under ``max_bytes``.
@@ -410,12 +509,15 @@ class ResultCache:
         with self._evict_lock:
             entries = []
             total = 0
+            shards: Dict[str, int] = {}
             for path in self.root.glob("*/*.pkl"):
                 try:
                     st = path.stat()
                 except OSError:
                     continue
                 total += st.st_size
+                shard = path.parent.name
+                shards[shard] = shards.get(shard, 0) + st.st_size
                 if protect is not None and path.stem == protect:
                     continue
                 entries.append((st.st_mtime, st.st_size, path))
@@ -429,13 +531,18 @@ class ResultCache:
                     except OSError:
                         continue
                 total -= size
+                shard = path.parent.name
+                shards[shard] = max(0, shards.get(shard, 0) - size)
                 self.evictions += 1
                 self.evicted_bytes += size
+                self._note_eviction(size)
                 if self._ctr_evictions is not None:
                     self._ctr_evictions.inc()
                     self._ctr_evicted_bytes.inc(size)
             with self._size_lock:
                 self._total_bytes = total
+                self._shard_bytes = shards
+                self._publish_shard_gauges()
                 if self._g_bytes is not None:
                     self._g_bytes.set(float(total))
 
@@ -471,6 +578,8 @@ class ResultCache:
                 n += 1
         with self._size_lock:
             self._total_bytes = 0
+            self._shard_bytes = {}
+            self._publish_shard_gauges()
             if self._g_bytes is not None:
                 self._g_bytes.set(0.0)
         return n
@@ -552,18 +661,20 @@ class RunnerStats:
         )
 
 
-def _execute_point(point: RunPoint) -> Tuple[RunResult, SpanTiming, None]:
-    """Process-pool task: simulate one point, returning (result, span)."""
+def _execute_point(
+    point: RunPoint,
+) -> Tuple[RunResult, SpanTiming, None, List]:
+    """Process-pool task: simulate one point -> (result, span, None, [])."""
     started = time.time()
     t0 = time.perf_counter()
     result = run_workload(point.workload, point.spec, point.config)
     span = SpanTiming(started, time.perf_counter() - t0, os.getpid())
-    return result, span, None
+    return result, span, None, []
 
 
 def _execute_point_profiled(
     point: RunPoint,
-) -> Tuple[RunResult, SpanTiming, Dict[str, float]]:
+) -> Tuple[RunResult, SpanTiming, Dict[str, float], List]:
     """Like :func:`_execute_point`, with the engine step profiler attached.
 
     The profiler only reads the clock, so the returned result is
@@ -577,7 +688,38 @@ def _execute_point_profiled(
         point.workload, point.spec, point.config, profiler=profiler
     )
     span = SpanTiming(started, time.perf_counter() - t0, os.getpid())
-    return result, span, profiler.totals()
+    return result, span, profiler.totals(), []
+
+
+def _execute_point_traced(
+    item: Tuple[RunPoint, TraceContext],
+) -> Tuple[RunResult, SpanTiming, Dict[str, float], List]:
+    """Like :func:`_execute_point_profiled`, recording distributed spans.
+
+    The parent :class:`~repro.obs.tracing.TraceContext` arrives pickled
+    inside the work item; the worker builds its own recorder, wraps the
+    simulation in a ``point`` span, mounts the engine step profiler's
+    section totals as leaf spans underneath, and ships the finished
+    spans back with the result for the parent process to merge. Tracing
+    only reads clocks: the result is bit-identical to the untraced
+    executors and never reflects the trace.
+    """
+    point, parent = item
+    recorder = SpanRecorder()
+    profiler = StepProfiler()
+    with recorder.span(
+        point.label, KIND_POINT, parent=parent, mode="pool"
+    ) as active:
+        started = time.time()
+        t0 = time.perf_counter()
+        result = run_workload(
+            point.workload, point.spec, point.config, profiler=profiler
+        )
+        elapsed = time.perf_counter() - t0
+    sections = profiler.totals()
+    recorder.extend(section_spans(active.context, started, sections))
+    span = SpanTiming(started, elapsed, os.getpid())
+    return result, span, sections, recorder.spans()
 
 
 def _execute_task(item: Tuple[Callable, object]) -> Tuple[object, SpanTiming]:
@@ -621,6 +763,12 @@ class ParallelRunner:
             points one :class:`FleetEngine` batch holds; larger batches
             stream through in consecutive chunks so campaign memory
             stays bounded. ``None`` (default) runs one unbounded batch.
+        tracer: A :class:`~repro.obs.tracing.SpanRecorder` receiving a
+            distributed span per point (cache-hit, pool or fleet) plus
+            engine-section leaf spans. Default: :data:`NULL_TRACER`,
+            which records nothing and costs nothing. Tracing, like
+            profiling, never changes results or cache keys; unlike
+            profiling it does *not* disable the fleet backend.
 
     Determinism: each simulation derives every random stream from its own
     configuration seed, so a point's result is a pure function of the
@@ -638,6 +786,7 @@ class ParallelRunner:
         registry: Optional[MetricsRegistry] = None,
         backend: str = "pool",
         fleet_chunk: Optional[int] = None,
+        tracer: Optional[SpanRecorder] = None,
     ):
         """Configure the pool size, cache binding and version salt.
 
@@ -663,6 +812,7 @@ class ParallelRunner:
         #: thermal kernel are built once per machine description.
         self._fleet_substrates: Dict[tuple, object] = {}
         self.profile = bool(profile)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._version = version
         self.stats = RunnerStats()
         if registry is not None:
@@ -686,8 +836,46 @@ class ParallelRunner:
 
     # -- core batch execution ---------------------------------------------
 
-    def run_points(self, points: Sequence[RunPoint]) -> List[RunResult]:
-        """Run (or fetch) every point; results align with ``points``."""
+    def run_points(
+        self,
+        points: Sequence[RunPoint],
+        *,
+        trace: Optional[TraceContext] = None,
+        tracer: Optional[SpanRecorder] = None,
+    ) -> List[RunResult]:
+        """Run (or fetch) every point; results align with ``points``.
+
+        ``trace``/``tracer`` opt the batch into distributed tracing:
+        every point — cache hit, pool execution or fleet member — gets a
+        child span of ``trace`` recorded into ``tracer`` (default: the
+        runner's constructor tracer). Without an inbound ``trace``, a
+        local ``run_points`` span roots the batch so the recorded trace
+        still has exactly one root. Tracing reads clocks only: results,
+        cache keys and cached values are identical to an untraced call.
+        """
+        tracer = tracer if tracer is not None else self.tracer
+        traced = not isinstance(tracer, NullRecorder)
+        batch_span = None
+        if traced and trace is None:
+            batch_span = tracer.span(
+                "run_points", KIND_EXECUTE, n_points=len(points)
+            )
+            batch_span.__enter__()
+            trace = batch_span.context
+        try:
+            return self._run_points(points, trace, tracer, traced)
+        finally:
+            if batch_span is not None:
+                batch_span.__exit__(None, None, None)
+
+    def _run_points(
+        self,
+        points: Sequence[RunPoint],
+        trace: Optional[TraceContext],
+        tracer: SpanRecorder,
+        traced: bool,
+    ) -> List[RunResult]:
+        """The :meth:`run_points` body, with tracing state resolved."""
         keys = [config_hash(p, self.version) for p in points]
         results: List[Optional[RunResult]] = [None] * len(points)
         done = [False] * len(points)
@@ -704,6 +892,13 @@ class ParallelRunner:
                     self.stats.reports.append(
                         PointReport(points[i].label, key, True, 0.0)
                     )
+                    if traced:
+                        tracer.record(
+                            finished_span(
+                                trace.child(), points[i].label, KIND_POINT,
+                                time.time(), 0.0, cache="hit",
+                            )
+                        )
                 else:
                     self.stats.cache_misses += 1
 
@@ -724,13 +919,25 @@ class ParallelRunner:
             (key, points[idxs[0]]) for key, idxs in pending.items()
         ]
         if self.backend == "fleet" and not self.profile:
-            executed = self._execute_fleet(pending_items)
+            executed = self._execute_fleet(
+                pending_items,
+                trace=trace,
+                tracer=tracer if traced else None,
+            )
+        elif traced:
+            raw = self._execute(
+                [(key, (point, trace)) for key, point in pending_items],
+                _execute_point_traced,
+            )
+            executed = [
+                ((key, item[0]), out) for (key, item), out in raw
+            ]
         else:
             executed = self._execute(
                 pending_items,
                 _execute_point_profiled if self.profile else _execute_point,
             )
-        for (key, point), (value, span, sections) in executed:
+        for (key, point), (value, span, sections, tspans) in executed:
             for i in pending[key]:
                 results[i] = value
                 done[i] = True
@@ -738,14 +945,20 @@ class ParallelRunner:
             if self._ctr_simulated is not None:
                 self._ctr_simulated.inc()
             self.stats.elapsed_s += span.elapsed_s
+            if tspans:
+                tracer.extend(tspans)
+            # Tracing measures sections for its leaf spans even when the
+            # runner is unprofiled; stats/reports only see them under
+            # profile=True so traced and untraced ledgers stay identical.
+            report_sections = sections if self.profile else None
             self.stats.reports.append(
                 PointReport(
-                    point.label, key, False, span.elapsed_s, sections,
+                    point.label, key, False, span.elapsed_s, report_sections,
                     started_at=span.started_at, pid=span.pid,
                 )
             )
-            if sections:
-                self.stats.add_sections(sections)
+            if report_sections:
+                self.stats.add_sections(report_sections)
             if self.cache is not None:
                 self.cache.put(key, value)
         assert all(done)
@@ -827,7 +1040,12 @@ class ParallelRunner:
 
     # -- execution backends --------------------------------------------------
 
-    def _execute_fleet(self, tagged_items: Sequence[Tuple]) -> List:
+    def _execute_fleet(
+        self,
+        tagged_items: Sequence[Tuple],
+        trace: Optional[TraceContext] = None,
+        tracer: Optional[SpanRecorder] = None,
+    ) -> List:
         """Run ``(key, point)`` items through batched fleet engines.
 
         Fleet-ineligible points (guards, hardware trip, series
@@ -841,6 +1059,12 @@ class ParallelRunner:
         unbounded batch when unset), sharing the runner's substrate
         pool, so arbitrarily large campaigns run in bounded memory.
         Each chunk's wall time is attributed evenly across its points.
+
+        With a ``tracer``, each chunk is wrapped in a ``fleet-group``
+        span under ``trace``, every member gets a ``point`` span tagged
+        ``mode="fleet"`` (fleet members execute in-process, so member
+        spans are recorded directly), and pool-fallback points route
+        through the traced pool executor.
         """
         from repro.sim.fleet import FleetEngine, fleet_blockers
 
@@ -856,29 +1080,47 @@ class ParallelRunner:
             len(eligible),
             len(fallback),
         )
+        rec = tracer if tracer is not None else NULL_TRACER
         outputs: List[Optional[Tuple]] = [None] * len(tagged_items)
         chunk = self.fleet_chunk or len(eligible)
         for lo in range(0, len(eligible), max(1, chunk)):
             part = eligible[lo : lo + chunk]
-            started = time.time()
-            t0 = time.perf_counter()
-            engine = FleetEngine(
-                [point for _idx, (_key, point) in part],
-                substrates=self._fleet_substrates,
-            )
-            batch_results = engine.run()
-            per_point = (time.perf_counter() - t0) / len(part)
+            with rec.span(
+                f"fleet[{lo}:{lo + len(part)}]", KIND_GROUP,
+                parent=trace, members=len(part),
+            ) as group:
+                started = time.time()
+                t0 = time.perf_counter()
+                engine = FleetEngine(
+                    [point for _idx, (_key, point) in part],
+                    substrates=self._fleet_substrates,
+                )
+                batch_results = engine.run()
+                per_point = (time.perf_counter() - t0) / len(part)
             pid = os.getpid()
-            for (idx, _ti), result in zip(part, batch_results):
+            for (idx, (_key, point)), result in zip(part, batch_results):
+                if group.context is not None:
+                    rec.record(
+                        finished_span(
+                            group.context.child(), point.label, KIND_POINT,
+                            started, per_point, mode="fleet",
+                        )
+                    )
                 outputs[idx] = (
                     result,
                     SpanTiming(started, per_point, pid),
                     None,
+                    [],
                 )
         fb_items = [ti for _idx, ti in fallback]
-        for (idx, _ti), (_tag, out) in zip(
-            fallback, self._execute(fb_items, _execute_point)
-        ):
+        if tracer is not None and fb_items:
+            fb_executed = self._execute(
+                [(key, (point, trace)) for key, point in fb_items],
+                _execute_point_traced,
+            )
+        else:
+            fb_executed = self._execute(fb_items, _execute_point)
+        for (idx, _ti), (_tag, out) in zip(fallback, fb_executed):
             outputs[idx] = out
         return list(zip(tagged_items, outputs))
 

@@ -120,6 +120,34 @@ def multi_series(
     return "\n".join(lines)
 
 
+def span_bar(
+    t0: float,
+    t1: float,
+    start: float,
+    end: float,
+    width: int = 48,
+) -> str:
+    """One waterfall row: a bar for ``[start, end]`` on the ``[t0, t1]`` axis.
+
+    Returns exactly ``width`` characters. Zero-duration (or sub-column)
+    intervals still render one ``▏`` tick so every span stays visible in
+    a trace waterfall; intervals are clamped to the axis.
+    """
+    if width < 1:
+        raise ValueError(f"width too small: {width}")
+    if not t1 > t0:
+        # Degenerate axis (single instant): a full-width tick row.
+        return "▏".ljust(width)
+    span = t1 - t0
+    a = max(0.0, min(1.0, (start - t0) / span))
+    b = max(0.0, min(1.0, (end - t0) / span))
+    col_a = min(width - 1, int(a * width))
+    col_b = min(width - 1, int(b * width))
+    if col_b <= col_a:
+        return (" " * col_a + "▏").ljust(width)
+    return (" " * col_a + "█" * (col_b - col_a)).ljust(width)
+
+
 def timeline_markers(
     t0: float,
     t1: float,

@@ -1,0 +1,272 @@
+"""Unit tests of the span layer: contexts, recorders, documents, rendering.
+
+End-to-end propagation through a live server is covered in
+``tests/serve/test_tracing.py``; non-perturbation and cache-key
+independence in ``tests/sim/test_tracing.py``. This module pins the
+building blocks themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.exporters import span_trace_events
+from repro.obs.tracing import (
+    KIND_EXECUTE,
+    KIND_POINT,
+    KIND_REQUEST,
+    KIND_SECTION,
+    NULL_TRACER,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+    TRACE_SCHEMA,
+    TraceContext,
+    finished_span,
+    render_waterfall,
+    section_spans,
+    span_from_dict,
+    spans_from_payload,
+    spans_payload,
+    validate_trace,
+)
+from repro.util.ascii_plot import span_bar
+
+
+class TestTraceContext:
+    def test_new_mints_wellformed_ids(self):
+        ctx = TraceContext.new()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+        int(ctx.trace_id, 16)
+        int(ctx.span_id, 16)
+
+    def test_child_shares_trace_and_links_parent(self):
+        root = TraceContext.new()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.new()
+        header = ctx.to_traceparent()
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-abc-def-01",                                  # wrong widths
+        "00-" + "g" * 32 + "-" + "0" * 16 + "-01",        # non-hex
+        "00-" + "0" * 32 + "-" + "1234567890abcdef-01",   # all-zero trace
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",        # all-zero span
+    ])
+    def test_malformed_headers_are_dropped(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_header_parse_is_case_and_space_tolerant(self):
+        ctx = TraceContext.new()
+        header = "  " + ctx.to_traceparent().upper() + " "
+        assert TraceContext.from_traceparent(header) == TraceContext(
+            ctx.trace_id, ctx.span_id
+        )
+
+    def test_bad_widths_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="abc", span_id="0" * 16)
+
+    def test_context_pickles(self):
+        import pickle
+
+        ctx = TraceContext.new().child()
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+
+class TestSpanRecorder:
+    def test_span_context_manager_records_one_span(self):
+        rec = SpanRecorder()
+        with rec.span("work", KIND_EXECUTE, backend="pool") as active:
+            assert active.context is not None
+            active.annotate(n_points=3)
+        (span,) = rec.spans()
+        assert span.name == "work"
+        assert span.kind == KIND_EXECUTE
+        assert span.attrs == {"backend": "pool", "n_points": 3}
+        assert span.elapsed_s >= 0.0
+        assert span.span_id == active.context.span_id
+
+    def test_exception_annotates_and_still_records(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("boom", KIND_EXECUTE):
+                raise RuntimeError("nope")
+        (span,) = rec.spans()
+        assert span.attrs["error"] == "RuntimeError: nope"
+
+    def test_parented_span_joins_the_trace(self):
+        rec = SpanRecorder()
+        parent = TraceContext.new()
+        with rec.span("child", KIND_POINT, parent=parent):
+            pass
+        (span,) = rec.spans()
+        assert span.trace_id == parent.trace_id
+        assert span.parent_id == parent.span_id
+
+    def test_recorder_is_thread_safe(self):
+        rec = SpanRecorder()
+        parent = TraceContext.new()
+
+        def hammer():
+            for i in range(100):
+                rec.record(finished_span(
+                    parent.child(), f"s{i}", KIND_POINT, 0.0, 0.0,
+                ))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec) == 800
+        ids = {s.span_id for s in rec.spans()}
+        assert len(ids) == 800
+
+    def test_extend_folds_in_foreign_spans(self):
+        rec = SpanRecorder()
+        ctx = TraceContext.new()
+        foreign = [finished_span(ctx.child(), "w", KIND_POINT, 1.0, 0.5)]
+        rec.extend(foreign)
+        assert rec.spans() == foreign
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", KIND_EXECUTE) as active:
+            assert active.context is None
+            active.annotate(ignored=True)
+        assert NULL_TRACER.spans() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_null_tracer_shares_one_active_span(self):
+        a = NULL_TRACER.span("a", KIND_EXECUTE)
+        b = NULL_TRACER.span("b", KIND_POINT, parent=TraceContext.new())
+        assert a is b
+
+    def test_record_and_extend_are_noops(self):
+        rec = NullRecorder()
+        ctx = TraceContext.new()
+        rec.record(finished_span(ctx, "x", KIND_POINT, 0.0, 0.0))
+        rec.extend([finished_span(ctx, "y", KIND_POINT, 0.0, 0.0)])
+        assert rec.spans() == []
+
+
+class TestSpanDocuments:
+    def make_trace(self):
+        root_ctx = TraceContext.new()
+        root = finished_span(root_ctx, "job-1", KIND_REQUEST, 10.0, 1.0)
+        child_ctx = root_ctx.child()
+        child = finished_span(child_ctx, "exec", KIND_EXECUTE, 10.1, 0.8)
+        leaf = finished_span(
+            child_ctx.child(), "p0", KIND_POINT, 10.2, 0.5, mode="pool"
+        )
+        return [root, child, leaf]
+
+    def test_span_dict_round_trip_is_identity(self):
+        for span in self.make_trace():
+            clone = span_from_dict(json.loads(json.dumps(span.to_dict())))
+            assert clone == span
+
+    def test_payload_round_trip(self):
+        spans = self.make_trace()
+        payload = spans_payload(spans)
+        assert payload["schema"] == TRACE_SCHEMA
+        assert payload["n_spans"] == 3
+        assert payload["trace_id"] == spans[0].trace_id
+        assert spans_from_payload(payload) == spans
+
+    def test_payload_with_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            spans_from_payload({"schema": "bogus", "spans": []})
+
+    def test_validate_accepts_wellformed_trace(self):
+        spans = self.make_trace()
+        assert validate_trace(spans) == []
+        assert validate_trace(spans, root_kind=KIND_REQUEST) == []
+
+    def test_validate_flags_problems(self):
+        spans = self.make_trace()
+        assert validate_trace([]) == ["trace has no spans"]
+        assert any(
+            "kind" in p
+            for p in validate_trace(spans, root_kind=KIND_POINT)
+        )
+        two_roots = spans + [
+            finished_span(TraceContext.new(), "other", KIND_REQUEST, 0, 1)
+        ]
+        problems = validate_trace(two_roots)
+        assert any("trace ids" in p for p in problems)
+        assert any("one root" in p for p in problems)
+        dupe = spans + [spans[-1]]
+        assert any("duplicate" in p for p in validate_trace(dupe))
+
+    def test_remote_parent_is_still_one_root(self):
+        """A server-side set parented on the client's span has one root."""
+        client = TraceContext.new()
+        request_ctx = client.child()
+        spans = [
+            finished_span(request_ctx, "job-1", KIND_REQUEST, 0.0, 1.0),
+            finished_span(request_ctx.child(), "exec", KIND_EXECUTE, 0.1, 0.8),
+        ]
+        assert validate_trace(spans, root_kind=KIND_REQUEST) == []
+
+
+class TestSectionSpans:
+    def test_sections_lay_out_sequentially_in_canonical_order(self):
+        parent = TraceContext.new()
+        sections = {
+            "thermal-step": 0.2, "sensors": 0.1, "weird-extra": 0.05,
+        }
+        spans = section_spans(parent, started_at=100.0, sections=sections)
+        names = [s.name for s in spans]
+        assert names == ["sensors", "thermal-step", "weird-extra"]
+        assert spans[0].started_at == 100.0
+        assert spans[1].started_at == pytest.approx(100.1)
+        assert spans[2].started_at == pytest.approx(100.3)
+        assert all(s.kind == KIND_SECTION for s in spans)
+        assert all(s.parent_id == parent.span_id for s in spans)
+
+
+class TestRendering:
+    def test_span_bar_geometry(self):
+        assert len(span_bar(0.0, 1.0, 0.0, 0.5, width=10)) == 10
+        full = span_bar(0.0, 1.0, 0.0, 1.0, width=10)
+        assert full.strip() != ""
+        # Sub-column spans still leave a visible tick.
+        tick = span_bar(0.0, 1.0, 0.5, 0.5000001, width=10)
+        assert tick.strip() != ""
+
+    def test_waterfall_renders_every_span_once(self):
+        spans = TestSpanDocuments().make_trace()
+        out = render_waterfall(spans, width=30)
+        assert "3 spans" in out
+        for span in spans:
+            assert span.name in out
+        assert "[pool]" in out
+        assert render_waterfall([]) == "(empty trace)\n"
+
+    def test_chrome_export_carries_ids_and_parents(self):
+        spans = TestSpanDocuments().make_trace()
+        events = span_trace_events(spans)
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert len(complete) == len(spans)
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["p0"]["args"]["parent_id"] == spans[1].span_id
+        assert by_name["p0"]["args"]["mode"] == "pool"

@@ -53,14 +53,14 @@ class ControlledExecutor:
         self.started = threading.Event()
         self.release = threading.Event()
 
-    def execute(self, request):
+    def execute(self, request, trace=None):
         self.calls += 1
         self.started.set()
         if self.calls <= self.die_first_n:
             raise BrokenPipeError("worker process vanished")
         if self.block and not self.release.wait(timeout=30):
             raise RuntimeError("test forgot to release the executor")
-        return {"n_points": 0, "points": []}, 0, 0
+        return {"n_points": 0, "points": []}, 0, 0, []
 
 
 @pytest.fixture

@@ -193,6 +193,69 @@ class TestLRUEviction:
         assert snapshot["cache_misses_total"] == 1
         assert snapshot["cache_bytes"] == 2 * size
 
+    def test_eviction_pressure_gauge_tracks_window(self, tmp_path):
+        """Evictions raise evicted-bytes/s; the gauge decays as they age."""
+        from repro.sim.runner import EVICTION_PRESSURE_WINDOW_S
+
+        registry = MetricsRegistry()
+        payload = b"x" * 1000
+        size = entry_bytes(payload)
+        cache = ResultCache(
+            tmp_path, registry=registry, max_bytes=int(2.5 * size)
+        )
+        assert cache.eviction_pressure == 0.0
+        assert registry.as_dict()["cache_evictions_pressure"] == 0.0
+
+        cache.put("aa01", payload)
+        cache.put("bb02", payload)
+        set_age(cache._path("aa01"), 100.0)
+        cache.put("cc03", payload)  # evicts aa01
+        expected = size / EVICTION_PRESSURE_WINDOW_S
+        assert cache.eviction_pressure == pytest.approx(expected)
+        assert registry.as_dict()["cache_evictions_pressure"] == (
+            pytest.approx(expected)
+        )
+
+        # Slide the window past the eviction: the next put decays it.
+        cache._eviction_events[0] = (
+            cache._eviction_events[0][0] - 2 * EVICTION_PRESSURE_WINDOW_S,
+            cache._eviction_events[0][1],
+        )
+        cache.put("bb02", payload)
+        assert cache.eviction_pressure == 0.0
+        assert registry.as_dict()["cache_evictions_pressure"] == 0.0
+
+    def test_shard_byte_gauges_track_puts_and_evictions(self, tmp_path):
+        """Per-shard gauges follow puts; evicted-empty shards report 0."""
+        registry = MetricsRegistry()
+        payload = b"x" * 1000
+        size = entry_bytes(payload)
+        cache = ResultCache(
+            tmp_path, registry=registry, max_bytes=int(2.5 * size)
+        )
+        cache.put("aa01", payload)
+        cache.put("bb02", payload)
+        snapshot = registry.as_dict()
+        assert snapshot['cache_shard_bytes{shard="aa"}'] == size
+        assert snapshot['cache_shard_bytes{shard="bb"}'] == size
+
+        set_age(cache._path("aa01"), 100.0)
+        cache.put("cc03", payload)  # evicts aa01, emptying shard aa
+        snapshot = registry.as_dict()
+        assert snapshot['cache_shard_bytes{shard="aa"}'] == 0
+        assert snapshot['cache_shard_bytes{shard="bb"}'] == size
+        assert snapshot['cache_shard_bytes{shard="cc"}'] == size
+
+    def test_shard_gauges_published_without_size_cap(self, tmp_path):
+        """An uncapped cache (the serve default) still exports shards."""
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, registry=registry)
+        payload = b"x" * 500
+        cache.put("aa01", payload)
+        assert registry.as_dict()['cache_shard_bytes{shard="aa"}'] == (
+            entry_bytes(payload)
+        )
+
     def test_bad_max_bytes(self, tmp_path):
         with pytest.raises(ValueError):
             ResultCache(tmp_path, max_bytes=0)

@@ -343,7 +343,7 @@ class TestRunnerChunkingAndDuplicates:
         point = RunPoint(W7, spec_by_key("distributed-dvfs-none"), CFG)
         out = runner._execute_fleet([("same-key", point), ("same-key", point)])
         assert len(out) == 2
-        (tag_a, (res_a, span_a, _)), (tag_b, (res_b, span_b, _)) = out
+        (tag_a, (res_a, span_a, *_)), (tag_b, (res_b, span_b, *_)) = out
         assert tag_a == tag_b == ("same-key", point)
         assert res_a is not res_b
         assert scalar_fields(res_a) == scalar_fields(res_b)
